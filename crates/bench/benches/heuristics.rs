@@ -1,0 +1,55 @@
+//! Criterion microbenches for the anytime heuristics at fixed step
+//! budgets: per-step cost of ILS, GILS, SEA and the ablation baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwsj_bench::Algo;
+use mwsj_core::{Instance, SearchBudget};
+use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(shape: QueryShape, n: usize, cardinality: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(17);
+    let d = hard_region_density(shape, n, cardinality, 1.0);
+    let datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    Instance::new(shape.graph(n), datasets).unwrap()
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics_fixed_steps");
+    group.sample_size(10);
+    let inst = instance(QueryShape::Clique, 10, 5_000);
+    // Step units differ per algorithm (moves vs. generations); budgets are
+    // chosen so each measurement does comparable work.
+    let cases = [
+        (Algo::Ils, 500u64),
+        (Algo::Gils, 500),
+        (Algo::Sea, 10),
+        (Algo::NaiveLs, 500),
+        (Algo::NaiveGa, 10),
+        (Algo::Sa, 5_000),
+    ];
+    for (algo, steps) in cases {
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), steps),
+            &inst,
+            |b, inst| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(
+                        algo.run(inst, &SearchBudget::iterations(steps), seed)
+                            .best_similarity,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

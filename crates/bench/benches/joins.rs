@@ -1,0 +1,86 @@
+//! Criterion microbenches for the exact join algorithms: pairwise R-tree
+//! join, window reduction, synchronous traversal, PJM and IBB on moderate
+//! instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwsj_core::{
+    Ibb, IbbConfig, Instance, PairwiseJoin, Pjm, SearchBudget, SynchronousTraversal,
+    WindowReduction,
+};
+use mwsj_datagen::{hard_region_density, plant_solution, Dataset, QueryShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(shape: QueryShape, n: usize, cardinality: usize, target: f64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(23);
+    let d = hard_region_density(shape, n, cardinality, target);
+    let datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    Instance::new(shape.graph(n), datasets).unwrap()
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let inst = instance(QueryShape::Chain, 2, 20_000, 1_000.0);
+    c.bench_function("pairwise_join/20k_x_20k", |b| {
+        b.iter(|| black_box(PairwiseJoin::join(inst.tree(0), inst.tree(1)).pairs.len()))
+    });
+}
+
+fn bench_exact_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_joins");
+    group.sample_size(10);
+    let inst = instance(QueryShape::Chain, 4, 2_000, 100.0);
+    let budget = SearchBudget::seconds(60.0);
+    group.bench_function("wr/chain4", |b| {
+        b.iter(|| {
+            black_box(
+                WindowReduction::new()
+                    .run(&inst, &budget, usize::MAX)
+                    .solutions
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("st/chain4", |b| {
+        b.iter(|| {
+            black_box(
+                SynchronousTraversal::new()
+                    .run(&inst, &budget, usize::MAX)
+                    .solutions
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("pjm/chain4", |b| {
+        b.iter(|| black_box(Pjm::default().run(&inst, &budget, usize::MAX).solutions.len()))
+    });
+    group.finish();
+}
+
+fn bench_ibb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ibb");
+    group.sample_size(10);
+    // Planted instance: IBB races to the single exact solution.
+    let mut rng = StdRng::seed_from_u64(29);
+    let shape = QueryShape::Clique;
+    let (n, cardinality) = (4usize, 500usize);
+    let d = hard_region_density(shape, n, cardinality, 1.0);
+    let mut datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    let graph = shape.graph(n);
+    plant_solution(&mut datasets, &graph, &mut rng);
+    let inst = Instance::new(graph, datasets).unwrap();
+    group.bench_function("planted_clique4", |b| {
+        b.iter(|| {
+            let outcome = Ibb::new(IbbConfig::new()).run(&inst, &SearchBudget::seconds(120.0));
+            black_box(outcome.best_violations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise, bench_exact_joins, bench_ibb);
+criterion_main!(benches);

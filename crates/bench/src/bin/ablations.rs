@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablations experiment. Usage: `ablations [--scale smoke|default|paper]`.
+fn main() {
+    mwsj_bench::experiments::ablations::main(mwsj_bench::Scale::from_args());
+}

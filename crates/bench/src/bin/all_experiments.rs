@@ -1,0 +1,18 @@
+//! Runs every experiment in sequence (Fig. 10a-c, Fig. 11, SEA tuning,
+//! ablations). Usage: `all_experiments [--scale smoke|default|paper]`.
+fn main() {
+    let scale = mwsj_bench::Scale::from_args();
+    println!("=== mwsj experiment suite (scale: {}) ===\n", scale.name());
+    mwsj_bench::experiments::fig10a::main(scale);
+    println!();
+    mwsj_bench::experiments::fig10b::main(scale);
+    println!();
+    mwsj_bench::experiments::fig10c::main(scale);
+    println!();
+    mwsj_bench::experiments::fig11::main(scale);
+    println!();
+    mwsj_bench::experiments::sea_tuning::main(scale);
+    println!();
+    mwsj_bench::experiments::ablations::main(scale);
+    println!("\n=== done ===");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10a experiment. Usage: `fig10a [--scale smoke|default|paper]`.
+fn main() {
+    mwsj_bench::experiments::fig10a::main(mwsj_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10b experiment. Usage: `fig10b [--scale smoke|default|paper]`.
+fn main() {
+    mwsj_bench::experiments::fig10b::main(mwsj_bench::Scale::from_args());
+}

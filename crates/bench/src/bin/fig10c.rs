@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10c experiment. Usage: `fig10c [--scale smoke|default|paper]`.
+fn main() {
+    mwsj_bench::experiments::fig10c::main(mwsj_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 experiment. Usage: `fig11 [--scale smoke|default|paper]`.
+fn main() {
+    mwsj_bench::experiments::fig11::main(mwsj_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's sea_tuning experiment. Usage: `sea_tuning [--scale smoke|default|paper]`.
+fn main() {
+    mwsj_bench::experiments::sea_tuning::main(mwsj_bench::Scale::from_args());
+}

@@ -1,0 +1,115 @@
+//! **SEA parameter tuning** — the sensitivity study behind §5's parameter
+//! choices (published in the long version of the paper).
+//!
+//! One-at-a-time sweeps around the scaled defaults on a 15-variable clique
+//! in the hard region: population `p`, tournament size `T`, crossover rate
+//! `μc`, mutation rate `μm` and the crossover-point schedule `g_c`.
+
+use crate::experiments::build_instance;
+use crate::{mean, write_csv, Scale, Table};
+use mwsj_core::{Sea, SeaConfig, SearchBudget};
+use mwsj_datagen::QueryShape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_config(
+    instance: &mwsj_core::Instance,
+    config: SeaConfig,
+    budget: &SearchBudget,
+    reps: usize,
+) -> f64 {
+    let sims: Vec<f64> = (0..reps)
+        .map(|rep| {
+            let mut rng = StdRng::seed_from_u64(5000 + rep as u64);
+            Sea::new(config.clone())
+                .run(instance, budget, &mut rng)
+                .best_similarity
+        })
+        .collect();
+    mean(&sims)
+}
+
+/// Runs the sweep; rows are `(parameter, value, similarity)`.
+pub fn run(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Smoke => 5,
+        _ => 15,
+    };
+    let (instance, _, _) =
+        build_instance(QueryShape::Clique, n, scale.cardinality(), 1.0, false, 0x5EA);
+    let budget = SearchBudget::time(scale.query_budget(n));
+    let base = SeaConfig::default_for(&instance);
+    let reps = scale.repetitions().min(5);
+
+    let mut table = Table::new(vec!["parameter", "value", "similarity"]);
+
+    let populations: &[usize] = match scale {
+        Scale::Smoke => &[32, 64],
+        _ => &[32, 64, 128, 256, 512],
+    };
+    for &p in populations {
+        let config = SeaConfig {
+            population: p,
+            tournament: (p / 20).max(2),
+            ..base.clone()
+        };
+        let sim = run_config(&instance, config, &budget, reps);
+        table.row(vec!["population".into(), p.to_string(), format!("{sim:.3}")]);
+        eprintln!("sea_tuning: population={p} done");
+    }
+
+    for &t in &[1usize, 2, 6, 13, 26] {
+        let config = SeaConfig {
+            tournament: t,
+            ..base.clone()
+        };
+        let sim = run_config(&instance, config, &budget, reps);
+        table.row(vec!["tournament".into(), t.to_string(), format!("{sim:.3}")]);
+        eprintln!("sea_tuning: tournament={t} done");
+    }
+
+    for &mc in &[0.0, 0.3, 0.6, 0.9] {
+        let config = SeaConfig {
+            crossover_rate: mc,
+            ..base.clone()
+        };
+        let sim = run_config(&instance, config, &budget, reps);
+        table.row(vec!["crossover_rate".into(), mc.to_string(), format!("{sim:.3}")]);
+        eprintln!("sea_tuning: crossover_rate={mc} done");
+    }
+
+    for &mm in &[0.0, 0.5, 1.0] {
+        let config = SeaConfig {
+            mutation_rate: mm,
+            ..base.clone()
+        };
+        let sim = run_config(&instance, config, &budget, reps);
+        table.row(vec!["mutation_rate".into(), mm.to_string(), format!("{sim:.3}")]);
+        eprintln!("sea_tuning: mutation_rate={mm} done");
+    }
+
+    for &gc in &[1u64, 5, 10, 50] {
+        let config = SeaConfig {
+            generations_per_c: gc,
+            ..base.clone()
+        };
+        let sim = run_config(&instance, config, &budget, reps);
+        table.row(vec![
+            "generations_per_c".into(),
+            gc.to_string(),
+            format!("{sim:.3}"),
+        ]);
+        eprintln!("sea_tuning: generations_per_c={gc} done");
+    }
+
+    table
+}
+
+/// Runs, prints and persists the sweep.
+pub fn main(scale: Scale) {
+    println!("SEA parameter tuning (scale: {})", scale.name());
+    let table = run(scale);
+    println!("{}", table.render());
+    let path = write_csv("sea_tuning.csv", &table.to_csv()).expect("write results");
+    println!("CSV written to {}", path.display());
+}

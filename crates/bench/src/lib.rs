@@ -1,0 +1,134 @@
+//! Benchmark harness regenerating every figure of the paper's evaluation
+//! (§6), plus parameter-tuning and ablation studies.
+//!
+//! Each experiment lives in [`experiments`] and is exposed both as a
+//! library function (used by the `all_experiments` orchestrator and the
+//! integration tests) and as a standalone binary (`fig10a`, `fig10b`,
+//! `fig10c`, `fig11`, `sea_tuning`, `ablations`).
+//!
+//! All binaries accept `--scale smoke|default|paper`:
+//!
+//! * `smoke` — seconds-long sanity run (CI);
+//! * `default` — minutes-long run at N = 10,000 objects per dataset that
+//!   reproduces the *shape* of every figure;
+//! * `paper` — the full EDBT 2002 setting (N = 100,000, `10·n`-second
+//!   budgets, 100 repetitions): hours of wall-clock time.
+//!
+//! Results are printed as the paper's tables and appended as CSV under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod io;
+mod scale;
+
+pub use io::{write_csv, Table};
+pub use scale::Scale;
+
+use mwsj_core::{
+    Gils, GilsConfig, Ils, IlsConfig, NaiveGa, NaiveGaConfig, NaiveLocalSearch, RunOutcome, Sea,
+    SeaConfig, SearchBudget, SimulatedAnnealing,
+};
+use mwsj_core::Instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The anytime heuristics the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Indexed local search (§3).
+    Ils,
+    /// Guided indexed local search (§4).
+    Gils,
+    /// Spatial evolutionary algorithm (§5).
+    Sea,
+    /// Local search with random re-instantiation (ablation baseline).
+    NaiveLs,
+    /// GA with random crossover/mutation (ablation baseline).
+    NaiveGa,
+    /// Simulated annealing (ablation baseline).
+    Sa,
+}
+
+impl Algo {
+    /// The three algorithms of the paper's Fig. 10.
+    pub const PAPER: [Algo; 3] = [Algo::Ils, Algo::Gils, Algo::Sea];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Ils => "ILS",
+            Algo::Gils => "GILS",
+            Algo::Sea => "SEA",
+            Algo::NaiveLs => "naive-LS",
+            Algo::NaiveGa => "naive-GA",
+            Algo::Sa => "SA",
+        }
+    }
+
+    /// Runs the algorithm on `instance` with a per-run RNG seed.
+    pub fn run(&self, instance: &Instance, budget: &SearchBudget, seed: u64) -> RunOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Algo::Ils => Ils::new(IlsConfig::default()).run(instance, budget, &mut rng),
+            Algo::Gils => Gils::new(GilsConfig::default()).run(instance, budget, &mut rng),
+            Algo::Sea => {
+                Sea::new(SeaConfig::default_for(instance)).run(instance, budget, &mut rng)
+            }
+            Algo::NaiveLs => NaiveLocalSearch::default().run(instance, budget, &mut rng),
+            Algo::NaiveGa => {
+                NaiveGa::new(NaiveGaConfig::default()).run(instance, budget, &mut rng)
+            }
+            Algo::Sa => SimulatedAnnealing::default().run(instance, budget, &mut rng),
+        }
+    }
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two samples).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algo_names_are_distinct() {
+        let names: std::collections::HashSet<_> = [
+            Algo::Ils,
+            Algo::Gils,
+            Algo::Sea,
+            Algo::NaiveLs,
+            Algo::NaiveGa,
+            Algo::Sa,
+        ]
+        .iter()
+        .map(|a| a.name())
+        .collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Experiment scales: smoke / default / paper.
+
+use std::time::Duration;
+
+/// How big an experiment run should be.
+///
+/// The paper's hardware budget (`10·n` seconds per execution, 100
+/// repetitions, N = 100,000 objects) totals days of compute; `Scale`
+/// shrinks N, repetitions and time budgets together so the *hard region*
+/// property is preserved (densities are re-solved for the chosen N) while
+/// the wall-clock cost drops to CI-friendly levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: tiny datasets, one repetition. Verifies the harness.
+    Smoke,
+    /// Minutes: N = 10,000, a few repetitions, compressed budgets —
+    /// reproduces the figures' shapes.
+    Default,
+    /// The full EDBT 2002 setting. Hours.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale <s>` / `--scale=<s>` from CLI args, defaulting to
+    /// [`Scale::Default`].
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            let value = if let Some(v) = a.strip_prefix("--scale=") {
+                Some(v.to_string())
+            } else if a == "--scale" {
+                args.get(i + 1).cloned()
+            } else {
+                None
+            };
+            if let Some(v) = value {
+                return Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale '{v}' (smoke|default|paper)"));
+            }
+        }
+        Scale::Default
+    }
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Objects per dataset (the paper's N = 100,000).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Scale::Smoke => 1_000,
+            Scale::Default => 10_000,
+            Scale::Paper => 100_000,
+        }
+    }
+
+    /// Repetitions per measurement point (the paper averages 100).
+    pub fn repetitions(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Default => 5,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Scales the paper's wall-clock budgets (e.g. `10·n` seconds becomes
+    /// `10·n · time_factor()`).
+    pub fn time_factor(&self) -> f64 {
+        match self {
+            Scale::Smoke => 0.002,
+            Scale::Default => 0.02,
+            Scale::Paper => 1.0,
+        }
+    }
+
+    /// The paper's per-query budget `10·n` seconds, scaled.
+    pub fn query_budget(&self, n_vars: usize) -> Duration {
+        Duration::from_secs_f64(10.0 * n_vars as f64 * self.time_factor())
+    }
+
+    /// Query sizes for Fig. 10a / Fig. 11 (the paper uses 5..=25 step 5;
+    /// smaller scales trim the top end to keep SEA populations meaningful).
+    pub fn query_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![3, 5],
+            Scale::Default => vec![5, 10, 15, 20, 25],
+            Scale::Paper => vec![5, 10, 15, 20, 25],
+        }
+    }
+
+    /// Display name (also used in CSV output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("DEFAULT"), Some(Scale::Default));
+        assert_eq!(Scale::parse("Paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_publication() {
+        let s = Scale::Paper;
+        assert_eq!(s.cardinality(), 100_000);
+        assert_eq!(s.repetitions(), 100);
+        assert_eq!(s.query_budget(15), Duration::from_secs(150));
+    }
+
+    #[test]
+    fn budgets_shrink_with_scale() {
+        assert!(Scale::Smoke.query_budget(15) < Scale::Default.query_budget(15));
+        assert!(Scale::Default.query_budget(15) < Scale::Paper.query_budget(15));
+    }
+}

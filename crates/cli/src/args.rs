@@ -1,0 +1,210 @@
+//! Minimal dependency-free argument parsing for the `mwsj` binary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: subcommand, `--key value` options (repeatable)
+/// and `--flag` switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+/// Errors produced while parsing or validating arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given without a value where one is required.
+    MissingValue(String),
+    /// A required option is absent.
+    MissingOption(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Unexpected free-standing argument.
+    UnexpectedArgument(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "--{option} {value}: expected {expected}"),
+            ArgError::UnexpectedArgument(a) => write!(f, "unexpected argument '{a}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Options that take a value (everything else after `--` is a flag).
+const VALUE_OPTIONS: &[&str] = &[
+    "out", "n", "density", "distribution", "seed", "data", "query", "algo", "seconds",
+    "iterations", "top", "limit", "lambda", "target", "shape", "vars",
+];
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(rest) = item.strip_prefix("--") {
+                if let Some((k, v)) = rest.split_once('=') {
+                    // `--key=value` form.
+                    if VALUE_OPTIONS.contains(&k) {
+                        args.options
+                            .entry(k.to_string())
+                            .or_default()
+                            .push(v.to_string());
+                    } else {
+                        return Err(ArgError::UnexpectedArgument(format!("--{rest}")));
+                    }
+                } else if VALUE_OPTIONS.contains(&rest) {
+                    // `--key value` form.
+                    match iter.next() {
+                        Some(v) if !v.starts_with("--") => args
+                            .options
+                            .entry(rest.to_string())
+                            .or_default()
+                            .push(v),
+                        _ => return Err(ArgError::MissingValue(rest.to_string())),
+                    }
+                } else {
+                    args.flags.push(rest.to_string());
+                }
+            } else if args.command.is_none() {
+                args.command = Some(item);
+            } else {
+                return Err(ArgError::UnexpectedArgument(item));
+            }
+        }
+        Ok(args)
+    }
+
+    /// All values given for a repeatable option.
+    pub fn values(&self, key: &str) -> &[String] {
+        self.options.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The single value of an option, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.options.get(key).and_then(|v| v.first()).map(String::as_str)
+    }
+
+    /// The single value of a required option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.value(key)
+            .ok_or_else(|| ArgError::MissingOption(key.to_string()))
+    }
+
+    /// Parses an option into `T`, with a default when absent.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.value(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                option: key.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    #[allow(dead_code)] // part of the parser API; exercised by tests
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("solve --algo ils --seconds 2.5 --verbose").unwrap();
+        assert_eq!(a.command.as_deref(), Some("solve"));
+        assert_eq!(a.value("algo"), Some("ils"));
+        assert_eq!(a.value("seconds"), Some("2.5"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn repeatable_options_accumulate() {
+        let a = parse("solve --data a.csv --data b.csv --data c.csv").unwrap();
+        assert_eq!(a.values("data"), &["a.csv", "b.csv", "c.csv"]);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse("generate --n=100 --density=0.5").unwrap();
+        assert_eq!(a.value("n"), Some("100"));
+        assert_eq!(a.value("density"), Some("0.5"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse("solve --algo").unwrap_err(),
+            ArgError::MissingValue("algo".into())
+        );
+        assert_eq!(
+            parse("solve --algo --seconds 1").unwrap_err(),
+            ArgError::MissingValue("algo".into())
+        );
+    }
+
+    #[test]
+    fn unexpected_positional_is_an_error() {
+        assert_eq!(
+            parse("solve extra").unwrap_err(),
+            ArgError::UnexpectedArgument("extra".into())
+        );
+    }
+
+    #[test]
+    fn required_and_parse_or() {
+        let a = parse("generate --n 50").unwrap();
+        assert_eq!(a.required("n").unwrap(), "50");
+        assert!(matches!(a.required("density"), Err(ArgError::MissingOption(_))));
+        assert_eq!(a.parse_or("n", 0usize, "an integer").unwrap(), 50);
+        assert_eq!(a.parse_or("seed", 7u64, "an integer").unwrap(), 7);
+        let bad = parse("generate --n x").unwrap();
+        assert!(matches!(
+            bad.parse_or("n", 0usize, "an integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_equals_flag_is_rejected() {
+        assert!(matches!(
+            parse("solve --bogus=1"),
+            Err(ArgError::UnexpectedArgument(_))
+        ));
+    }
+}

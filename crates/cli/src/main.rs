@@ -1,0 +1,266 @@
+//! `mwsj` — command-line multiway spatial join processing.
+//!
+//! ```text
+//! mwsj generate --out rivers.csv --n 10000 --density 0.05 [--distribution uniform|clustered|skewed] [--seed 1]
+//! mwsj info     --data rivers.csv
+//! mwsj solve    --data a.csv --data b.csv --data c.csv --query chain
+//!               [--algo ils|gils|sea|sea-hybrid|ibb|two-step] [--seconds 2] [--iterations N]
+//!               [--seed 42] [--top 5]
+//! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
+//! mwsj hard-density --shape chain|clique|star|cycle --vars 5 --n 100000 [--target 1]
+//! ```
+//!
+//! Datasets are CSV files of `min_x,min_y,max_x,max_y` rows (see
+//! `mwsj-datagen`); `generate` produces them synthetically.
+
+mod args;
+mod query_spec;
+
+use args::Args;
+use mwsj_core::{
+    Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, Pjm, RunOutcome, Sea, SeaConfig,
+    SearchBudget, SynchronousTraversal, TwoStep, TwoStepConfig, WindowReduction,
+};
+use mwsj_datagen::{Dataset, DatasetSpec, Distribution, QueryShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("info") => cmd_info(&args),
+        Some("solve") => cmd_solve(&args),
+        Some("join") => cmd_join(&args),
+        Some("hard-density") => cmd_hard_density(&args),
+        Some("help") | None => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'mwsj help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+mwsj — approximate multiway spatial join processing (EDBT 2002)
+
+USAGE:
+  mwsj generate --out FILE --n N --density D [--distribution uniform|clustered|skewed] [--seed S]
+  mwsj info --data FILE
+  mwsj solve --data FILE... --query SPEC [--algo ils|gils|sea|sea-hybrid|ibb|two-step]
+             [--seconds S | --iterations I] [--seed S] [--top K]
+  mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
+  mwsj hard-density --shape chain|clique|star|cycle --vars N --n CARD [--target SOL]
+
+QUERY SPECS:
+  chain | clique | cycle | star            sized by the number of --data files
+  \"0-1,1-2:contains,0-2:within:0.05\"       explicit edges with optional predicates
+";
+
+fn load_datasets(args: &Args) -> Result<Vec<Dataset>, String> {
+    let paths = args.values("data");
+    if paths.is_empty() {
+        return Err("at least one --data FILE is required".into());
+    }
+    paths
+        .iter()
+        .map(|p| Dataset::read_csv_file(p).map_err(|e| format!("{p}: {e}")))
+        .collect()
+}
+
+fn budget_from(args: &Args) -> Result<SearchBudget, String> {
+    let seconds: f64 = args
+        .parse_or("seconds", 0.0, "a number of seconds")
+        .map_err(|e| e.to_string())?;
+    let iterations: u64 = args
+        .parse_or("iterations", 0, "an iteration count")
+        .map_err(|e| e.to_string())?;
+    Ok(match (seconds > 0.0, iterations > 0) {
+        (true, true) => SearchBudget::time_and_iterations(
+            std::time::Duration::from_secs_f64(seconds),
+            iterations,
+        ),
+        (false, true) => SearchBudget::iterations(iterations),
+        // Default: 2 seconds.
+        (true, false) => SearchBudget::seconds(seconds),
+        (false, false) => SearchBudget::seconds(2.0),
+    })
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.required("out").map_err(|e| e.to_string())?.to_string();
+    let n: usize = args.parse_or("n", 10_000, "an object count").map_err(|e| e.to_string())?;
+    let density: f64 = args
+        .parse_or("density", 0.05, "a density")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args.parse_or("seed", 0, "a seed").map_err(|e| e.to_string())?;
+    let distribution = match args.value("distribution").unwrap_or("uniform") {
+        "uniform" => Distribution::Uniform,
+        "clustered" => Distribution::Clustered {
+            clusters: 9,
+            sigma: 0.03,
+        },
+        "skewed" => Distribution::Skewed { exponent: 2.0 },
+        other => return Err(format!("unknown distribution '{other}'")),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = DatasetSpec {
+        cardinality: n,
+        density,
+        distribution,
+        constant_extent: false,
+    }
+    .generate(&mut rng);
+    ds.write_csv_file(&out).map_err(|e| e.to_string())?;
+    println!("wrote {n} objects (density {density}) to {out}");
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    for path in args.values("data") {
+        let ds = Dataset::read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+        let bbox = ds
+            .rects()
+            .iter()
+            .fold(mwsj_geom::Rect::EMPTY, |acc, r| acc.union(r));
+        println!(
+            "{path}: {} objects, realized density {:.4}, bbox {}",
+            ds.len(),
+            ds.realized_density(),
+            bbox
+        );
+    }
+    if args.values("data").is_empty() {
+        return Err("at least one --data FILE is required".into());
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let datasets = load_datasets(args)?;
+    let n_vars = datasets.len();
+    let query = args.required("query").map_err(|e| e.to_string())?;
+    let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
+    let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
+    let budget = budget_from(args)?;
+    let seed: u64 = args.parse_or("seed", 42, "a seed").map_err(|e| e.to_string())?;
+    let top: usize = args.parse_or("top", 1, "a count").map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let algo = args.value("algo").unwrap_or("ils");
+    let outcome: RunOutcome = match algo {
+        "ils" => Ils::new(IlsConfig::default()).run(&instance, &budget, &mut rng),
+        "gils" => Gils::new(GilsConfig::default()).run(&instance, &budget, &mut rng),
+        "sea" => Sea::new(SeaConfig::default_for(&instance)).run(&instance, &budget, &mut rng),
+        "sea-hybrid" => Sea::new(SeaConfig::default_for(&instance).with_ils_seeding())
+            .run(&instance, &budget, &mut rng),
+        "ibb" => Ibb::new(IbbConfig::new()).run(&instance, &budget),
+        "two-step" => {
+            let heuristic_budget = SearchBudget::seconds(0.5);
+            let two = TwoStep::new(TwoStepConfig::Ils(IlsConfig::default(), heuristic_budget));
+            let out = two.run(&instance, &budget, &mut rng);
+            out.best
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+
+    println!(
+        "best solution: {} (similarity {:.3}, {} of {} conditions violated{})",
+        outcome.best,
+        outcome.best_similarity,
+        outcome.best_violations,
+        instance.graph().edge_count(),
+        if outcome.proven_optimal {
+            ", proven optimal"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "stats: {:?} elapsed, {} steps, {} node accesses, {} local maxima",
+        outcome.stats.elapsed,
+        outcome.stats.steps,
+        outcome.stats.node_accesses,
+        outcome.stats.local_maxima
+    );
+    if top > 1 {
+        println!("top {} distinct solutions:", top.min(outcome.top_solutions.len()));
+        for (rank, (sol, violations)) in outcome.top_solutions.iter().take(top).enumerate() {
+            println!("  {:>2}. {} ({} violations)", rank + 1, sol, violations);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_join(args: &Args) -> Result<(), String> {
+    let datasets = load_datasets(args)?;
+    let n_vars = datasets.len();
+    let query = args.required("query").map_err(|e| e.to_string())?;
+    let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
+    let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
+    let budget = match budget_from(args)? {
+        // Exact joins default to a generous budget.
+        b if b == SearchBudget::seconds(2.0) => SearchBudget::seconds(60.0),
+        b => b,
+    };
+    let limit: usize = args
+        .parse_or("limit", 100, "a solution limit")
+        .map_err(|e| e.to_string())?;
+
+    let algo = args.value("algo").unwrap_or("wr");
+    let outcome = match algo {
+        "wr" => WindowReduction::new().run(&instance, &budget, limit),
+        "st" => SynchronousTraversal::new().run(&instance, &budget, limit),
+        "pjm" => Pjm::default().run(&instance, &budget, limit),
+        other => return Err(format!("unknown exact algorithm '{other}'")),
+    };
+
+    println!(
+        "{} exact solutions{} in {:?} ({} node accesses)",
+        outcome.solutions.len(),
+        if outcome.complete { "" } else { " (truncated)" },
+        outcome.stats.elapsed,
+        outcome.stats.node_accesses
+    );
+    for sol in outcome.solutions.iter().take(limit) {
+        println!("  {sol}");
+    }
+    Ok(())
+}
+
+fn cmd_hard_density(args: &Args) -> Result<(), String> {
+    let shape = match args.required("shape").map_err(|e| e.to_string())? {
+        "chain" => QueryShape::Chain,
+        "clique" => QueryShape::Clique,
+        "star" => QueryShape::Star,
+        "cycle" => QueryShape::Cycle,
+        other => return Err(format!("unknown shape '{other}'")),
+    };
+    let vars: usize = args.parse_or("vars", 5, "a variable count").map_err(|e| e.to_string())?;
+    let n: usize = args.parse_or("n", 100_000, "a cardinality").map_err(|e| e.to_string())?;
+    let target: f64 = args.parse_or("target", 1.0, "a solution count").map_err(|e| e.to_string())?;
+    let d = mwsj_datagen::hard_region_density(shape, vars, n, target);
+    println!(
+        "{} query over {vars} datasets of {n} objects: density {d:.6} gives E[solutions] = {target}",
+        shape.name()
+    );
+    println!(
+        "(average per-axis extent |r| = {:.6})",
+        mwsj_datagen::extent_for_density(n, d)
+    );
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `mwsj` binary: generate → inspect → solve →
+//! join over real files and processes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mwsj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mwsj"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mwsj_cli_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(dir: &std::path::Path, name: &str, n: u32, density: f64, seed: u64) -> PathBuf {
+    let path = dir.join(name);
+    let out = mwsj()
+        .args([
+            "generate",
+            "--out",
+            path.to_str().unwrap(),
+            "--n",
+            &n.to_string(),
+            "--density",
+            &density.to_string(),
+            "--seed",
+            &seed.to_string(),
+        ])
+        .output()
+        .expect("run mwsj generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    path
+}
+
+#[test]
+fn help_runs() {
+    let out = mwsj().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = mwsj().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_then_info() {
+    let dir = temp_dir("info");
+    let path = generate(&dir, "a.csv", 500, 0.1, 1);
+    let out = mwsj()
+        .args(["info", "--data", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("500 objects"), "{text}");
+}
+
+#[test]
+fn solve_chain_with_ils() {
+    let dir = temp_dir("solve");
+    let a = generate(&dir, "a.csv", 400, 0.3, 1);
+    let b = generate(&dir, "b.csv", 400, 0.3, 2);
+    let c = generate(&dir, "c.csv", 400, 0.3, 3);
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data", a.to_str().unwrap(),
+            "--data", b.to_str().unwrap(),
+            "--data", c.to_str().unwrap(),
+            "--query", "chain",
+            "--algo", "ils",
+            "--iterations", "500",
+            "--top", "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best solution"), "{text}");
+    assert!(text.contains("top"), "{text}");
+}
+
+#[test]
+fn solve_rejects_bad_query() {
+    let dir = temp_dir("badquery");
+    let a = generate(&dir, "a.csv", 50, 0.1, 1);
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data", a.to_str().unwrap(),
+            "--query", "0-0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn exact_join_counts_solutions() {
+    let dir = temp_dir("join");
+    let a = generate(&dir, "a.csv", 100, 0.8, 4);
+    let b = generate(&dir, "b.csv", 100, 0.8, 5);
+    let out = mwsj()
+        .args([
+            "join",
+            "--data", a.to_str().unwrap(),
+            "--data", b.to_str().unwrap(),
+            "--query", "0-1",
+            "--algo", "wr",
+            "--limit", "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("exact solutions"), "{text}");
+}
+
+#[test]
+fn hard_density_prints_formula_result() {
+    let out = mwsj()
+        .args(["hard-density", "--shape", "chain", "--vars", "5", "--n", "100000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // d = 1/(4·⁴√100000) ≈ 0.014
+    assert!(text.contains("0.014"), "{text}");
+}
+
+#[test]
+fn solve_with_mixed_predicates_via_edge_list() {
+    let dir = temp_dir("mixed");
+    let a = generate(&dir, "a.csv", 200, 0.9, 6);
+    let b = generate(&dir, "b.csv", 200, 0.01, 7);
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data", a.to_str().unwrap(),
+            "--data", b.to_str().unwrap(),
+            "--query", "0-1:contains",
+            "--algo", "gils",
+            "--iterations", "300",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}

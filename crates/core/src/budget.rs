@@ -1,0 +1,196 @@
+//! Search budgets: wall-clock and/or step limits.
+//!
+//! The paper frames approximate processing as retrieval of the best
+//! solution *within a time threshold* (its experiments use `10·n` seconds).
+//! Wall-clock budgets are inherently non-deterministic, so every algorithm
+//! here also accepts a *step* budget — one step is one `find best value`
+//! call (ILS/GILS), one generation (SEA) or one expanded node (IBB) — which
+//! makes tests and CI runs reproducible.
+
+use std::time::{Duration, Instant};
+
+/// A budget limiting a search run. Both limits may be set; the run stops at
+/// whichever is hit first. At least one limit must be set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum wall-clock time.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of algorithm steps.
+    pub max_steps: Option<u64>,
+}
+
+impl SearchBudget {
+    /// Budget limited by wall-clock time only (the paper's setting).
+    pub fn time(limit: Duration) -> Self {
+        SearchBudget {
+            time_limit: Some(limit),
+            max_steps: None,
+        }
+    }
+
+    /// Budget limited by wall-clock seconds.
+    pub fn seconds(secs: f64) -> Self {
+        Self::time(Duration::from_secs_f64(secs))
+    }
+
+    /// Budget limited by a deterministic step count only.
+    pub fn iterations(steps: u64) -> Self {
+        SearchBudget {
+            time_limit: None,
+            max_steps: Some(steps),
+        }
+    }
+
+    /// Budget limited by both time and steps.
+    pub fn time_and_iterations(limit: Duration, steps: u64) -> Self {
+        SearchBudget {
+            time_limit: Some(limit),
+            max_steps: Some(steps),
+        }
+    }
+
+    /// Panics if neither limit is set (a run would never terminate).
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.time_limit.is_some() || self.max_steps.is_some(),
+            "a search budget must set a time limit, a step limit, or both"
+        );
+    }
+}
+
+/// Running clock for one search invocation.
+#[derive(Debug)]
+pub(crate) struct BudgetClock {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    steps: u64,
+}
+
+impl BudgetClock {
+    pub(crate) fn start(budget: &SearchBudget) -> Self {
+        budget.validate();
+        let start = Instant::now();
+        BudgetClock {
+            start,
+            deadline: budget.time_limit.map(|d| start + d),
+            max_steps: budget.max_steps,
+            steps: 0,
+        }
+    }
+
+    /// Records one step.
+    #[inline]
+    pub(crate) fn step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Steps recorded so far.
+    #[inline]
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Time since the run started.
+    #[inline]
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Fraction of the budget consumed, in `[0, 1]`: the maximum of the
+    /// step fraction and the time fraction (whichever limit is closer).
+    /// Used by SEA's budget-aware crossover-point annealing.
+    pub(crate) fn fraction_consumed(&self) -> f64 {
+        let mut fraction: f64 = 0.0;
+        if let Some(max) = self.max_steps {
+            if max > 0 {
+                fraction = fraction.max(self.steps as f64 / max as f64);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let total = deadline - self.start;
+            if !total.is_zero() {
+                fraction = fraction.max(self.start.elapsed().as_secs_f64() / total.as_secs_f64());
+            }
+        }
+        fraction.min(1.0)
+    }
+
+    /// Returns `true` once either limit is reached.
+    #[inline]
+    pub(crate) fn exhausted(&self) -> bool {
+        if let Some(max) = self.max_steps {
+            if self.steps >= max {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_budget_exhausts_deterministically() {
+        let mut clock = BudgetClock::start(&SearchBudget::iterations(3));
+        assert!(!clock.exhausted());
+        clock.step();
+        clock.step();
+        assert!(!clock.exhausted());
+        clock.step();
+        assert!(clock.exhausted());
+        assert_eq!(clock.steps(), 3);
+    }
+
+    #[test]
+    fn time_budget_exhausts() {
+        let clock = BudgetClock::start(&SearchBudget::time(Duration::from_millis(1)));
+        assert!(!clock.exhausted() || clock.elapsed() >= Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(clock.exhausted());
+    }
+
+    #[test]
+    fn combined_budget_stops_at_first_limit() {
+        let budget =
+            SearchBudget::time_and_iterations(Duration::from_secs(3600), 1);
+        let mut clock = BudgetClock::start(&budget);
+        clock.step();
+        assert!(clock.exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "must set a time limit")]
+    fn empty_budget_is_rejected() {
+        let budget = SearchBudget {
+            time_limit: None,
+            max_steps: None,
+        };
+        let _ = BudgetClock::start(&budget);
+    }
+
+    #[test]
+    fn fraction_consumed_tracks_steps() {
+        let mut clock = BudgetClock::start(&SearchBudget::iterations(4));
+        assert_eq!(clock.fraction_consumed(), 0.0);
+        clock.step();
+        assert_eq!(clock.fraction_consumed(), 0.25);
+        clock.step();
+        clock.step();
+        clock.step();
+        assert_eq!(clock.fraction_consumed(), 1.0);
+    }
+
+    #[test]
+    fn seconds_constructor() {
+        let b = SearchBudget::seconds(1.5);
+        assert_eq!(b.time_limit, Some(Duration::from_millis(1500)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Multi-window candidate enumeration, shared by the systematic algorithms.
+//!
+//! Given a set of windows (assignments of already-instantiated query
+//! variables), enumerate objects of one dataset together with the number of
+//! windows they satisfy, visiting only subtrees that can reach a minimum
+//! count. With `min_count = windows.len()` this is the conjunctive window
+//! query of *window reduction*; with `min_count = 1` it is the candidate
+//! generation of IBB ("objects that satisfy the largest number of join
+//! conditions are tried first").
+
+use mwsj_geom::{Predicate, Rect};
+use mwsj_rtree::{NodeRef, RTree};
+
+/// Enumerates `(object, satisfied_count)` for all objects satisfying at
+/// least `min_count` of the `windows`. `min_count` must be ≥ 1.
+pub(crate) fn candidates_with_counts(
+    tree: &RTree<u32>,
+    windows: &[(Predicate, Rect)],
+    min_count: u32,
+    node_accesses: &mut u64,
+) -> Vec<(usize, u32)> {
+    debug_assert!(min_count >= 1);
+    let mut out = Vec::new();
+    if windows.is_empty() {
+        return out;
+    }
+    collect(
+        tree.root_node(),
+        windows,
+        min_count,
+        &mut out,
+        node_accesses,
+    );
+    out
+}
+
+fn collect(
+    node: NodeRef<'_, u32>,
+    windows: &[(Predicate, Rect)],
+    min_count: u32,
+    out: &mut Vec<(usize, u32)>,
+    node_accesses: &mut u64,
+) {
+    *node_accesses += 1;
+    if node.is_leaf() {
+        for entry in node.entries() {
+            let mbr = entry.mbr();
+            let count = windows
+                .iter()
+                .filter(|(pred, w)| pred.eval(mbr, w))
+                .count() as u32;
+            if count >= min_count {
+                out.push((*entry.value().expect("leaf entry") as usize, count));
+            }
+        }
+    } else {
+        for entry in node.entries() {
+            let mbr = entry.mbr();
+            let possible = windows
+                .iter()
+                .filter(|(pred, w)| pred.possible(mbr, w))
+                .count() as u32;
+            if possible >= min_count {
+                collect(
+                    entry.child().expect("internal entry"),
+                    windows,
+                    min_count,
+                    out,
+                    node_accesses,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_datagen::Dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (RTree<u32>, Vec<Rect>, Vec<(Predicate, Rect)>) {
+        let mut rng = StdRng::seed_from_u64(91);
+        let ds = Dataset::uniform(800, 0.3, &mut rng);
+        let rects = ds.rects().to_vec();
+        let tree = RTree::bulk_load(rects.iter().copied().zip(0u32..).collect());
+        let windows = vec![
+            (Predicate::Intersects, Rect::new(0.1, 0.1, 0.4, 0.4)),
+            (Predicate::Intersects, Rect::new(0.3, 0.3, 0.6, 0.6)),
+            (Predicate::Intersects, Rect::new(0.8, 0.8, 0.9, 0.9)),
+        ];
+        (tree, rects, windows)
+    }
+
+    fn brute(rects: &[Rect], windows: &[(Predicate, Rect)], min: u32) -> Vec<(usize, u32)> {
+        rects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let c = windows.iter().filter(|(p, w)| p.eval(r, w)).count() as u32;
+                (c >= min).then_some((i, c))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_match_brute_force_at_every_threshold() {
+        let (tree, rects, windows) = setup();
+        for min in 1..=3 {
+            let mut acc = 0;
+            let mut got = candidates_with_counts(&tree, &windows, min, &mut acc);
+            got.sort_unstable();
+            let mut expected = brute(&rects, &windows, min);
+            expected.sort_unstable();
+            assert_eq!(got, expected, "min_count {min}");
+        }
+    }
+
+    #[test]
+    fn empty_windows_yield_nothing() {
+        let (tree, _, _) = setup();
+        let mut acc = 0;
+        assert!(candidates_with_counts(&tree, &[], 1, &mut acc).is_empty());
+    }
+
+    #[test]
+    fn higher_threshold_prunes_more() {
+        let (tree, _, windows) = setup();
+        let mut acc1 = 0;
+        let mut acc3 = 0;
+        let _ = candidates_with_counts(&tree, &windows, 1, &mut acc1);
+        let _ = candidates_with_counts(&tree, &windows, 3, &mut acc3);
+        assert!(acc3 <= acc1, "conjunctive query should visit fewer nodes");
+    }
+}

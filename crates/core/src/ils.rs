@@ -1,0 +1,311 @@
+//! Indexed Local Search (paper §3, Fig. 3).
+//!
+//! Restart-based hill climbing over the solution graph: from a random seed,
+//! repeatedly re-instantiate the *worst* variable (most violated incident
+//! conditions, ties by fewest satisfied) with the best value the index can
+//! provide ([`find_best_value`]). When no variable can be improved the
+//! solution is a local maximum and the search restarts from a fresh random
+//! seed, keeping the best solution seen, until the budget is exhausted.
+
+use crate::budget::{BudgetClock, SearchBudget};
+use crate::find_best_value::find_best_value;
+use crate::instance::Instance;
+use crate::result::{Incumbent, RunOutcome, RunStats};
+use mwsj_query::ConflictState;
+use rand::rngs::StdRng;
+
+/// Configuration of [`Ils`]. The paper emphasises that ILS "does not
+/// include any problem specific parameters"; the single knob here bounds
+/// memory for the convergence trace.
+#[derive(Debug, Clone, Default)]
+pub struct IlsConfig {}
+
+/// Indexed local search.
+#[derive(Debug, Clone, Default)]
+pub struct Ils {
+    #[allow(dead_code)]
+    config: IlsConfig,
+}
+
+impl Ils {
+    /// Creates the algorithm.
+    pub fn new(config: IlsConfig) -> Self {
+        Ils { config }
+    }
+
+    /// Runs ILS until the budget is exhausted. One budget step = one
+    /// `find best value` call.
+    pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        let graph = instance.graph();
+        let edges = graph.edge_count();
+        let mut clock = BudgetClock::start(budget);
+        let mut stats = RunStats::default();
+        let mut incumbent: Option<Incumbent> = None;
+
+        'restarts: while !clock.exhausted() {
+            stats.restarts += 1;
+            let mut sol = instance.random_solution(rng);
+            let mut cs = instance.evaluate(&sol);
+            offer(
+                &mut incumbent,
+                &sol,
+                &cs,
+                edges,
+                &clock,
+                &mut stats,
+            );
+
+            // Hill-climb to a local maximum.
+            loop {
+                if clock.exhausted() {
+                    break 'restarts;
+                }
+                let mut improved = false;
+                // Worst variable first; fall through to progressively
+                // better-off variables when the worst cannot improve.
+                for v in cs.vars_by_badness(graph) {
+                    if clock.exhausted() {
+                        break 'restarts;
+                    }
+                    clock.step();
+                    let current_satisfied = cs.satisfied_of(graph, v);
+                    if let Some(best) =
+                        find_best_value(instance, &sol, v, None, &mut stats.node_accesses)
+                    {
+                        if best.satisfied > current_satisfied {
+                            cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
+                            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+                if !improved {
+                    stats.local_maxima += 1;
+                    break;
+                }
+                if cs.total_violations() == 0 {
+                    // Exact solution: nothing can beat similarity 1.
+                    stats.local_maxima += 1;
+                    break 'restarts;
+                }
+            }
+        }
+
+        finish(incumbent, instance, rng, edges, clock, stats)
+    }
+}
+
+/// Collects up to `want` local maxima by repeated ILS climbs, spending at
+/// most `step_cap` `find best value` calls. Used by the hybrid SEA
+/// initialisation the paper's Discussion proposes ("apply ILS and use the
+/// first p local maxima visited as the p solutions of the first
+/// generation").
+pub(crate) fn collect_local_maxima(
+    instance: &Instance,
+    want: usize,
+    step_cap: u64,
+    rng: &mut StdRng,
+    node_accesses: &mut u64,
+) -> Vec<mwsj_query::Solution> {
+    let graph = instance.graph();
+    let mut maxima = Vec::with_capacity(want);
+    let mut steps = 0u64;
+    while maxima.len() < want && steps < step_cap {
+        let mut sol = instance.random_solution(rng);
+        let mut cs = instance.evaluate(&sol);
+        'climb: loop {
+            if steps >= step_cap {
+                break;
+            }
+            for v in cs.vars_by_badness(graph) {
+                steps += 1;
+                let current = cs.satisfied_of(graph, v);
+                if let Some(best) = find_best_value(instance, &sol, v, None, node_accesses) {
+                    if best.satisfied > current {
+                        cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
+                        if cs.total_violations() == 0 {
+                            break 'climb;
+                        }
+                        continue 'climb;
+                    }
+                }
+                if steps >= step_cap {
+                    break;
+                }
+            }
+            break; // no variable improved: local maximum
+        }
+        maxima.push(sol);
+    }
+    maxima
+}
+
+/// Offers the current solution to the incumbent (shared by ILS and GILS).
+pub(crate) fn offer(
+    incumbent: &mut Option<Incumbent>,
+    sol: &mwsj_query::Solution,
+    cs: &ConflictState,
+    edges: usize,
+    clock: &BudgetClock,
+    stats: &mut RunStats,
+) {
+    match incumbent {
+        None => {
+            *incumbent = Some(Incumbent::new(
+                sol.clone(),
+                cs.total_violations(),
+                edges,
+                clock.elapsed(),
+                clock.steps(),
+            ));
+        }
+        Some(inc) => {
+            if inc.offer(
+                sol,
+                cs.total_violations(),
+                edges,
+                clock.elapsed(),
+                clock.steps(),
+            ) {
+                stats.improvements += 1;
+            }
+        }
+    }
+}
+
+/// Assembles the final outcome (shared by ILS and GILS).
+pub(crate) fn finish(
+    incumbent: Option<Incumbent>,
+    instance: &Instance,
+    rng: &mut StdRng,
+    edges: usize,
+    clock: BudgetClock,
+    mut stats: RunStats,
+) -> RunOutcome {
+    // A zero-step budget can leave us without an incumbent; fall back to a
+    // random solution so callers always get a full assignment.
+    let incumbent = incumbent.unwrap_or_else(|| {
+        let sol = instance.random_solution(rng);
+        let v = instance.violations(&sol);
+        Incumbent::new(sol, v, edges, clock.elapsed(), clock.steps())
+    });
+    stats.elapsed = clock.elapsed();
+    stats.steps = clock.steps();
+    stats.improvements = incumbent.improvements;
+    RunOutcome {
+        best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
+        best: incumbent.best,
+        best_violations: incumbent.best_violations,
+        stats,
+        trace: incumbent.trace,
+        proven_optimal: false,
+        top_solutions: incumbent.top.into_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_datagen::{hard_region_density, plant_solution, Dataset, QueryShape};
+    use mwsj_query::QueryGraph;
+    use rand::SeedableRng;
+
+    fn hard_instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = hard_region_density(shape, n, cardinality, 1.0);
+        let datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+            .collect();
+        Instance::new(shape.graph(n), datasets).unwrap()
+    }
+
+    #[test]
+    fn ils_improves_over_random_solutions() {
+        let inst = hard_instance(61, QueryShape::Chain, 5, 1_000);
+        let mut rng = StdRng::seed_from_u64(62);
+        // Baseline: expected similarity of random solutions is near zero in
+        // the hard region.
+        let random_sim: f64 = (0..50)
+            .map(|_| inst.similarity(&inst.random_solution(&mut rng)))
+            .sum::<f64>()
+            / 50.0;
+        let outcome = Ils::default().run(&inst, &SearchBudget::iterations(2_000), &mut rng);
+        assert!(
+            outcome.best_similarity > random_sim + 0.2,
+            "ILS {} vs random {}",
+            outcome.best_similarity,
+            random_sim
+        );
+        assert!(outcome.stats.local_maxima >= 1);
+        assert!(outcome.stats.node_accesses > 0);
+    }
+
+    #[test]
+    fn ils_finds_planted_solution_on_easy_instance() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let n = 4;
+        let cardinality = 300;
+        let d = hard_region_density(QueryShape::Chain, n, cardinality, 1.0);
+        let mut datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+            .collect();
+        let graph = QueryGraph::chain(n);
+        plant_solution(&mut datasets, &graph, &mut rng);
+        let inst = Instance::new(graph, datasets).unwrap();
+        let outcome = Ils::default().run(&inst, &SearchBudget::iterations(20_000), &mut rng);
+        assert!(
+            outcome.best_similarity >= 0.66,
+            "similarity {}",
+            outcome.best_similarity
+        );
+    }
+
+    #[test]
+    fn ils_respects_step_budget() {
+        let inst = hard_instance(64, QueryShape::Clique, 4, 200);
+        let mut rng = StdRng::seed_from_u64(65);
+        let outcome = Ils::default().run(&inst, &SearchBudget::iterations(100), &mut rng);
+        assert_eq!(outcome.stats.steps, 100);
+    }
+
+    #[test]
+    fn ils_is_deterministic_under_step_budget() {
+        let inst = hard_instance(66, QueryShape::Chain, 4, 300);
+        let a = Ils::default().run(
+            &inst,
+            &SearchBudget::iterations(500),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = Ils::default().run(
+            &inst,
+            &SearchBudget::iterations(500),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_violations, b.best_violations);
+        assert_eq!(a.stats.local_maxima, b.stats.local_maxima);
+    }
+
+    #[test]
+    fn trace_similarities_are_monotone() {
+        let inst = hard_instance(67, QueryShape::Clique, 5, 300);
+        let mut rng = StdRng::seed_from_u64(68);
+        let outcome = Ils::default().run(&inst, &SearchBudget::iterations(1_500), &mut rng);
+        for w in outcome.trace.windows(2) {
+            assert!(w[0].similarity < w[1].similarity);
+        }
+        assert_eq!(
+            outcome.trace.last().unwrap().similarity,
+            outcome.best_similarity
+        );
+    }
+
+    #[test]
+    fn zero_variance_budget_still_returns_solution() {
+        let inst = hard_instance(69, QueryShape::Chain, 3, 100);
+        let mut rng = StdRng::seed_from_u64(70);
+        let outcome = Ils::default().run(&inst, &SearchBudget::iterations(1), &mut rng);
+        assert_eq!(outcome.best.len(), 3);
+    }
+}

@@ -1,0 +1,298 @@
+//! A join instance: query graph plus indexed datasets.
+
+use mwsj_geom::Rect;
+use mwsj_query::{ConflictState, QueryGraph, Solution, VarId};
+use mwsj_rtree::{RTree, RTreeParams};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+use std::sync::Arc;
+
+/// One dataset with its R*-tree index (payloads are object indices).
+#[derive(Debug)]
+pub(crate) struct IndexedDataset {
+    pub rects: Vec<Rect>,
+    pub tree: RTree<u32>,
+}
+
+impl IndexedDataset {
+    fn build(rects: Vec<Rect>, params: RTreeParams) -> Self {
+        let items: Vec<(Rect, u32)> = rects
+            .iter()
+            .copied()
+            .zip(0u32..)
+            .collect();
+        let tree = RTree::bulk_load_with_params(params, items);
+        IndexedDataset { rects, tree }
+    }
+}
+
+/// Errors raised by [`Instance::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// Number of datasets must equal the number of query variables.
+    DatasetCountMismatch {
+        /// Query variables.
+        expected: usize,
+        /// Datasets provided.
+        got: usize,
+    },
+    /// Every dataset must hold at least one object.
+    EmptyDataset(VarId),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::DatasetCountMismatch { expected, got } => write!(
+                f,
+                "query has {expected} variables but {got} datasets were given"
+            ),
+            InstanceError::EmptyDataset(v) => write!(f, "dataset for variable {v} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A multiway spatial join instance: the query graph plus one R*-tree
+/// indexed dataset per variable.
+///
+/// Datasets are stored behind `Arc`s so self-joins (one dataset aliased
+/// under several variables) share rectangles and index.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    graph: QueryGraph,
+    data: Vec<Arc<IndexedDataset>>,
+}
+
+impl Instance {
+    /// Builds an instance, bulk-loading one R*-tree per dataset with
+    /// default parameters. Accepts anything that dereferences to a slice of
+    /// rectangles — e.g. `mwsj_datagen::Dataset` or a plain `Vec<Rect>`.
+    pub fn new<D>(
+        graph: QueryGraph,
+        datasets: impl IntoIterator<Item = D>,
+    ) -> Result<Self, InstanceError>
+    where
+        D: AsRef<[Rect]>,
+    {
+        Self::with_tree_params(graph, datasets, RTreeParams::default())
+    }
+
+    /// [`Instance::new`] with explicit R*-tree parameters.
+    pub fn with_tree_params<D>(
+        graph: QueryGraph,
+        datasets: impl IntoIterator<Item = D>,
+        params: RTreeParams,
+    ) -> Result<Self, InstanceError>
+    where
+        D: AsRef<[Rect]>,
+    {
+        let data: Vec<Arc<IndexedDataset>> = datasets
+            .into_iter()
+            .map(|d| Arc::new(IndexedDataset::build(d.as_ref().to_vec(), params)))
+            .collect();
+        if data.len() != graph.n_vars() {
+            return Err(InstanceError::DatasetCountMismatch {
+                expected: graph.n_vars(),
+                got: data.len(),
+            });
+        }
+        if let Some(v) = data.iter().position(|d| d.rects.is_empty()) {
+            return Err(InstanceError::EmptyDataset(v));
+        }
+        Ok(Instance { graph, data })
+    }
+
+    /// Builds a **self-join** instance: every query variable ranges over
+    /// the same dataset (e.g. "configurations of objects within the same
+    /// image", paper §7). Rectangles and index are shared, not copied.
+    pub fn self_join<D>(graph: QueryGraph, dataset: D) -> Result<Self, InstanceError>
+    where
+        D: AsRef<[Rect]>,
+    {
+        let shared = Arc::new(IndexedDataset::build(
+            dataset.as_ref().to_vec(),
+            RTreeParams::default(),
+        ));
+        if shared.rects.is_empty() {
+            return Err(InstanceError::EmptyDataset(0));
+        }
+        let n = graph.n_vars();
+        Ok(Instance {
+            graph,
+            data: vec![shared; n],
+        })
+    }
+
+    /// The query graph.
+    #[inline]
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// Number of query variables.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.graph.n_vars()
+    }
+
+    /// Cardinality of the dataset bound to variable `v`.
+    #[inline]
+    pub fn cardinality(&self, v: VarId) -> usize {
+        self.data[v].rects.len()
+    }
+
+    /// MBR of object `obj` in variable `v`'s dataset.
+    #[inline]
+    pub fn rect(&self, v: VarId, obj: usize) -> Rect {
+        self.data[v].rects[obj]
+    }
+
+    /// All rectangles of variable `v`'s dataset.
+    #[inline]
+    pub fn rects(&self, v: VarId) -> &[Rect] {
+        &self.data[v].rects
+    }
+
+    /// The R*-tree over variable `v`'s dataset.
+    #[inline]
+    pub fn tree(&self, v: VarId) -> &RTree<u32> {
+        &self.data[v].tree
+    }
+
+    /// Closure resolving `(variable, object)` to its MBR, the shape the
+    /// `mwsj-query` evaluation APIs expect.
+    pub fn rect_of(&self) -> impl Fn(VarId, usize) -> Rect + '_ {
+        move |v, o| self.rect(v, o)
+    }
+
+    /// Average per-axis extent of variable `v`'s objects — the `|rᵥ|` of
+    /// the \[TSS98\] selectivity model, computed from the data. Used by
+    /// cost-based join ordering.
+    pub fn avg_extent(&self, v: VarId) -> f64 {
+        let rects = &self.data[v].rects;
+        let sum: f64 = rects.iter().map(|r| 0.5 * (r.width() + r.height())).sum();
+        sum / rects.len() as f64
+    }
+
+    /// Problem size `s = log₂ ∏ Nᵢ` (paper §5), used to scale SEA/GILS
+    /// parameters.
+    pub fn problem_size_bits(&self) -> f64 {
+        let cards: Vec<usize> = (0..self.n_vars()).map(|v| self.cardinality(v)).collect();
+        self.graph.problem_size_bits(&cards)
+    }
+
+    /// A uniformly random full assignment (a local-search seed).
+    pub fn random_solution(&self, rng: &mut StdRng) -> Solution {
+        Solution::new(
+            (0..self.n_vars())
+                .map(|v| rng.random_range(0..self.cardinality(v)))
+                .collect(),
+        )
+    }
+
+    /// Evaluates a solution from scratch.
+    pub fn evaluate(&self, sol: &Solution) -> ConflictState {
+        ConflictState::evaluate(&self.graph, sol, self.rect_of())
+    }
+
+    /// Number of violated join conditions of `sol`.
+    pub fn violations(&self, sol: &Solution) -> usize {
+        self.evaluate(sol).total_violations()
+    }
+
+    /// Similarity of `sol` (`1 − violations / edges`).
+    pub fn similarity(&self, sol: &Solution) -> f64 {
+        self.graph
+            .similarity_of_violations(self.violations(sol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_datagen::Dataset;
+    use rand::SeedableRng;
+
+    fn tiny_instance() -> Instance {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = QueryGraph::chain(3);
+        let datasets: Vec<Dataset> = (0..3)
+            .map(|_| Dataset::uniform(100, 0.1, &mut rng))
+            .collect();
+        Instance::new(graph, datasets).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let inst = tiny_instance();
+        assert_eq!(inst.n_vars(), 3);
+        assert_eq!(inst.cardinality(0), 100);
+        assert_eq!(inst.tree(1).len(), 100);
+        assert_eq!(inst.rect(2, 5), inst.rects(2)[5]);
+        assert!(inst.problem_size_bits() > 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_dataset_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let graph = QueryGraph::chain(3);
+        let datasets: Vec<Dataset> = (0..2)
+            .map(|_| Dataset::uniform(10, 0.1, &mut rng))
+            .collect();
+        assert_eq!(
+            Instance::new(graph, datasets).unwrap_err(),
+            InstanceError::DatasetCountMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let graph = QueryGraph::chain(2);
+        let rects: Vec<Vec<Rect>> = vec![vec![Rect::new(0.0, 0.0, 1.0, 1.0)], vec![]];
+        assert_eq!(
+            Instance::new(graph, rects).unwrap_err(),
+            InstanceError::EmptyDataset(1)
+        );
+    }
+
+    #[test]
+    fn self_join_shares_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Dataset::uniform(50, 0.2, &mut rng);
+        let inst = Instance::self_join(QueryGraph::clique(4), data.rects()).unwrap();
+        assert_eq!(inst.n_vars(), 4);
+        for v in 0..4 {
+            assert_eq!(inst.cardinality(v), 50);
+        }
+        assert_eq!(inst.rect(0, 7), inst.rect(3, 7));
+    }
+
+    #[test]
+    fn random_solution_is_in_range() {
+        let inst = tiny_instance();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let sol = inst.random_solution(&mut rng);
+            assert_eq!(sol.len(), 3);
+            for v in 0..3 {
+                assert!(sol.get(v) < inst.cardinality(v));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_matches_query_crate() {
+        let inst = tiny_instance();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sol = inst.random_solution(&mut rng);
+        let cs = inst.evaluate(&sol);
+        assert_eq!(cs.total_violations(), inst.violations(&sol));
+        assert!((inst.similarity(&sol) - cs.similarity(inst.graph())).abs() < 1e-12);
+    }
+}

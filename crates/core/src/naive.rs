@@ -1,0 +1,421 @@
+//! Ablation baselines: the \[PMK+99\]-style heuristics the paper compares
+//! against in §6.
+//!
+//! The paper attributes SEA/ILS's advantage over earlier configuration-
+//! similarity work to two improvements: (i) index-based re-instantiation
+//! instead of random values, and (ii) the greedy quality-aware crossover
+//! instead of a random crossover point. These baselines remove exactly
+//! those ingredients so the ablation benches can quantify each one:
+//!
+//! * [`NaiveLocalSearch`] — conflict-directed hill climbing whose
+//!   re-instantiation samples random values (no index);
+//! * [`NaiveGa`] — a genetic algorithm with random single-point crossover
+//!   and random-value mutation (no index, no greedy split);
+//! * [`SimulatedAnnealing`] — the classic temperature-scheduled random walk
+//!   from \[PMK+99\].
+
+use crate::budget::{BudgetClock, SearchBudget};
+use crate::ils::{finish, offer};
+use crate::instance::Instance;
+use crate::result::{Incumbent, RunOutcome, RunStats};
+use mwsj_query::{ConflictState, Solution};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Local search with **random** re-instantiation (no index).
+#[derive(Debug, Clone)]
+pub struct NaiveLocalSearch {
+    /// Random values sampled per re-instantiation attempt; the best of the
+    /// sample replaces the variable if it improves the solution.
+    pub samples: usize,
+}
+
+impl Default for NaiveLocalSearch {
+    fn default() -> Self {
+        NaiveLocalSearch { samples: 8 }
+    }
+}
+
+impl NaiveLocalSearch {
+    /// Creates the baseline with a per-move sample size.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples >= 1);
+        NaiveLocalSearch { samples }
+    }
+
+    /// Runs the baseline. One budget step = one re-instantiation attempt.
+    pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        let graph = instance.graph();
+        let edges = graph.edge_count();
+        let mut clock = BudgetClock::start(budget);
+        let mut stats = RunStats::default();
+        let mut incumbent: Option<Incumbent> = None;
+
+        'restarts: while !clock.exhausted() {
+            stats.restarts += 1;
+            let mut sol = instance.random_solution(rng);
+            let mut cs = instance.evaluate(&sol);
+            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+
+            loop {
+                if clock.exhausted() {
+                    break 'restarts;
+                }
+                let mut improved = false;
+                for v in cs.vars_by_badness(graph) {
+                    if clock.exhausted() {
+                        break 'restarts;
+                    }
+                    clock.step();
+                    // Sample random candidates; keep the one with the most
+                    // satisfied conditions towards v's neighbours.
+                    let current = cs.satisfied_of(graph, v);
+                    let mut best: Option<(u32, usize)> = None;
+                    for _ in 0..self.samples {
+                        let obj = rng.random_range(0..instance.cardinality(v));
+                        let r = instance.rect(v, obj);
+                        let sat = graph
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&(u, pred)| {
+                                pred.eval(&r, &instance.rect(u, sol.get(u)))
+                            })
+                            .count() as u32;
+                        if best.is_none_or(|(bs, _)| sat > bs) {
+                            best = Some((sat, obj));
+                        }
+                    }
+                    if let Some((sat, obj)) = best {
+                        if sat > current {
+                            cs.reassign(graph, &mut sol, v, obj, instance.rect_of());
+                            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                            if cs.total_violations() == 0 {
+                                break 'restarts;
+                            }
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+                if !improved {
+                    stats.local_maxima += 1;
+                    break;
+                }
+            }
+        }
+        finish(incumbent, instance, rng, edges, clock, stats)
+    }
+}
+
+/// Configuration of [`NaiveGa`].
+#[derive(Debug, Clone)]
+pub struct NaiveGaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Crossover rate.
+    pub crossover_rate: f64,
+    /// Mutation rate (random re-instantiation of one random variable).
+    pub mutation_rate: f64,
+}
+
+impl Default for NaiveGaConfig {
+    fn default() -> Self {
+        NaiveGaConfig {
+            population: 128,
+            tournament: 6,
+            crossover_rate: 0.6,
+            mutation_rate: 1.0,
+        }
+    }
+}
+
+/// Genetic algorithm with random single-point crossover and random-value
+/// mutation — the \[PMK+99\] baseline SEA is measured against.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveGa {
+    config: NaiveGaConfig,
+}
+
+impl NaiveGa {
+    /// Creates the baseline.
+    pub fn new(config: NaiveGaConfig) -> Self {
+        assert!(config.population >= 2);
+        NaiveGa { config }
+    }
+
+    /// Runs the baseline. One budget step = one generation.
+    pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        let graph = instance.graph();
+        let n = instance.n_vars();
+        let edges = graph.edge_count();
+        let p = self.config.population;
+        let mut clock = BudgetClock::start(budget);
+        let mut stats = RunStats::default();
+
+        let mut pop: Vec<(Solution, ConflictState)> = (0..p)
+            .map(|_| {
+                let sol = instance.random_solution(rng);
+                let cs = instance.evaluate(&sol);
+                (sol, cs)
+            })
+            .collect();
+        let mut incumbent = Incumbent::new(
+            pop[0].0.clone(),
+            pop[0].1.total_violations(),
+            edges,
+            clock.elapsed(),
+            clock.steps(),
+        );
+
+        while !clock.exhausted() {
+            clock.step();
+            stats.restarts += 1;
+
+            for (sol, cs) in &pop {
+                if incumbent.offer(sol, cs.total_violations(), edges, clock.elapsed(), clock.steps())
+                {
+                    stats.improvements += 1;
+                }
+            }
+            if incumbent.best_violations == 0 {
+                break;
+            }
+
+            // Tournament selection.
+            let mut next = Vec::with_capacity(p);
+            for i in 0..p {
+                let mut winner = i;
+                for _ in 0..self.config.tournament {
+                    let rival = rng.random_range(0..p);
+                    if pop[rival].1.total_violations() < pop[winner].1.total_violations() {
+                        winner = rival;
+                    }
+                }
+                next.push(pop[winner].clone());
+            }
+            pop = next;
+
+            // Random single-point crossover between adjacent pairs.
+            for i in (0..p - 1).step_by(2) {
+                if !rng.random_bool(self.config.crossover_rate) {
+                    continue;
+                }
+                let cut = rng.random_range(1..n.max(2));
+                let (left, right) = pop.split_at_mut(i + 1);
+                let (a, b) = (&mut left[i], &mut right[0]);
+                for v in cut..n {
+                    let av = a.0.get(v);
+                    a.0.set(v, b.0.get(v));
+                    b.0.set(v, av);
+                }
+                a.1 = instance.evaluate(&a.0);
+                b.1 = instance.evaluate(&b.0);
+            }
+
+            // Random mutation.
+            for (sol, cs) in pop.iter_mut() {
+                if !rng.random_bool(self.config.mutation_rate) {
+                    continue;
+                }
+                let v = rng.random_range(0..n);
+                let obj = rng.random_range(0..instance.cardinality(v));
+                cs.reassign(graph, sol, v, obj, instance.rect_of());
+            }
+        }
+
+        for (sol, cs) in &pop {
+            if incumbent.offer(sol, cs.total_violations(), edges, clock.elapsed(), clock.steps()) {
+                stats.improvements += 1;
+            }
+        }
+        stats.elapsed = clock.elapsed();
+        stats.steps = clock.steps();
+        stats.improvements = incumbent.improvements;
+        RunOutcome {
+            best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
+            best: incumbent.best,
+            best_violations: incumbent.best_violations,
+            stats,
+            trace: incumbent.trace,
+            proven_optimal: false,
+            top_solutions: incumbent.top.into_vec(),
+        }
+    }
+}
+
+/// Configuration of [`SimulatedAnnealing`].
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Initial temperature, in units of violations.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per move, in `(0, 1)`.
+    pub cooling: f64,
+    /// Restart temperature floor: below this the walk restarts hot from the
+    /// current solution.
+    pub floor: f64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temperature: 2.0,
+            cooling: 0.9995,
+            floor: 0.01,
+        }
+    }
+}
+
+/// Simulated annealing over random single-variable moves.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedAnnealing {
+    config: SaConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates the baseline.
+    pub fn new(config: SaConfig) -> Self {
+        assert!(config.cooling > 0.0 && config.cooling < 1.0);
+        SimulatedAnnealing { config }
+    }
+
+    /// Runs the baseline. One budget step = one proposed move.
+    pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        let graph = instance.graph();
+        let edges = graph.edge_count();
+        let n = instance.n_vars();
+        let mut clock = BudgetClock::start(budget);
+        let mut stats = RunStats::default();
+
+        let mut sol = instance.random_solution(rng);
+        let mut cs = instance.evaluate(&sol);
+        let mut incumbent: Option<Incumbent> = None;
+        offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+        stats.restarts = 1;
+
+        let mut temperature = self.config.initial_temperature;
+        while !clock.exhausted() {
+            clock.step();
+            let v = rng.random_range(0..n);
+            let old_obj = sol.get(v);
+            let obj = rng.random_range(0..instance.cardinality(v));
+            let before = cs.total_violations() as f64;
+            cs.reassign(graph, &mut sol, v, obj, instance.rect_of());
+            let delta = cs.total_violations() as f64 - before;
+            let accept = delta <= 0.0
+                || rng.random_range(0.0..1.0) < (-delta / temperature.max(1e-9)).exp();
+            if accept {
+                offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                if cs.total_violations() == 0 {
+                    break;
+                }
+            } else {
+                cs.reassign(graph, &mut sol, v, old_obj, instance.rect_of());
+            }
+            temperature *= self.config.cooling;
+            if temperature < self.config.floor {
+                temperature = self.config.initial_temperature;
+                stats.restarts += 1;
+            }
+        }
+        finish(incumbent, instance, rng, edges, clock, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ils, SearchBudget};
+    use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
+    use rand::SeedableRng;
+
+    fn hard_instance(seed: u64, n: usize, cardinality: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = QueryShape::Chain;
+        let d = hard_region_density(shape, n, cardinality, 1.0);
+        let datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+            .collect();
+        Instance::new(shape.graph(n), datasets).unwrap()
+    }
+
+    #[test]
+    fn naive_ls_improves_over_random() {
+        let inst = hard_instance(161, 5, 500);
+        let mut rng = StdRng::seed_from_u64(162);
+        let random_sim: f64 = (0..50)
+            .map(|_| inst.similarity(&inst.random_solution(&mut rng)))
+            .sum::<f64>()
+            / 50.0;
+        let outcome =
+            NaiveLocalSearch::default().run(&inst, &SearchBudget::iterations(3_000), &mut rng);
+        assert!(outcome.best_similarity > random_sim);
+    }
+
+    #[test]
+    fn indexed_ils_beats_naive_ls_per_step() {
+        // The paper's ablation claim (i): index-based re-instantiation
+        // dominates random re-instantiation at equal step budgets.
+        let inst = hard_instance(163, 6, 2_000);
+        let steps = 600;
+        let trials = 5;
+        let mut ils_total = 0.0;
+        let mut naive_total = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(164 + t);
+            ils_total += Ils::default()
+                .run(&inst, &SearchBudget::iterations(steps), &mut rng)
+                .best_similarity;
+            let mut rng = StdRng::seed_from_u64(164 + t);
+            naive_total += NaiveLocalSearch::default()
+                .run(&inst, &SearchBudget::iterations(steps), &mut rng)
+                .best_similarity;
+        }
+        assert!(
+            ils_total >= naive_total,
+            "ILS {ils_total} vs naive {naive_total} (sum over {trials} trials)"
+        );
+    }
+
+    #[test]
+    fn naive_ga_improves_over_random() {
+        let inst = hard_instance(165, 5, 500);
+        let mut rng = StdRng::seed_from_u64(166);
+        let random_sim: f64 = (0..50)
+            .map(|_| inst.similarity(&inst.random_solution(&mut rng)))
+            .sum::<f64>()
+            / 50.0;
+        let outcome = NaiveGa::default().run(&inst, &SearchBudget::iterations(40), &mut rng);
+        assert!(outcome.best_similarity > random_sim);
+    }
+
+    #[test]
+    fn sa_improves_over_random() {
+        let inst = hard_instance(167, 5, 500);
+        let mut rng = StdRng::seed_from_u64(168);
+        let random_sim: f64 = (0..50)
+            .map(|_| inst.similarity(&inst.random_solution(&mut rng)))
+            .sum::<f64>()
+            / 50.0;
+        let outcome =
+            SimulatedAnnealing::default().run(&inst, &SearchBudget::iterations(20_000), &mut rng);
+        assert!(outcome.best_similarity > random_sim);
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let inst = hard_instance(169, 4, 200);
+        let a = NaiveGa::default().run(
+            &inst,
+            &SearchBudget::iterations(10),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = NaiveGa::default().run(
+            &inst,
+            &SearchBudget::iterations(10),
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(a.best, b.best);
+    }
+}

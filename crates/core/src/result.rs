@@ -1,0 +1,319 @@
+//! Run outcomes: best solution, counters and convergence traces.
+
+use mwsj_query::Solution;
+use std::time::Duration;
+
+/// Counters collected during one search run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Algorithm steps consumed (see [`crate::SearchBudget`] for units).
+    pub steps: u64,
+    /// ILS restarts or SEA generations.
+    pub restarts: u64,
+    /// Local maxima reached (ILS/GILS).
+    pub local_maxima: u64,
+    /// R*-tree nodes visited by index-driven traversals.
+    pub node_accesses: u64,
+    /// Number of times the incumbent best solution improved.
+    pub improvements: u64,
+}
+
+/// One point of the convergence trace: the best similarity known at a given
+/// time/step — the raw material of the paper's Fig. 10b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Time since the run started.
+    pub elapsed: Duration,
+    /// Steps consumed when the improvement happened.
+    pub step: u64,
+    /// Best similarity after the improvement.
+    pub similarity: f64,
+}
+
+/// Default number of distinct best solutions retained by a run
+/// (see [`TopSolutions`]).
+pub const DEFAULT_TOP_K: usize = 10;
+
+/// A bounded, ordered collection of the best **distinct** solutions seen
+/// during a run — the paper's "throughout this process the best solutions
+/// are kept" (§3). Multiway joins are retrieval queries: callers usually
+/// want the few best matches, not only the single winner.
+#[derive(Debug, Clone)]
+pub struct TopSolutions {
+    k: usize,
+    /// Sorted ascending by violations (best first).
+    entries: Vec<(Solution, usize)>,
+}
+
+impl TopSolutions {
+    /// Creates an empty collection bounded to `k` solutions.
+    pub fn new(k: usize) -> Self {
+        TopSolutions {
+            k,
+            entries: Vec::with_capacity(k.min(64)),
+        }
+    }
+
+    /// Offers a candidate. Returns `true` if it entered the top list.
+    /// Duplicates (identical assignments) are ignored.
+    pub fn insert(&mut self, sol: &Solution, violations: usize) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.entries.len() == self.k
+            && violations >= self.entries.last().expect("non-empty").1
+        {
+            return false;
+        }
+        if self.entries.iter().any(|(s, _)| s == sol) {
+            return false;
+        }
+        let pos = self
+            .entries
+            .partition_point(|(_, v)| *v <= violations);
+        self.entries.insert(pos, (sol.clone(), violations));
+        self.entries.truncate(self.k);
+        true
+    }
+
+    /// The retained solutions, best (fewest violations) first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Solution, usize)> {
+        self.entries.iter()
+    }
+
+    /// Number of retained solutions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Consumes the collection, yielding `(solution, violations)` pairs
+    /// best-first.
+    pub fn into_vec(self) -> Vec<(Solution, usize)> {
+        self.entries
+    }
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Best solution found.
+    pub best: Solution,
+    /// Number of join conditions the best solution violates
+    /// (its inconsistency degree; 0 = exact).
+    pub best_violations: usize,
+    /// Similarity of the best solution (`1 − violations / edges`).
+    pub best_similarity: f64,
+    /// Counters.
+    pub stats: RunStats,
+    /// Similarity improvements over time, first entry = initial solution.
+    pub trace: Vec<TracePoint>,
+    /// `true` when a systematic algorithm proved the result optimal
+    /// (search space exhausted or an exact solution found). Always `false`
+    /// for the anytime heuristics.
+    pub proven_optimal: bool,
+    /// The best distinct solutions seen during the run (up to
+    /// [`DEFAULT_TOP_K`]), best first. `top_solutions[0]` is `best`.
+    pub top_solutions: Vec<(Solution, usize)>,
+}
+
+impl RunOutcome {
+    /// Returns `true` if the best solution is exact.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.best_violations == 0
+    }
+
+    /// Best similarity known at `t` according to the trace (step function),
+    /// used to resample convergence curves onto a common time grid.
+    pub fn similarity_at(&self, t: Duration) -> f64 {
+        let mut sim = 0.0;
+        for p in &self.trace {
+            if p.elapsed <= t {
+                sim = p.similarity;
+            } else {
+                break;
+            }
+        }
+        sim
+    }
+}
+
+/// Shared bookkeeping for the incumbent best solution + trace.
+#[derive(Debug)]
+pub(crate) struct Incumbent {
+    pub best: Solution,
+    pub best_violations: usize,
+    pub improvements: u64,
+    pub trace: Vec<TracePoint>,
+    pub top: TopSolutions,
+}
+
+impl Incumbent {
+    pub(crate) fn new(
+        initial: Solution,
+        violations: usize,
+        edge_count: usize,
+        elapsed: Duration,
+        step: u64,
+    ) -> Self {
+        let similarity = 1.0 - violations as f64 / edge_count as f64;
+        let mut top = TopSolutions::new(DEFAULT_TOP_K);
+        top.insert(&initial, violations);
+        Incumbent {
+            best: initial,
+            best_violations: violations,
+            improvements: 0,
+            trace: vec![TracePoint {
+                elapsed,
+                step,
+                similarity,
+            }],
+            top,
+        }
+    }
+
+    /// Offers a candidate; keeps it if strictly better.
+    pub(crate) fn offer(
+        &mut self,
+        candidate: &Solution,
+        violations: usize,
+        edge_count: usize,
+        elapsed: Duration,
+        step: u64,
+    ) -> bool {
+        self.top.insert(candidate, violations);
+        if violations < self.best_violations {
+            self.best = candidate.clone();
+            self.best_violations = violations;
+            self.improvements += 1;
+            self.trace.push(TracePoint {
+                elapsed,
+                step,
+                similarity: 1.0 - violations as f64 / edge_count as f64,
+            });
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_solutions_keeps_k_best_distinct() {
+        let mut top = TopSolutions::new(3);
+        assert!(top.insert(&Solution::new(vec![1]), 5));
+        assert!(top.insert(&Solution::new(vec![2]), 3));
+        assert!(!top.insert(&Solution::new(vec![2]), 3), "duplicate rejected");
+        assert!(top.insert(&Solution::new(vec![3]), 4));
+        assert_eq!(top.len(), 3);
+        // Full: worse candidates bounce, better ones evict the worst.
+        assert!(!top.insert(&Solution::new(vec![4]), 9));
+        assert!(top.insert(&Solution::new(vec![5]), 1));
+        let v: Vec<usize> = top.iter().map(|(_, v)| *v).collect();
+        assert_eq!(v, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn top_solutions_zero_capacity() {
+        let mut top = TopSolutions::new(0);
+        assert!(!top.insert(&Solution::new(vec![1]), 0));
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn top_solutions_orders_ties_by_arrival() {
+        let mut top = TopSolutions::new(4);
+        top.insert(&Solution::new(vec![1]), 2);
+        top.insert(&Solution::new(vec![2]), 2);
+        top.insert(&Solution::new(vec![3]), 1);
+        let got: Vec<(Vec<usize>, usize)> = top
+            .iter()
+            .map(|(s, v)| (s.as_slice().to_vec(), *v))
+            .collect();
+        assert_eq!(got, vec![(vec![3], 1), (vec![1], 2), (vec![2], 2)]);
+    }
+
+    #[test]
+    fn incumbent_feeds_top_solutions() {
+        let mut inc = Incumbent::new(Solution::new(vec![0, 0]), 3, 4, Duration::ZERO, 0);
+        inc.offer(&Solution::new(vec![1, 1]), 2, 4, Duration::ZERO, 1);
+        inc.offer(&Solution::new(vec![2, 2]), 3, 4, Duration::ZERO, 2); // not best, still top
+        assert_eq!(inc.top.len(), 3);
+        assert_eq!(inc.top.iter().next().unwrap().1, 2);
+    }
+
+    #[test]
+    fn incumbent_keeps_only_improvements() {
+        let mut inc = Incumbent::new(Solution::new(vec![0, 0]), 3, 4, Duration::ZERO, 0);
+        assert!(!inc.offer(&Solution::new(vec![1, 1]), 3, 4, Duration::ZERO, 1));
+        assert!(inc.offer(&Solution::new(vec![2, 2]), 1, 4, Duration::ZERO, 2));
+        assert_eq!(inc.best_violations, 1);
+        assert_eq!(inc.best.as_slice(), &[2, 2]);
+        assert_eq!(inc.improvements, 1);
+        assert_eq!(inc.trace.len(), 2);
+    }
+
+    #[test]
+    fn similarity_at_is_a_step_function() {
+        let outcome = RunOutcome {
+            best: Solution::new(vec![0]),
+            best_violations: 0,
+            best_similarity: 1.0,
+            stats: RunStats::default(),
+            proven_optimal: false,
+            top_solutions: vec![],
+            trace: vec![
+                TracePoint {
+                    elapsed: Duration::from_secs(0),
+                    step: 0,
+                    similarity: 0.2,
+                },
+                TracePoint {
+                    elapsed: Duration::from_secs(2),
+                    step: 10,
+                    similarity: 0.7,
+                },
+                TracePoint {
+                    elapsed: Duration::from_secs(5),
+                    step: 20,
+                    similarity: 1.0,
+                },
+            ],
+        };
+        assert_eq!(outcome.similarity_at(Duration::from_secs(1)), 0.2);
+        assert_eq!(outcome.similarity_at(Duration::from_secs(2)), 0.7);
+        assert_eq!(outcome.similarity_at(Duration::from_secs(99)), 1.0);
+    }
+
+    #[test]
+    fn is_exact_matches_violations() {
+        let mut outcome = RunOutcome {
+            best: Solution::new(vec![0]),
+            best_violations: 0,
+            best_similarity: 1.0,
+            stats: RunStats::default(),
+            proven_optimal: false,
+            top_solutions: vec![],
+            trace: vec![],
+        };
+        assert!(outcome.is_exact());
+        outcome.best_violations = 1;
+        assert!(!outcome.is_exact());
+    }
+}

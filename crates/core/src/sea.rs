@@ -1,0 +1,587 @@
+//! Spatial Evolutionary Algorithm (paper §5, Fig. 9).
+//!
+//! A generational evolutionary algorithm whose three operators are adapted
+//! to the spatial structure of the problem:
+//!
+//! * **selection** — tournament offspring allocation \[BT96\]: each solution
+//!   competes with `T` random members, the fittest of the `T+1` takes its
+//!   slot;
+//! * **crossover** — a *variable crossover point* `c` that starts at 1 and
+//!   increases every `g_c` generations, plus a greedy split: the `c`
+//!   variables kept are chosen by descending solved-ness, growing a set `X`
+//!   that maximises satisfied conditions *within* `X` (the paper's Fig. 8
+//!   example), while the remaining variables adopt the assignments of a
+//!   random other solution — so early generations explore aggressively and
+//!   later ones preserve good building blocks;
+//! * **mutation** — the only index-driven operator: with probability `μm`
+//!   the worst variable of a solution is re-instantiated with
+//!   [`find_best_value`], exactly like one ILS move ("mutation can only
+//!   have positive results").
+
+use crate::budget::{BudgetClock, SearchBudget};
+use crate::find_best_value::find_best_value;
+use crate::instance::Instance;
+use crate::result::{Incumbent, RunOutcome, RunStats};
+use mwsj_query::{ConflictState, Solution, VarId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Configuration of [`Sea`].
+///
+/// The paper tunes every parameter as a function of the problem size
+/// `s = log₂ ∏ Nᵢ` \[CFG+98\]; see [`SeaConfig::paper`]. For short budgets
+/// the scaled-down [`SeaConfig::scaled`] converges much faster (fewer
+/// individuals to evolve) at slightly worse asymptotic quality — this is
+/// the "variable parameter values depending on the time available" idea
+/// from the paper's Discussion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeaConfig {
+    /// Population size `p`.
+    pub population: usize,
+    /// Tournament size `T`.
+    pub tournament: usize,
+    /// Crossover rate `μc`.
+    pub crossover_rate: f64,
+    /// Mutation rate `μm` (the paper uses 1: every solution mutates).
+    pub mutation_rate: f64,
+    /// Generations between increments of the crossover point `c`.
+    /// **0 enables budget-aware annealing** instead: `c` grows linearly
+    /// with the consumed fraction of the search budget, reaching `n − 1`
+    /// as the budget runs out — the paper's §7 idea of "variable parameter
+    /// values depending on the time available", which makes the
+    /// exploration→preservation schedule independent of how many
+    /// generations the budget affords.
+    pub generations_per_c: u64,
+    /// Restart the population from fresh random solutions (keeping the
+    /// incumbent) after this many generations without improving the best
+    /// solution. `0` disables restarts. The paper's population (`p = 100·s`,
+    /// tens of thousands) never converges within its budget; a scaled-down
+    /// population does, and stagnation restarts restore the anytime
+    /// behaviour at any budget length.
+    pub stagnation_restart: u64,
+    /// Seed the initial population with ILS local maxima instead of random
+    /// solutions — the hybrid the paper's Discussion proposes ("apply ILS
+    /// and use the first p local maxima visited as the p solutions of the
+    /// first generation"). The seeding phase is capped at `20·p` `find
+    /// best value` calls; any shortfall is filled with random solutions.
+    pub seed_with_ils: bool,
+}
+
+impl SeaConfig {
+    /// The published parameter set (§5): `p = 100·s`, `T = 0.05·s`,
+    /// `μc = 0.6`, `g_c = 10·s`, `μm = 1`, with `s` the problem size in
+    /// bits. Intended for the paper's long (`10·n` seconds) budgets.
+    pub fn paper(s: f64) -> Self {
+        SeaConfig {
+            population: (100.0 * s).round().max(4.0) as usize,
+            tournament: (0.05 * s).round().max(1.0) as usize,
+            crossover_rate: 0.6,
+            mutation_rate: 1.0,
+            generations_per_c: (10.0 * s).round().max(1.0) as u64,
+            stagnation_restart: 0,
+            seed_with_ils: false,
+        }
+    }
+
+    /// A budget-friendly scaling: population proportional to `s` but capped
+    /// (so a generation costs milliseconds, not seconds), tournament ≈ 5 %
+    /// of the population, and a crossover point that anneals within a few
+    /// hundred generations.
+    pub fn scaled(s: f64) -> Self {
+        // The paper's p = 100·s keeps the population diverse for hours-long
+        // budgets; 2·s (clamped) preserves enough diversity to avoid
+        // premature convergence while keeping generations at millisecond
+        // cost for second-scale budgets.
+        let population = ((2.0 * s).round() as usize).clamp(64, 512);
+        SeaConfig {
+            population,
+            // Binary tournament: the paper's T = 0.05·s is calibrated for
+            // p = 100·s; at a scaled-down p the same ratio homogenises the
+            // population within a couple of generations and search stalls.
+            tournament: 2,
+            crossover_rate: 0.6,
+            mutation_rate: 1.0,
+            generations_per_c: 0, // budget-aware annealing
+            stagnation_restart: 50,
+            seed_with_ils: false,
+        }
+    }
+
+    /// [`SeaConfig::scaled`] for a concrete instance.
+    pub fn default_for(instance: &Instance) -> Self {
+        Self::scaled(instance.problem_size_bits())
+    }
+
+    /// Enables ILS-seeded initialisation (see
+    /// [`SeaConfig::seed_with_ils`]).
+    pub fn with_ils_seeding(mut self) -> Self {
+        self.seed_with_ils = true;
+        self
+    }
+}
+
+impl Default for SeaConfig {
+    fn default() -> Self {
+        // A reasonable mid-size default; prefer `default_for`.
+        SeaConfig::scaled(128.0)
+    }
+}
+
+/// One member of the population: a solution with its cached evaluation.
+#[derive(Debug, Clone)]
+struct Individual {
+    sol: Solution,
+    cs: ConflictState,
+}
+
+/// Spatial evolutionary algorithm.
+#[derive(Debug, Clone)]
+pub struct Sea {
+    config: SeaConfig,
+}
+
+impl Sea {
+    /// Creates the algorithm.
+    pub fn new(config: SeaConfig) -> Self {
+        assert!(config.population >= 2, "population must hold at least 2");
+        assert!(config.tournament >= 1);
+        Sea { config }
+    }
+
+    /// Runs SEA until the budget is exhausted. One budget step = one
+    /// generation.
+    pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        let graph = instance.graph();
+        let n = instance.n_vars();
+        let edges = graph.edge_count();
+        let p = self.config.population;
+        let mut clock = BudgetClock::start(budget);
+        let mut stats = RunStats::default();
+
+        // Initial population: random, or the first p ILS local maxima
+        // (the hybrid initialisation of the paper's Discussion).
+        let mut pop: Vec<Individual> = if self.config.seed_with_ils {
+            crate::ils::collect_local_maxima(
+                instance,
+                p,
+                20 * p as u64,
+                rng,
+                &mut stats.node_accesses,
+            )
+            .into_iter()
+            .map(|sol| {
+                let cs = instance.evaluate(&sol);
+                Individual { sol, cs }
+            })
+            .collect()
+        } else {
+            Vec::new()
+        };
+        while pop.len() < p {
+            let sol = instance.random_solution(rng);
+            let cs = instance.evaluate(&sol);
+            pop.push(Individual { sol, cs });
+        }
+
+        let mut incumbent = {
+            let seed = &pop[0];
+            Incumbent::new(
+                seed.sol.clone(),
+                seed.cs.total_violations(),
+                edges,
+                clock.elapsed(),
+                clock.steps(),
+            )
+        };
+
+        let mut generation: u64 = 0;
+        let mut last_improvement_gen: u64 = 0;
+        'generations: while !clock.exhausted() {
+            clock.step();
+            generation += 1;
+            stats.restarts = generation; // generations telemetry
+
+            // Stagnation restart: re-diversify a converged population.
+            if self.config.stagnation_restart > 0
+                && generation - last_improvement_gen > self.config.stagnation_restart
+            {
+                // Re-diversify: fresh ILS local maxima in hybrid mode,
+                // otherwise fresh random solutions.
+                let seeds = if self.config.seed_with_ils {
+                    crate::ils::collect_local_maxima(
+                        instance,
+                        p,
+                        20 * p as u64,
+                        rng,
+                        &mut stats.node_accesses,
+                    )
+                } else {
+                    Vec::new()
+                };
+                let mut seeds = seeds.into_iter();
+                for ind in pop.iter_mut() {
+                    ind.sol = seeds.next().unwrap_or_else(|| instance.random_solution(rng));
+                    ind.cs = instance.evaluate(&ind.sol);
+                }
+                last_improvement_gen = generation;
+            }
+
+            // Crossover point: starts at 1 and grows to n − 1, either every
+            // g_c generations (the paper's schedule) or linearly in the
+            // consumed budget (budget-aware annealing, g_c = 0).
+            let max_c = n.saturating_sub(1).max(1);
+            let c = match self.config.generations_per_c {
+                0 => (1 + (clock.fraction_consumed() * (max_c - 1) as f64).round() as usize)
+                    .min(max_c),
+                g_c => ((1 + (generation - 1) / g_c) as usize).min(max_c),
+            };
+
+            // --- Evaluation: offer everyone to the incumbent. ---
+            for ind in &pop {
+                if incumbent.offer(
+                    &ind.sol,
+                    ind.cs.total_violations(),
+                    edges,
+                    clock.elapsed(),
+                    clock.steps(),
+                ) {
+                    stats.improvements += 1;
+                    last_improvement_gen = generation;
+                }
+            }
+            if incumbent.best_violations == 0 {
+                break 'generations; // nothing can beat similarity 1
+            }
+
+            // --- Offspring allocation: tournament selection. ---
+            let mut next: Vec<Individual> = Vec::with_capacity(p);
+            for i in 0..p {
+                let mut winner = i;
+                for _ in 0..self.config.tournament {
+                    let rival = rng.random_range(0..p);
+                    if pop[rival].cs.total_violations() < pop[winner].cs.total_violations() {
+                        winner = rival;
+                    }
+                }
+                next.push(pop[winner].clone());
+            }
+            pop = next;
+
+            // --- Crossover. ---
+            for i in 0..p {
+                if !rng.random_bool(self.config.crossover_rate) {
+                    continue;
+                }
+                let donor = rng.random_range(0..p);
+                if donor == i {
+                    continue;
+                }
+                let keep = greedy_keep_set(graph, &pop[i].cs, c);
+                let donor_sol = pop[donor].sol.clone();
+                let ind = &mut pop[i];
+                let mut changed = false;
+                #[allow(clippy::needless_range_loop)]
+                for v in 0..n {
+                    if !keep[v] && ind.sol.get(v) != donor_sol.get(v) {
+                        ind.sol.set(v, donor_sol.get(v));
+                        changed = true;
+                    }
+                }
+                if changed {
+                    ind.cs = instance.evaluate(&ind.sol);
+                }
+            }
+
+            // --- Mutation: one ILS move per selected individual. ---
+            for ind in pop.iter_mut() {
+                if clock.exhausted() {
+                    break 'generations;
+                }
+                if !rng.random_bool(self.config.mutation_rate) {
+                    continue;
+                }
+                // Worst variable, ties broken randomly: after selection the
+                // population contains many copies of good solutions, and a
+                // deterministic tie-break would mutate all of them
+                // identically.
+                let order = ind.cs.vars_by_badness(graph);
+                let key = |v: VarId| (ind.cs.conflicts_of(v), ind.cs.satisfied_of(graph, v));
+                let tied = order
+                    .iter()
+                    .take_while(|&&v| key(v) == key(order[0]))
+                    .count();
+                let worst = order[rng.random_range(0..tied)];
+                let current_satisfied = ind.cs.satisfied_of(graph, worst);
+                if let Some(best) =
+                    find_best_value(instance, &ind.sol, worst, None, &mut stats.node_accesses)
+                {
+                    if best.satisfied > current_satisfied {
+                        ind.cs.reassign(
+                            graph,
+                            &mut ind.sol,
+                            worst,
+                            best.object,
+                            instance.rect_of(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Final evaluation pass so the last generation's work counts.
+        for ind in &pop {
+            if incumbent.offer(
+                &ind.sol,
+                ind.cs.total_violations(),
+                edges,
+                clock.elapsed(),
+                clock.steps(),
+            ) {
+                stats.improvements += 1;
+            }
+        }
+
+        stats.elapsed = clock.elapsed();
+        stats.steps = clock.steps();
+        stats.improvements = incumbent.improvements;
+        RunOutcome {
+            best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
+            best: incumbent.best,
+            best_violations: incumbent.best_violations,
+            stats,
+            trace: incumbent.trace,
+            proven_optimal: false,
+            top_solutions: incumbent.top.into_vec(),
+        }
+    }
+}
+
+/// The greedy crossover split (paper §5, Fig. 8): selects `c` variables to
+/// keep. Variables are first ordered by satisfied conditions (desc), ties
+/// by violations (asc); the set `X` then grows by repeatedly adding the
+/// variable satisfying the most conditions towards members of `X`, ties
+/// resolved by the initial order. Returns a keep-mask.
+fn greedy_keep_set(
+    graph: &mwsj_query::QueryGraph,
+    cs: &ConflictState,
+    c: usize,
+) -> Vec<bool> {
+    let n = graph.n_vars();
+    let c = c.min(n);
+    // Initial order.
+    let mut order: Vec<VarId> = (0..n).collect();
+    order.sort_by_key(|&v| {
+        (
+            std::cmp::Reverse(cs.satisfied_of(graph, v)),
+            cs.conflicts_of(v),
+            v,
+        )
+    });
+    let mut rank = vec![0usize; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v] = r;
+    }
+
+    let mut keep = vec![false; n];
+    if c == 0 {
+        return keep;
+    }
+    keep[order[0]] = true;
+    for _ in 1..c {
+        let mut best: Option<(u32, usize, VarId)> = None; // (sat_to_X desc, rank asc)
+        for v in 0..n {
+            if keep[v] {
+                continue;
+            }
+            let sat_to_x = graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&(u, _)| {
+                    keep[u]
+                        && !cs.is_edge_violated(
+                            graph.edge_index(v, u).expect("neighbor edge"),
+                        )
+                })
+                .count() as u32;
+            let candidate = (sat_to_x, rank[v], v);
+            let better = match best {
+                None => true,
+                Some((bs, br, _)) => sat_to_x > bs || (sat_to_x == bs && rank[v] < br),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        keep[best.expect("n > c candidates remain").2] = true;
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
+    use mwsj_query::QueryGraphBuilder;
+    use rand::SeedableRng;
+
+    fn hard_instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = hard_region_density(shape, n, cardinality, 1.0);
+        let datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+            .collect();
+        Instance::new(shape.graph(n), datasets).unwrap()
+    }
+
+    #[test]
+    fn sea_improves_over_random_solutions() {
+        let inst = hard_instance(81, QueryShape::Clique, 5, 500);
+        let mut rng = StdRng::seed_from_u64(82);
+        let random_sim: f64 = (0..50)
+            .map(|_| inst.similarity(&inst.random_solution(&mut rng)))
+            .sum::<f64>()
+            / 50.0;
+        let sea = Sea::new(SeaConfig::default_for(&inst));
+        let outcome = sea.run(&inst, &SearchBudget::iterations(60), &mut rng);
+        assert!(
+            outcome.best_similarity > random_sim + 0.2,
+            "SEA {} vs random {}",
+            outcome.best_similarity,
+            random_sim
+        );
+        assert!(outcome.stats.restarts > 0, "no generations ran");
+    }
+
+    #[test]
+    fn sea_is_deterministic_under_step_budget() {
+        let inst = hard_instance(83, QueryShape::Chain, 4, 300);
+        let cfg = SeaConfig::default_for(&inst);
+        let a = Sea::new(cfg.clone()).run(
+            &inst,
+            &SearchBudget::iterations(20),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = Sea::new(cfg).run(
+            &inst,
+            &SearchBudget::iterations(20),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_violations, b.best_violations);
+    }
+
+    #[test]
+    fn paper_config_follows_published_formulas() {
+        let s = 250.0;
+        let cfg = SeaConfig::paper(s);
+        assert_eq!(cfg.population, 25_000);
+        assert_eq!(cfg.tournament, 13); // round(12.5)
+        assert_eq!(cfg.generations_per_c, 2_500);
+        assert_eq!(cfg.crossover_rate, 0.6);
+        assert_eq!(cfg.mutation_rate, 1.0);
+    }
+
+    #[test]
+    fn greedy_keep_set_prefers_solved_subgraph() {
+        // Figure 8 style: variables 0,1,2 form a satisfied triangle;
+        // variables 3,4 are violated stragglers.
+        let data = vec![
+            vec![mwsj_geom::Rect::new(0.0, 0.0, 0.4, 0.4)],
+            vec![mwsj_geom::Rect::new(0.2, 0.2, 0.5, 0.5)],
+            vec![mwsj_geom::Rect::new(0.3, 0.3, 0.6, 0.6)],
+            vec![mwsj_geom::Rect::new(0.9, 0.9, 0.95, 0.95)],
+            vec![mwsj_geom::Rect::new(0.8, 0.1, 0.85, 0.15)],
+        ];
+        let graph = QueryGraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .build()
+            .unwrap();
+        let inst = Instance::new(graph, data).unwrap();
+        let sol = Solution::new(vec![0; 5]);
+        let cs = inst.evaluate(&sol);
+        let keep = greedy_keep_set(inst.graph(), &cs, 3);
+        assert_eq!(keep, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn keep_set_size_is_respected() {
+        let inst = hard_instance(84, QueryShape::Clique, 6, 100);
+        let mut rng = StdRng::seed_from_u64(85);
+        let sol = inst.random_solution(&mut rng);
+        let cs = inst.evaluate(&sol);
+        for c in 0..=6 {
+            let keep = greedy_keep_set(inst.graph(), &cs, c);
+            assert_eq!(keep.iter().filter(|&&k| k).count(), c.min(6));
+        }
+    }
+
+    #[test]
+    fn sea_trace_is_monotone() {
+        let inst = hard_instance(86, QueryShape::Chain, 6, 400);
+        let mut rng = StdRng::seed_from_u64(87);
+        let outcome =
+            Sea::new(SeaConfig::default_for(&inst)).run(&inst, &SearchBudget::iterations(40), &mut rng);
+        for w in outcome.trace.windows(2) {
+            assert!(w[0].similarity < w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn ils_seeded_population_starts_better() {
+        // The hybrid's first generation consists of local maxima, which are
+        // far better than random solutions — its first-trace similarity
+        // must (weakly) dominate across seeds.
+        let inst = hard_instance(88, QueryShape::Clique, 5, 400);
+        let budget = SearchBudget::iterations(1);
+        let mut hybrid_first = 0.0;
+        let mut random_first = 0.0;
+        for seed in 0..5 {
+            let cfg = SeaConfig::default_for(&inst);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = Sea::new(cfg.clone().with_ils_seeding()).run(&inst, &budget, &mut rng);
+            hybrid_first += h.best_similarity;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Sea::new(cfg).run(&inst, &budget, &mut rng);
+            random_first += r.best_similarity;
+        }
+        assert!(
+            hybrid_first >= random_first,
+            "hybrid {hybrid_first} vs random {random_first}"
+        );
+    }
+
+    #[test]
+    fn ils_seeding_is_deterministic() {
+        let inst = hard_instance(89, QueryShape::Chain, 4, 300);
+        let cfg = SeaConfig::default_for(&inst).with_ils_seeding();
+        let a = Sea::new(cfg.clone()).run(
+            &inst,
+            &SearchBudget::iterations(8),
+            &mut StdRng::seed_from_u64(4),
+        );
+        let b = Sea::new(cfg).run(
+            &inst,
+            &SearchBudget::iterations(8),
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must hold at least 2")]
+    fn rejects_tiny_population() {
+        let _ = Sea::new(SeaConfig {
+            population: 1,
+            tournament: 1,
+            crossover_rate: 0.5,
+            mutation_rate: 1.0,
+            generations_per_c: 5,
+            stagnation_restart: 0,
+            seed_with_ils: false,
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the core algorithms: every data structure and
+//! search primitive is validated against brute force on arbitrary random
+//! instances.
+
+use mwsj_core::{
+    find_best_value, Ibb, IbbConfig, Ils, IlsConfig, Instance, SearchBudget, WindowReduction,
+};
+use mwsj_geom::Rect;
+use mwsj_query::{QueryGraph, Solution};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arbitrary small instance: 3–4 variables, 5–12 objects each, random
+/// connected overlap query (kept tiny so the brute-force cross product
+/// stays cheap even in debug builds).
+fn arb_instance() -> impl Strategy<Value = (Instance, u64)> {
+    (3usize..=4, 5usize..=12, 0.0f64..=1.0, any::<u64>()).prop_map(
+        |(n, cardinality, extra_edges, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = QueryGraph::random_connected(n, extra_edges, &mut rng);
+            let datasets: Vec<Vec<Rect>> = (0..n)
+                .map(|_| {
+                    (0..cardinality)
+                        .map(|_| {
+                            use rand::RngExt;
+                            let x: f64 = rng.random_range(0.0..1.0);
+                            let y: f64 = rng.random_range(0.0..1.0);
+                            let w: f64 = rng.random_range(0.0..0.3);
+                            let h: f64 = rng.random_range(0.0..0.3);
+                            Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0))
+                        })
+                        .collect()
+                })
+                .collect();
+            (Instance::new(graph, datasets).unwrap(), seed)
+        },
+    )
+}
+
+/// Brute-force minimum violations over the full cross product.
+fn brute_optimum(inst: &Instance) -> usize {
+    let n = inst.n_vars();
+    let mut assignment = vec![0usize; n];
+    let mut best = usize::MAX;
+    loop {
+        best = best.min(inst.violations(&Solution::new(assignment.clone())));
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return best;
+            }
+            assignment[k] += 1;
+            if assignment[k] < inst.cardinality(k) {
+                break;
+            }
+            assignment[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `find_best_value` returns a value tying the brute-force maximum
+    /// satisfied-count for every variable of every random instance.
+    #[test]
+    fn find_best_value_matches_brute_force((inst, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let sol = inst.random_solution(&mut rng);
+        for var in 0..inst.n_vars() {
+            let mut acc = 0u64;
+            let fast = find_best_value(&inst, &sol, var, None, &mut acc);
+            // Brute force.
+            let graph = inst.graph();
+            let windows: Vec<_> = graph
+                .neighbors(var)
+                .iter()
+                .map(|&(u, pred)| (pred, inst.rect(u, sol.get(u))))
+                .collect();
+            let slow_best = (0..inst.cardinality(var))
+                .map(|obj| {
+                    let r = inst.rect(var, obj);
+                    windows.iter().filter(|(p, w)| p.eval(&r, w)).count() as u32
+                })
+                .max()
+                .unwrap_or(0);
+            match fast {
+                Some(bv) => prop_assert_eq!(bv.satisfied, slow_best),
+                None => prop_assert_eq!(slow_best, 0),
+            }
+        }
+    }
+
+    /// Exhaustive IBB equals the brute-force optimum on every instance.
+    #[test]
+    fn ibb_is_globally_optimal((inst, _) in arb_instance()) {
+        let config = IbbConfig { initial: None, stop_at_exact: false };
+        let outcome = Ibb::new(config).run(&inst, &SearchBudget::seconds(120.0));
+        prop_assert!(outcome.proven_optimal);
+        prop_assert_eq!(outcome.best_violations, brute_optimum(&inst));
+        // And the returned solution really evaluates to that.
+        prop_assert_eq!(inst.violations(&outcome.best), outcome.best_violations);
+    }
+
+    /// WR enumerates exactly the zero-violation assignments.
+    #[test]
+    fn wr_is_exact_and_complete((inst, _) in arb_instance()) {
+        let outcome = WindowReduction::new().run(&inst, &SearchBudget::seconds(120.0), usize::MAX);
+        prop_assert!(outcome.complete);
+        let mut found: Vec<_> = outcome.solutions.clone();
+        found.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        // Brute-force enumeration.
+        let n = inst.n_vars();
+        let mut assignment = vec![0usize; n];
+        let mut expected = Vec::new();
+        'outer: loop {
+            let sol = Solution::new(assignment.clone());
+            if inst.violations(&sol) == 0 {
+                expected.push(sol);
+            }
+            let mut k = 0;
+            loop {
+                if k == n {
+                    break 'outer;
+                }
+                assignment[k] += 1;
+                if assignment[k] < inst.cardinality(k) {
+                    break;
+                }
+                assignment[k] = 0;
+                k += 1;
+            }
+        }
+        expected.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        prop_assert_eq!(found, expected);
+    }
+
+    /// ILS never reports a better result than the global optimum, and its
+    /// reported violations always match re-evaluation.
+    #[test]
+    fn ils_respects_the_optimum((inst, seed) in arb_instance()) {
+        let optimum = brute_optimum(&inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let outcome = Ils::new(IlsConfig::default())
+            .run(&inst, &SearchBudget::iterations(300), &mut rng);
+        prop_assert!(outcome.best_violations >= optimum);
+        prop_assert_eq!(inst.violations(&outcome.best), outcome.best_violations);
+    }
+}

@@ -1,0 +1,251 @@
+//! Hard-region density solvers (paper §6).
+//!
+//! The paper controls problem difficulty through the dataset density `d`
+//! (the average number of rectangles covering a workspace point,
+//! `d = N·|r|²` \[TSS98\]). Solving the expected-output formulas for `d`
+//! yields datasets with a prescribed expected number of exact solutions:
+//!
+//! * acyclic queries: `Sol = N · 2^{2(n−1)} · d^{n−1}`,
+//! * cliques:         `Sol = N · n² · d^{n−1}`,
+//! * arbitrary connected graphs with `E` edges (independence
+//!   approximation): `Sol = Nⁿ · (4d/N)^E`.
+//!
+//! Setting `Sol = 1` puts the instance at the phase transition where both
+//! systematic and heuristic search are hardest [CA93, CFG+98].
+
+use mwsj_query::QueryGraph;
+
+/// The query topologies with closed-form hard-region densities. `Chain` and
+/// `Clique` are the paper's two extremes of constrainedness (§6 fn. 2);
+/// `Star` and `Cycle` round out the common shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// Path `v₀ — v₁ — … — vₙ₋₁` (acyclic, most under-constrained).
+    Chain,
+    /// Every pair joined (most over-constrained).
+    Clique,
+    /// Hub variable joined to all others (acyclic).
+    Star,
+    /// Closed chain.
+    Cycle,
+}
+
+impl QueryShape {
+    /// Builds the corresponding [`QueryGraph`] with *overlap* predicates.
+    pub fn graph(&self, n: usize) -> QueryGraph {
+        match self {
+            QueryShape::Chain => QueryGraph::chain(n),
+            QueryShape::Clique => QueryGraph::clique(n),
+            QueryShape::Star => QueryGraph::star(n),
+            QueryShape::Cycle => QueryGraph::cycle(n),
+        }
+    }
+
+    /// Number of join conditions for `n` variables.
+    pub fn edge_count(&self, n: usize) -> usize {
+        match self {
+            QueryShape::Chain | QueryShape::Star => n - 1,
+            QueryShape::Clique => n * (n - 1) / 2,
+            QueryShape::Cycle => n,
+        }
+    }
+
+    /// Short name used by the experiment harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryShape::Chain => "chain",
+            QueryShape::Clique => "clique",
+            QueryShape::Star => "star",
+            QueryShape::Cycle => "cycle",
+        }
+    }
+}
+
+/// Average per-axis extent `|r|` for cardinality `N` and density `d`
+/// (`d = N·|r|²` ⇒ `|r| = √(d/N)`).
+#[inline]
+pub fn extent_for_density(cardinality: usize, density: f64) -> f64 {
+    (density / cardinality as f64).sqrt()
+}
+
+/// Expected number of exact solutions for `n` same-cardinality (`N`)
+/// same-density (`d`) datasets under the given query shape.
+pub fn expected_solutions(shape: QueryShape, n: usize, cardinality: usize, density: f64) -> f64 {
+    assert!(n >= 2);
+    let big_n = cardinality as f64;
+    match shape {
+        // Acyclic: Sol = N · 2^{2(n−1)} · d^{n−1}.
+        QueryShape::Chain | QueryShape::Star => {
+            big_n * 4f64.powi(n as i32 - 1) * density.powi(n as i32 - 1)
+        }
+        // Clique [PMT99]: Sol = N · n² · d^{n−1}.
+        QueryShape::Clique => big_n * (n as f64).powi(2) * density.powi(n as i32 - 1),
+        // Cycle: independence approximation over E = n edges.
+        QueryShape::Cycle => {
+            let e = n as i32;
+            big_n.powi(n as i32) * (4.0 * density / big_n).powi(e)
+        }
+    }
+}
+
+/// The density that puts `n` datasets of cardinality `N` at an expected
+/// `target` exact solutions — the *hard region* is `target ∈ [1, 10]`.
+///
+/// Closed forms (paper §6): acyclic `d = (Sol / (N·4^{n−1}))^{1/(n−1)}`
+/// (for `Sol = 1`, `d = 1/(4·ⁿ⁻¹√N)`), clique `d = (Sol/(N·n²))^{1/(n−1)}`.
+pub fn hard_region_density(shape: QueryShape, n: usize, cardinality: usize, target: f64) -> f64 {
+    assert!(n >= 2);
+    assert!(target > 0.0);
+    let big_n = cardinality as f64;
+    let inv = 1.0 / (n as f64 - 1.0);
+    match shape {
+        QueryShape::Chain | QueryShape::Star => (target / (big_n * 4f64.powi(n as i32 - 1))).powf(inv),
+        QueryShape::Clique => (target / (big_n * (n as f64).powi(2))).powf(inv),
+        QueryShape::Cycle => {
+            // Solve N^n (4d/N)^n = target for d.
+            let e = n as f64;
+            (target.powf(1.0 / e) / big_n.powf(n as f64 / e)) * big_n / 4.0
+        }
+    }
+}
+
+/// Hard-region density for an arbitrary connected query graph: exact for
+/// trees and cliques, independence approximation otherwise.
+pub fn hard_region_density_graph(graph: &QueryGraph, cardinality: usize, target: f64) -> f64 {
+    let n = graph.n_vars();
+    let big_n = cardinality as f64;
+    if graph.is_clique() && n > 2 {
+        hard_region_density(QueryShape::Clique, n, cardinality, target)
+    } else if graph.is_acyclic() {
+        hard_region_density(QueryShape::Chain, n, cardinality, target)
+    } else {
+        // General connected graph, E edges: Sol ≈ N^n (4d/N)^E.
+        let e = graph.edge_count() as f64;
+        (target / big_n.powi(n as i32)).powf(1.0 / e) * big_n / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_closed_form_for_chains() {
+        // d = 1/(4·ⁿ⁻¹√N) for Sol = 1.
+        for (n, big_n) in [(5usize, 100_000usize), (15, 100_000), (3, 1_000)] {
+            let d = hard_region_density(QueryShape::Chain, n, big_n, 1.0);
+            let expected = 1.0 / (4.0 * (big_n as f64).powf(1.0 / (n as f64 - 1.0)));
+            assert!((d - expected).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn paper_closed_form_for_cliques() {
+        // d = 1/ⁿ⁻¹√(N·n²) for Sol = 1.
+        for (n, big_n) in [(5usize, 100_000usize), (25, 100_000)] {
+            let d = hard_region_density(QueryShape::Clique, n, big_n, 1.0);
+            let expected = 1.0 / ((big_n as f64) * (n as f64).powi(2)).powf(1.0 / (n as f64 - 1.0));
+            assert!((d - expected).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn density_solvers_invert_expected_solutions() {
+        for shape in [
+            QueryShape::Chain,
+            QueryShape::Clique,
+            QueryShape::Star,
+            QueryShape::Cycle,
+        ] {
+            for target in [1.0, 10.0, 1e4] {
+                let d = hard_region_density(shape, 8, 50_000, target);
+                let sol = expected_solutions(shape, 8, 50_000, d);
+                assert!(
+                    (sol / target - 1.0).abs() < 1e-9,
+                    "{shape:?} target {target}: got {sol}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_solver_matches_shape_solver() {
+        let n = 6;
+        let big_n = 10_000;
+        let chain = QueryGraph::chain(n);
+        assert!(
+            (hard_region_density_graph(&chain, big_n, 1.0)
+                - hard_region_density(QueryShape::Chain, n, big_n, 1.0))
+            .abs()
+                < 1e-15
+        );
+        let clique = QueryGraph::clique(n);
+        assert!(
+            (hard_region_density_graph(&clique, big_n, 1.0)
+                - hard_region_density(QueryShape::Clique, n, big_n, 1.0))
+            .abs()
+                < 1e-15
+        );
+        // Star is acyclic → same closed form as chains.
+        let star = QueryGraph::star(n);
+        assert!(
+            (hard_region_density_graph(&star, big_n, 1.0)
+                - hard_region_density(QueryShape::Chain, n, big_n, 1.0))
+            .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn density_grows_with_target() {
+        let d1 = hard_region_density(QueryShape::Clique, 15, 100_000, 1.0);
+        let d2 = hard_region_density(QueryShape::Clique, 15, 100_000, 100.0);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn more_constraints_need_higher_density() {
+        // For the same n/N/target, cliques need denser data than chains
+        // (more conditions to satisfy).
+        let dc = hard_region_density(QueryShape::Chain, 10, 100_000, 1.0);
+        let dk = hard_region_density(QueryShape::Clique, 10, 100_000, 1.0);
+        assert!(dk > dc);
+    }
+
+    #[test]
+    fn extent_matches_density_definition() {
+        let n = 100_000;
+        let d = 0.04;
+        let r = extent_for_density(n, d);
+        assert!((n as f64 * r * r - d).abs() < 1e-12);
+    }
+
+    /// Monte-Carlo check of the analytic model: generate pairs of uniform
+    /// datasets and compare the realised number of intersecting pairs with
+    /// the pairwise selectivity formula N²·(2|r|)² = 4·N·d.
+    #[test]
+    fn pairwise_model_matches_simulation() {
+        use crate::Dataset;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 2_000;
+        let d = 0.02;
+        let a = Dataset::uniform(n, d, &mut rng);
+        let b = Dataset::uniform(n, d, &mut rng);
+        let mut hits = 0u64;
+        for ra in a.rects() {
+            for rb in b.rects() {
+                if ra.intersects(rb) {
+                    hits += 1;
+                }
+            }
+        }
+        let expected = 4.0 * n as f64 * d; // N²·(|r|+|r|)² with |r|=√(d/N)
+        let ratio = hits as f64 / expected;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "simulated {hits} vs expected {expected} (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic spatial datasets and the analytic models that calibrate them.
+//!
+//! The paper evaluates its algorithms on synthetic uniform datasets whose
+//! **density** is solved so that the expected number of exact solutions
+//! lands in the *hard region* (≈ 1–10 solutions, §6). This crate implements
+//! that entire apparatus:
+//!
+//! * [`Dataset`] — a set of object MBRs covering the unit workspace, with
+//!   uniform, clustered and skewed generators ([`Distribution`]);
+//! * the selectivity model of \[TSS98\] and the clique estimate of \[PMT99\]
+//!   ([`selectivity`] module): expected output size of a multiway join;
+//! * [`hard_region_density`] — the closed-form density that yields a target
+//!   number of expected solutions for chains (acyclic), cliques and, via an
+//!   independence approximation, arbitrary connected graphs;
+//! * planted-solution tooling ([`plant_solution`],
+//!   [`count_exact_solutions`]) used by Fig. 11 (exactly one exact
+//!   solution) and by the correctness tests;
+//! * [`WorkloadSpec`]/[`Workload`] — reproducible query + data bundles used
+//!   by every experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod density;
+mod io;
+mod planted;
+pub mod selectivity;
+mod workload;
+
+pub use dataset::{Dataset, DatasetSpec, Distribution};
+pub use io::CsvError;
+pub use density::{
+    expected_solutions, extent_for_density, hard_region_density, hard_region_density_graph,
+    QueryShape,
+};
+pub use planted::{count_exact_solutions, plant_solution};
+pub use workload::{Workload, WorkloadSpec};

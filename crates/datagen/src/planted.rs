@@ -1,0 +1,210 @@
+//! Planting exact solutions and brute-force counting.
+//!
+//! Fig. 11 of the paper requires datasets containing **exactly one** exact
+//! solution, so that the time until systematic search retrieves it can be
+//! measured. [`plant_solution`] overwrites one object per dataset with a
+//! configuration that satisfies every *overlap* constraint;
+//! [`count_exact_solutions`] verifies solution counts by backtracking and
+//! anchors the correctness tests of every search algorithm.
+
+use crate::Dataset;
+use mwsj_geom::Rect;
+use mwsj_query::{QueryGraph, Solution};
+use rand::{Rng, RngExt};
+
+/// Overwrites one randomly chosen object per dataset with a rectangle
+/// containing a common random point, producing an exact solution for any
+/// query graph whose predicates are all *overlap* (rectangles sharing a
+/// point pairwise intersect). Returns the planted assignment.
+///
+/// Each planted rectangle keeps its dataset's average extent, so the
+/// dataset's density model is essentially unchanged.
+///
+/// # Panics
+/// Panics if `datasets` is empty or if the graph uses a predicate other
+/// than [overlap](mwsj_geom::Predicate::Intersects).
+pub fn plant_solution<R: Rng>(
+    datasets: &mut [Dataset],
+    graph: &QueryGraph,
+    rng: &mut R,
+) -> Solution {
+    assert_eq!(datasets.len(), graph.n_vars());
+    assert!(
+        graph
+            .edges()
+            .iter()
+            .all(|e| e.pred == mwsj_geom::Predicate::Intersects),
+        "plant_solution supports overlap queries only"
+    );
+
+    // A common point away from workspace borders.
+    let px: f64 = rng.random_range(0.2..0.8);
+    let py: f64 = rng.random_range(0.2..0.8);
+
+    let mut assignment = Vec::with_capacity(datasets.len());
+    for ds in datasets.iter_mut() {
+        let extent = crate::extent_for_density(ds.len(), ds.density());
+        // Offset so the common point falls at a random position inside the
+        // rectangle — planted objects are not all co-centred.
+        let off_x: f64 = rng.random_range(0.0..extent);
+        let off_y: f64 = rng.random_range(0.0..extent);
+        let x = (px - off_x).clamp(0.0, 1.0 - extent);
+        let y = (py - off_y).clamp(0.0, 1.0 - extent);
+        let rect = Rect::new(x, y, x + extent, y + extent);
+        debug_assert!(rect.contains_point(&mwsj_geom::Point::new(px, py)));
+        let obj = rng.random_range(0..ds.len());
+        ds.replace(obj, rect);
+        assignment.push(obj);
+    }
+    Solution::new(assignment)
+}
+
+/// Counts the exact solutions of a multiway join by depth-first
+/// backtracking over the datasets (checking each new assignment against all
+/// already-assigned neighbours).
+///
+/// Exponential in the worst case — intended for the moderate instances used
+/// in tests and for verifying planted datasets, not for production joins
+/// (that is what `mwsj-core`'s algorithms are for). `limit` caps the count:
+/// counting stops once `limit` solutions have been found (pass `u64::MAX`
+/// for an exact count).
+pub fn count_exact_solutions(datasets: &[Dataset], graph: &QueryGraph, limit: u64) -> u64 {
+    assert_eq!(datasets.len(), graph.n_vars());
+    let n = graph.n_vars();
+    let mut assignment = vec![usize::MAX; n];
+    let mut count = 0u64;
+    count_rec(datasets, graph, 0, &mut assignment, &mut count, limit);
+    count
+}
+
+fn count_rec(
+    datasets: &[Dataset],
+    graph: &QueryGraph,
+    var: usize,
+    assignment: &mut [usize],
+    count: &mut u64,
+    limit: u64,
+) {
+    if *count >= limit {
+        return;
+    }
+    if var == graph.n_vars() {
+        *count += 1;
+        return;
+    }
+    'candidates: for obj in 0..datasets[var].len() {
+        let r = datasets[var].rect(obj);
+        for &(u, pred) in graph.neighbors(var) {
+            if u < var {
+                let ru = datasets[u].rect(assignment[u]);
+                if !pred.eval(&r, &ru) {
+                    continue 'candidates;
+                }
+            }
+        }
+        assignment[var] = obj;
+        count_rec(datasets, graph, var + 1, assignment, count, limit);
+        if *count >= limit {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hard_region_density, QueryShape};
+    use mwsj_query::ConflictState;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_solution_is_exact() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for shape in [QueryShape::Chain, QueryShape::Clique, QueryShape::Cycle] {
+            let n = 5;
+            let big_n = 500;
+            let d = hard_region_density(shape, n, big_n, 1.0);
+            let mut datasets: Vec<Dataset> = (0..n)
+                .map(|_| Dataset::uniform(big_n, d, &mut rng))
+                .collect();
+            let graph = shape.graph(n);
+            let planted = plant_solution(&mut datasets, &graph, &mut rng);
+            let rect_of = |v: usize, o: usize| datasets[v].rect(o);
+            assert!(
+                graph.is_exact(&planted, rect_of),
+                "{} planted solution violates constraints",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn planting_creates_at_least_one_solution() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let n = 4;
+        let big_n = 200;
+        // Far below the hard region: without planting there would almost
+        // surely be zero solutions.
+        let d = hard_region_density(QueryShape::Clique, n, big_n, 1.0) / 100.0;
+        let mut datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(big_n, d, &mut rng))
+            .collect();
+        let graph = QueryGraph::clique(n);
+        assert_eq!(count_exact_solutions(&datasets, &graph, u64::MAX), 0);
+        plant_solution(&mut datasets, &graph, &mut rng);
+        assert_eq!(count_exact_solutions(&datasets, &graph, u64::MAX), 1);
+    }
+
+    #[test]
+    fn count_limit_short_circuits() {
+        let mut rng = StdRng::seed_from_u64(33);
+        // Dense data: plenty of solutions.
+        let datasets: Vec<Dataset> = (0..3)
+            .map(|_| Dataset::uniform(50, 2.0, &mut rng))
+            .collect();
+        let graph = QueryGraph::chain(3);
+        let capped = count_exact_solutions(&datasets, &graph, 10);
+        assert_eq!(capped, 10);
+        assert!(count_exact_solutions(&datasets, &graph, u64::MAX) >= 10);
+    }
+
+    #[test]
+    fn brute_force_count_agrees_with_conflict_state() {
+        // Every counted solution must evaluate to zero violations.
+        let mut rng = StdRng::seed_from_u64(34);
+        let datasets: Vec<Dataset> = (0..3)
+            .map(|_| Dataset::uniform(30, 0.8, &mut rng))
+            .collect();
+        let graph = QueryGraph::cycle(3);
+        let rect_of = |v: usize, o: usize| datasets[v].rect(o);
+        let mut brute = 0u64;
+        for a in 0..30 {
+            for b in 0..30 {
+                for c in 0..30 {
+                    let sol = Solution::new(vec![a, b, c]);
+                    let cs = ConflictState::evaluate(&graph, &sol, rect_of);
+                    if cs.total_violations() == 0 {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count_exact_solutions(&datasets, &graph, u64::MAX), brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap queries only")]
+    fn planting_rejects_non_overlap_predicates() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut datasets = vec![
+            Dataset::uniform(10, 0.1, &mut rng),
+            Dataset::uniform(10, 0.1, &mut rng),
+        ];
+        let graph = mwsj_query::QueryGraphBuilder::new(2)
+            .edge_with(0, 1, mwsj_geom::Predicate::Contains)
+            .build()
+            .unwrap();
+        let _ = plant_solution(&mut datasets, &graph, &mut rng);
+    }
+}

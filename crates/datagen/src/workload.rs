@@ -1,0 +1,118 @@
+//! Reproducible experiment workloads (query graph + datasets).
+
+use crate::{hard_region_density, plant_solution, Dataset, QueryShape};
+use mwsj_query::{QueryGraph, Solution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Declarative description of one experiment workload, mirroring the
+/// paper's setup: `n` uniform datasets of equal cardinality whose density
+/// is solved for a target expected number of solutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Query topology.
+    pub shape: QueryShape,
+    /// Number of variables/datasets `n`.
+    pub n_vars: usize,
+    /// Objects per dataset `N`.
+    pub cardinality: usize,
+    /// Target expected number of exact solutions (1 = hard region center).
+    pub target_solutions: f64,
+    /// If `true`, additionally plant one guaranteed exact solution
+    /// (Fig. 11's "the actual number of exact solutions is 1" setup).
+    pub plant: bool,
+    /// RNG seed; a spec generates identical data on every call.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default configuration for a shape/size: `N` objects per
+    /// dataset, hard-region density (`Sol = 1`), no planting.
+    pub fn hard_region(shape: QueryShape, n_vars: usize, cardinality: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            shape,
+            n_vars,
+            cardinality,
+            target_solutions: 1.0,
+            plant: false,
+            seed,
+        }
+    }
+
+    /// Materialises the workload.
+    pub fn generate(&self) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let density = hard_region_density(
+            self.shape,
+            self.n_vars,
+            self.cardinality,
+            self.target_solutions,
+        );
+        let graph = self.shape.graph(self.n_vars);
+        let mut datasets: Vec<Dataset> = (0..self.n_vars)
+            .map(|_| Dataset::uniform(self.cardinality, density, &mut rng))
+            .collect();
+        let planted = self
+            .plant
+            .then(|| plant_solution(&mut datasets, &graph, &mut rng));
+        Workload {
+            graph,
+            datasets,
+            density,
+            planted,
+        }
+    }
+}
+
+/// A materialised workload: the query, the datasets and the density they
+/// were generated with.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The query graph.
+    pub graph: QueryGraph,
+    /// One dataset per query variable.
+    pub datasets: Vec<Dataset>,
+    /// The density the datasets were generated with.
+    pub density: f64,
+    /// The planted exact solution, when the spec requested planting.
+    pub planted: Option<Solution>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_is_reproducible() {
+        let spec = WorkloadSpec::hard_region(QueryShape::Chain, 4, 500, 42);
+        let a = spec.generate();
+        let b = spec.generate();
+        for (da, db) in a.datasets.iter().zip(&b.datasets) {
+            assert_eq!(da.rects(), db.rects());
+        }
+        assert_eq!(a.density, b.density);
+    }
+
+    #[test]
+    fn workload_matches_spec() {
+        let spec = WorkloadSpec::hard_region(QueryShape::Clique, 5, 300, 7);
+        let w = spec.generate();
+        assert_eq!(w.graph.n_vars(), 5);
+        assert!(w.graph.is_clique());
+        assert_eq!(w.datasets.len(), 5);
+        assert_eq!(w.datasets[0].len(), 300);
+        assert!(w.planted.is_none());
+        let expected_d = hard_region_density(QueryShape::Clique, 5, 300, 1.0);
+        assert_eq!(w.density, expected_d);
+    }
+
+    #[test]
+    fn planted_workload_has_exact_solution() {
+        let mut spec = WorkloadSpec::hard_region(QueryShape::Clique, 4, 200, 9);
+        spec.plant = true;
+        let w = spec.generate();
+        let sol = w.planted.expect("planted solution present");
+        let rect_of = |v: usize, o: usize| w.datasets[v].rect(o);
+        assert!(w.graph.is_exact(&sol, rect_of));
+    }
+}

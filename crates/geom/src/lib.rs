@@ -1,0 +1,36 @@
+//! Geometry primitives and spatial predicates for multiway spatial joins.
+//!
+//! This crate provides the 2D building blocks used throughout the
+//! reproduction of *Papadias & Arkoumanis, "Approximate Processing of
+//! Multiway Spatial Joins in Very Large Databases" (EDBT 2002)*:
+//!
+//! * [`Point`] — a 2D point,
+//! * [`Interval`] — a closed 1D interval,
+//! * [`Rect`] — an axis-aligned minimum bounding rectangle (MBR),
+//! * [`Predicate`] — the binary spatial predicates that label query-graph
+//!   edges (the paper's default is [`Predicate::Intersects`]; the Discussion
+//!   section notes the methods extend to directional and distance predicates,
+//!   which are implemented here as well).
+//!
+//! All coordinates are `f64`. The paper normalises datasets to a unit
+//! workspace `[0,1]²`; nothing in this crate requires that, but the helpers
+//! in `mwsj-datagen` produce unit-workspace data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod point;
+mod predicate;
+mod rect;
+
+pub use interval::Interval;
+pub use point::Point;
+pub use predicate::Predicate;
+pub use rect::Rect;
+
+/// The workspace rectangle `[0,1] × [0,1]` that synthetic datasets cover.
+pub const UNIT_WORKSPACE: Rect = Rect {
+    min: Point { x: 0.0, y: 0.0 },
+    max: Point { x: 1.0, y: 1.0 },
+};

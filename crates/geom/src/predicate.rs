@@ -1,0 +1,311 @@
+//! Binary spatial predicates for query-graph edges.
+//!
+//! The paper's standard join condition is *overlap* ([`Predicate::Intersects`]).
+//! Its Discussion section notes that the algorithms "are easily extensible to
+//! other spatial predicates, such as northeast, inside, near etc." — those
+//! predicates are implemented here so every search algorithm works unchanged
+//! with them.
+//!
+//! Each predicate provides two tests:
+//!
+//! * [`Predicate::eval`] — the exact object-level test between two MBRs, and
+//! * [`Predicate::possible`] — the node-level *pruning* test: given the MBR of
+//!   an R-tree node, can **any** rectangle enclosed in it satisfy the
+//!   predicate against the window `b`? This is what `find best value`
+//!   (Fig. 5 of the paper) and the systematic algorithms use to decide
+//!   whether to descend into a subtree.
+//!
+//! `possible` must never produce false negatives (it is an *admissible*
+//! filter); false positives merely cost extra node visits. This soundness
+//! property is checked by property-based tests.
+
+use crate::Rect;
+use std::fmt;
+
+/// A binary spatial predicate `a P b` between two MBRs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// `a` and `b` share at least one point (overlap / non-disjoint); the
+    /// paper's default join condition.
+    Intersects,
+    /// `a` entirely contains `b`.
+    Contains,
+    /// `a` lies entirely inside `b`.
+    Inside,
+    /// `a` lies strictly to the north-east of `b`: every point of `a`
+    /// dominates every point of `b` in both coordinates.
+    NorthEast,
+    /// `a` lies strictly to the south-west of `b` (transpose of
+    /// [`Predicate::NorthEast`]).
+    SouthWest,
+    /// The minimum distance between `a` and `b` is at most the given ε
+    /// (the paper's *near* predicate).
+    WithinDistance(f64),
+}
+
+impl Predicate {
+    /// Evaluates the predicate between two object MBRs.
+    #[inline]
+    pub fn eval(&self, a: &Rect, b: &Rect) -> bool {
+        match *self {
+            Predicate::Intersects => a.intersects(b),
+            Predicate::Contains => a.contains(b),
+            Predicate::Inside => b.contains(a),
+            Predicate::NorthEast => a.min.x >= b.max.x && a.min.y >= b.max.y,
+            Predicate::SouthWest => a.max.x <= b.min.x && a.max.y <= b.min.y,
+            Predicate::WithinDistance(eps) => a.min_distance_sq(b) <= eps * eps,
+        }
+    }
+
+    /// Node-level pruning test: returns `true` if some rectangle enclosed in
+    /// `node` **could** satisfy `self` against the window `b`.
+    ///
+    /// Admissibility: for every `r` with `node.contains(&r)`, if
+    /// `self.eval(&r, b)` then `self.possible(node, b)`.
+    #[inline]
+    pub fn possible(&self, node: &Rect, b: &Rect) -> bool {
+        match *self {
+            Predicate::Intersects => node.intersects(b),
+            // A candidate containing b must itself be covered by the node MBR,
+            // so the node MBR must cover b.
+            Predicate::Contains => node.contains(b),
+            // A candidate inside b is also inside the node MBR, so the two
+            // must share at least a point.
+            Predicate::Inside => node.intersects(b),
+            // Some sub-rectangle of the node can sit NE of b iff the node
+            // reaches at least as far NE as b's upper-right corner.
+            Predicate::NorthEast => node.max.x >= b.max.x && node.max.y >= b.max.y,
+            Predicate::SouthWest => node.min.x <= b.min.x && node.min.y <= b.min.y,
+            Predicate::WithinDistance(eps) => node.min_distance_sq(b) <= eps * eps,
+        }
+    }
+
+    /// The predicate as seen from the other operand: `a P b  ⇔  b P' a`.
+    ///
+    /// Query graphs store each edge once; when an algorithm evaluates the
+    /// edge from the opposite endpoint it uses the transposed predicate.
+    #[inline]
+    pub fn transpose(&self) -> Predicate {
+        match *self {
+            Predicate::Intersects => Predicate::Intersects,
+            Predicate::Contains => Predicate::Inside,
+            Predicate::Inside => Predicate::Contains,
+            Predicate::NorthEast => Predicate::SouthWest,
+            Predicate::SouthWest => Predicate::NorthEast,
+            Predicate::WithinDistance(eps) => Predicate::WithinDistance(eps),
+        }
+    }
+
+    /// Returns `true` if the predicate is symmetric (`transpose == self`).
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        matches!(
+            self,
+            Predicate::Intersects | Predicate::WithinDistance(_)
+        )
+    }
+}
+
+impl Default for Predicate {
+    /// The paper's standard join condition.
+    fn default() -> Self {
+        Predicate::Intersects
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Predicate::Intersects => write!(f, "intersects"),
+            Predicate::Contains => write!(f, "contains"),
+            Predicate::Inside => write!(f, "inside"),
+            Predicate::NorthEast => write!(f, "northeast"),
+            Predicate::SouthWest => write!(f, "southwest"),
+            Predicate::WithinDistance(eps) => write!(f, "within({eps})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x1: f64, y1: f64, x2: f64, y2: f64) -> Rect {
+        Rect::new(x1, y1, x2, y2)
+    }
+
+    const ALL: [Predicate; 6] = [
+        Predicate::Intersects,
+        Predicate::Contains,
+        Predicate::Inside,
+        Predicate::NorthEast,
+        Predicate::SouthWest,
+        Predicate::WithinDistance(0.3),
+    ];
+
+    #[test]
+    fn intersects_matches_rect_test() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(0.5, 0.5, 2.0, 2.0);
+        let c = r(3.0, 3.0, 4.0, 4.0);
+        assert!(Predicate::Intersects.eval(&a, &b));
+        assert!(!Predicate::Intersects.eval(&a, &c));
+    }
+
+    #[test]
+    fn contains_and_inside_are_transposes() {
+        let big = r(0.0, 0.0, 10.0, 10.0);
+        let small = r(1.0, 1.0, 2.0, 2.0);
+        assert!(Predicate::Contains.eval(&big, &small));
+        assert!(!Predicate::Contains.eval(&small, &big));
+        assert!(Predicate::Inside.eval(&small, &big));
+        assert!(!Predicate::Inside.eval(&big, &small));
+    }
+
+    #[test]
+    fn northeast_semantics() {
+        let b = r(0.0, 0.0, 1.0, 1.0);
+        let ne = r(2.0, 2.0, 3.0, 3.0);
+        let touching = r(1.0, 1.0, 2.0, 2.0);
+        let east_only = r(2.0, 0.0, 3.0, 1.0);
+        assert!(Predicate::NorthEast.eval(&ne, &b));
+        assert!(Predicate::NorthEast.eval(&touching, &b));
+        assert!(!Predicate::NorthEast.eval(&east_only, &b));
+        assert!(Predicate::SouthWest.eval(&b, &ne));
+    }
+
+    #[test]
+    fn within_distance_semantics() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 1.0, 3.0, 2.0); // gap of 1.0 in x
+        assert!(Predicate::WithinDistance(1.0).eval(&a, &b));
+        assert!(!Predicate::WithinDistance(0.5).eval(&a, &b));
+        // Intersecting rects are within any non-negative distance.
+        assert!(Predicate::WithinDistance(0.0).eval(&a, &r(0.5, 0.5, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        for p in ALL {
+            assert_eq!(p.transpose().transpose(), p);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_operands() {
+        let pairs = [
+            (r(0.0, 0.0, 4.0, 4.0), r(1.0, 1.0, 2.0, 2.0)),
+            (r(2.0, 2.0, 3.0, 3.0), r(0.0, 0.0, 1.0, 1.0)),
+            (r(0.0, 0.0, 1.0, 1.0), r(0.5, 0.5, 1.5, 1.5)),
+            (r(5.0, 5.0, 6.0, 6.0), r(0.0, 0.0, 1.0, 1.0)),
+        ];
+        for p in ALL {
+            for (a, b) in &pairs {
+                assert_eq!(
+                    p.eval(a, b),
+                    p.transpose().eval(b, a),
+                    "predicate {p} on {a} / {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_predicates() {
+        assert!(Predicate::Intersects.is_symmetric());
+        assert!(Predicate::WithinDistance(1.0).is_symmetric());
+        assert!(!Predicate::Contains.is_symmetric());
+        assert!(!Predicate::NorthEast.is_symmetric());
+    }
+
+    #[test]
+    fn possible_is_weaker_than_eval_on_self() {
+        // If the object itself satisfies the predicate, a node MBR equal to
+        // the object must pass the pruning test.
+        let windows = [r(0.0, 0.0, 1.0, 1.0), r(2.0, 2.0, 3.0, 3.0)];
+        let objs = [
+            r(0.5, 0.5, 2.5, 2.5),
+            r(1.5, 1.5, 1.75, 1.75),
+            r(3.0, 3.0, 4.0, 4.0),
+        ];
+        for p in ALL {
+            for w in &windows {
+                for o in &objs {
+                    if p.eval(o, w) {
+                        assert!(p.possible(o, w), "{p}: eval true but possible false");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_intersects() {
+        assert_eq!(Predicate::default(), Predicate::Intersects);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Predicate> {
+        prop_oneof![
+            Just(Predicate::Intersects),
+            Just(Predicate::Contains),
+            Just(Predicate::Inside),
+            Just(Predicate::NorthEast),
+            Just(Predicate::SouthWest),
+            (0.0f64..0.5).prop_map(Predicate::WithinDistance),
+        ]
+    }
+
+    proptest! {
+        /// Admissibility of the pruning test: any object inside a node that
+        /// satisfies the predicate forces `possible(node, b)` to hold.
+        #[test]
+        fn possible_is_admissible(
+            p in arb_pred(),
+            obj in arb_rect(),
+            window in arb_rect(),
+            grow in 0.0f64..0.3,
+        ) {
+            let node = obj.inflate(grow); // any node MBR enclosing obj
+            if p.eval(&obj, &window) {
+                prop_assert!(p.possible(&node, &window));
+            }
+        }
+
+        /// `a P b` iff `b P' a` for random rectangles.
+        #[test]
+        fn transpose_consistency(p in arb_pred(), a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(p.eval(&a, &b), p.transpose().eval(&b, &a));
+        }
+
+        /// Intersection is symmetric and agrees with overlap area.
+        #[test]
+        fn intersects_agrees_with_overlap_area(a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+            if a.overlap_area(&b) > 0.0 {
+                prop_assert!(a.intersects(&b));
+            }
+        }
+
+        /// Union contains both operands; intersection is contained in both.
+        #[test]
+        fn union_intersection_lattice(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains(&a) && u.contains(&b));
+            let i = a.intersection(&b);
+            if !i.is_empty() {
+                prop_assert!(a.contains(&i) && b.contains(&i));
+            }
+        }
+    }
+}

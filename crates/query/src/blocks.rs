@@ -1,0 +1,234 @@
+//! Biconnected-component decomposition of query graphs.
+//!
+//! The paper's selectivity formulas (§6) are exact for acyclic queries and
+//! for cliques, and it notes they "are applicable for queries that can be
+//! decomposed to acyclic and clique graphs". The decomposition in question
+//! is into *biconnected components* (blocks): blocks share only cut
+//! vertices, so their join-satisfaction events are independent and
+//! selectivities multiply. This module computes the blocks
+//! (Hopcroft–Tarjan) and classifies them; `mwsj-datagen` builds the
+//! composite estimator on top.
+
+use crate::{QueryGraph, VarId};
+
+/// One biconnected component of a query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Indices into [`QueryGraph::edges`] of the block's edges.
+    pub edges: Vec<usize>,
+    /// The variables touched by those edges, ascending.
+    pub vars: Vec<VarId>,
+}
+
+impl Block {
+    /// Returns `true` if the block is a single edge (a bridge).
+    pub fn is_bridge(&self) -> bool {
+        self.edges.len() == 1
+    }
+
+    /// Returns `true` if the block's variables are completely joined.
+    pub fn is_clique(&self) -> bool {
+        let k = self.vars.len();
+        self.edges.len() == k * (k - 1) / 2
+    }
+}
+
+impl QueryGraph {
+    /// Decomposes the graph into biconnected components (blocks) via an
+    /// iterative Hopcroft–Tarjan DFS. Every edge appears in exactly one
+    /// block; a bridge forms a block of its own. Blocks are returned in
+    /// DFS completion order.
+    pub fn blocks(&self) -> Vec<Block> {
+        let n = self.n_vars();
+        let mut disc = vec![0usize; n]; // 0 = unvisited, else discovery time
+        let mut low = vec![0usize; n];
+        let mut time = 0usize;
+        let mut edge_stack: Vec<usize> = Vec::new();
+        let mut blocks = Vec::new();
+
+        // Iterative DFS frame: (vertex, incoming edge, adjacency cursor).
+        for root in 0..n {
+            if disc[root] != 0 {
+                continue;
+            }
+            time += 1;
+            disc[root] = time;
+            low[root] = time;
+            let mut stack: Vec<(VarId, Option<usize>, usize)> = vec![(root, None, 0)];
+            while let Some(&mut (u, parent_edge, ref mut cursor)) = stack.last_mut() {
+                let neighbors = self.neighbors(u);
+                if *cursor < neighbors.len() {
+                    let (v, _) = neighbors[*cursor];
+                    *cursor += 1;
+                    let edge_idx = self.edge_index(u, v).expect("adjacent edge");
+                    if Some(edge_idx) == parent_edge {
+                        continue;
+                    }
+                    if disc[v] == 0 {
+                        edge_stack.push(edge_idx);
+                        time += 1;
+                        disc[v] = time;
+                        low[v] = time;
+                        stack.push((v, Some(edge_idx), 0));
+                    } else if disc[v] < disc[u] {
+                        // Back edge.
+                        edge_stack.push(edge_idx);
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    // Finished u: propagate low to parent, maybe emit block.
+                    stack.pop();
+                    if let Some(&mut (p, _, _)) = stack.last_mut() {
+                        low[p] = low[p].min(low[u]);
+                        if low[u] >= disc[p] {
+                            // p is an articulation point (or the root):
+                            // everything above the tree edge (p, u) is one
+                            // block.
+                            let tree_edge =
+                                self.edge_index(p, u).expect("tree edge exists");
+                            let mut block_edges = Vec::new();
+                            while let Some(e) = edge_stack.pop() {
+                                block_edges.push(e);
+                                if e == tree_edge {
+                                    break;
+                                }
+                            }
+                            blocks.push(self.make_block(block_edges));
+                        }
+                    }
+                }
+            }
+        }
+        blocks
+    }
+
+    fn make_block(&self, mut edge_indices: Vec<usize>) -> Block {
+        edge_indices.sort_unstable();
+        edge_indices.dedup();
+        let mut vars: Vec<VarId> = edge_indices
+            .iter()
+            .flat_map(|&i| {
+                let e = &self.edges()[i];
+                [e.a, e.b]
+            })
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        Block {
+            edges: edge_indices,
+            vars,
+        }
+    }
+
+    /// Returns `true` if every block is a bridge or a clique — the class
+    /// of queries for which the composite selectivity estimate
+    /// (`mwsj-datagen`) is exact under the uniform model.
+    pub fn is_clique_decomposable(&self) -> bool {
+        self.blocks().iter().all(|b| b.is_bridge() || b.is_clique())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryGraphBuilder;
+
+    #[test]
+    fn chain_blocks_are_all_bridges() {
+        let g = QueryGraph::chain(5);
+        let blocks = g.blocks();
+        assert_eq!(blocks.len(), 4);
+        assert!(blocks.iter().all(Block::is_bridge));
+        assert!(g.is_clique_decomposable());
+        // Every edge appears exactly once.
+        let mut all: Vec<usize> = blocks.iter().flat_map(|b| b.edges.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clique_is_one_block() {
+        let g = QueryGraph::clique(5);
+        let blocks = g.blocks();
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].is_clique());
+        assert_eq!(blocks[0].vars, vec![0, 1, 2, 3, 4]);
+        assert_eq!(blocks[0].edges.len(), 10);
+        assert!(g.is_clique_decomposable());
+    }
+
+    #[test]
+    fn cycle_is_one_non_clique_block() {
+        let g = QueryGraph::cycle(4);
+        let blocks = g.blocks();
+        assert_eq!(blocks.len(), 1);
+        assert!(!blocks[0].is_clique());
+        assert!(!blocks[0].is_bridge());
+        assert!(!g.is_clique_decomposable());
+    }
+
+    #[test]
+    fn barbell_decomposes_into_two_triangles_and_a_bridge() {
+        // Triangle 0-1-2, bridge 2-3, triangle 3-4-5.
+        let g = QueryGraphBuilder::new(6)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 5)
+            .edge(3, 5)
+            .build()
+            .unwrap();
+        let blocks = g.blocks();
+        assert_eq!(blocks.len(), 3);
+        let cliques = blocks.iter().filter(|b| b.is_clique() && !b.is_bridge()).count();
+        let bridges = blocks.iter().filter(|b| b.is_bridge()).count();
+        assert_eq!(cliques, 2);
+        assert_eq!(bridges, 1);
+        assert!(g.is_clique_decomposable());
+        // All 7 edges covered exactly once.
+        let mut all: Vec<usize> = blocks.iter().flat_map(|b| b.edges.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn star_blocks_are_its_edges() {
+        let g = QueryGraph::star(6);
+        let blocks = g.blocks();
+        assert_eq!(blocks.len(), 5);
+        assert!(blocks.iter().all(Block::is_bridge));
+    }
+
+    #[test]
+    fn disconnected_graph_blocks_cover_all_components() {
+        let g = QueryGraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(2, 4)
+            .build()
+            .unwrap();
+        let blocks = g.blocks();
+        assert_eq!(blocks.len(), 2);
+        let mut all: Vec<usize> = blocks.iter().flat_map(|b| b.edges.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_graphs_blocks_partition_edges() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let g = QueryGraph::random_connected(8, 0.3, &mut rng);
+            let blocks = g.blocks();
+            let mut all: Vec<usize> = blocks.iter().flat_map(|b| b.edges.clone()).collect();
+            all.sort_unstable();
+            let expected: Vec<usize> = (0..g.edge_count()).collect();
+            assert_eq!(all, expected, "edges not partitioned");
+        }
+    }
+}

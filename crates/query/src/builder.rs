@@ -1,0 +1,141 @@
+//! Fluent and random construction of query graphs.
+
+use crate::{Edge, GraphError, QueryGraph, VarId};
+use mwsj_geom::Predicate;
+use rand::{Rng, RngExt};
+
+/// Fluent builder for [`QueryGraph`]:
+///
+/// ```
+/// use mwsj_query::QueryGraphBuilder;
+/// use mwsj_geom::Predicate;
+///
+/// // A "T" shaped query: 0—1—2 with 3 hanging off 1 by containment.
+/// let g = QueryGraphBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge_with(1, 3, Predicate::Contains)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.is_acyclic());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryGraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl QueryGraphBuilder {
+    /// Starts a builder for `n` variables.
+    pub fn new(n: usize) -> Self {
+        QueryGraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an *overlap* join condition between `a` and `b`.
+    pub fn edge(self, a: VarId, b: VarId) -> Self {
+        self.edge_with(a, b, Predicate::Intersects)
+    }
+
+    /// Adds a join condition with an explicit predicate (oriented `a → b`).
+    pub fn edge_with(mut self, a: VarId, b: VarId, pred: Predicate) -> Self {
+        self.edges.push(Edge { a, b, pred });
+        self
+    }
+
+    /// Validates and builds the graph.
+    pub fn build(self) -> Result<QueryGraph, GraphError> {
+        QueryGraph::from_edges(self.n, self.edges)
+    }
+}
+
+impl QueryGraph {
+    /// Generates a random connected query graph: a random spanning tree
+    /// (guaranteeing connectivity) plus each remaining pair joined
+    /// independently with probability `extra_edge_prob` (0 → random tree,
+    /// 1 → clique). Used by the test suite and the ablation benches to
+    /// cover topologies between the paper's two extremes.
+    #[allow(clippy::needless_range_loop)] // `present` is a 2D adjacency matrix
+    pub fn random_connected<R: Rng>(n: usize, extra_edge_prob: f64, rng: &mut R) -> Self {
+        assert!(n >= 2, "a multiway join needs at least 2 variables");
+        assert!(
+            (0.0..=1.0).contains(&extra_edge_prob),
+            "probability out of range"
+        );
+        let mut edges = Vec::new();
+        let mut present = vec![vec![false; n]; n];
+        // Random spanning tree: attach each new variable to a uniformly
+        // chosen earlier one.
+        for v in 1..n {
+            let u = rng.random_range(0..v);
+            edges.push(Edge {
+                a: u,
+                b: v,
+                pred: Predicate::Intersects,
+            });
+            present[u][v] = true;
+            present[v][u] = true;
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !present[a][b] && rng.random_bool(extra_edge_prob) {
+                    edges.push(Edge {
+                        a,
+                        b,
+                        pred: Predicate::Intersects,
+                    });
+                    present[a][b] = true;
+                    present[b][a] = true;
+                }
+            }
+        }
+        QueryGraph::from_edges(n, edges).expect("random construction is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_happy_path() {
+        let g = QueryGraphBuilder::new(3).edge(0, 1).edge(1, 2).build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn builder_propagates_errors() {
+        assert!(QueryGraphBuilder::new(3).edge(0, 0).build().is_err());
+        assert!(QueryGraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(0, 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn random_graph_is_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2, 3, 5, 10, 20] {
+            for p in [0.0, 0.3, 1.0] {
+                let g = QueryGraph::random_connected(n, p, &mut rng);
+                assert!(g.is_connected(), "n={n} p={p}");
+                assert!(g.edge_count() >= n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_extremes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let tree = QueryGraph::random_connected(10, 0.0, &mut rng);
+        assert!(tree.is_acyclic());
+        let clique = QueryGraph::random_connected(10, 1.0, &mut rng);
+        assert!(clique.is_clique());
+    }
+}

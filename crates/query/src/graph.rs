@@ -1,0 +1,433 @@
+//! The query graph / constraint network.
+
+use crate::VarId;
+use mwsj_geom::Predicate;
+use std::fmt;
+
+/// One join condition: `var a` related to `var b` by `pred` (oriented
+/// `a → b`, i.e. the edge holds when `pred.eval(rect_a, rect_b)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint.
+    pub a: VarId,
+    /// Second endpoint.
+    pub b: VarId,
+    /// Spatial predicate, oriented from `a` to `b`.
+    pub pred: Predicate,
+}
+
+/// Errors raised when constructing a [`QueryGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A graph needs at least two variables.
+    TooFewVariables(usize),
+    /// Edge endpoints must differ (self-joins are expressed by aliasing a
+    /// dataset under two variables, not by self-loops).
+    SelfLoop(VarId),
+    /// An endpoint is outside `0..n`.
+    OutOfRange(VarId, usize),
+    /// The same variable pair appears twice.
+    DuplicateEdge(VarId, VarId),
+    /// A query graph must have at least one join condition.
+    NoEdges,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooFewVariables(n) => {
+                write!(f, "a multiway join needs at least 2 variables, got {n}")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop on variable {v}"),
+            GraphError::OutOfRange(v, n) => {
+                write!(f, "variable {v} out of range for {n} variables")
+            }
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge ({a}, {b})"),
+            GraphError::NoEdges => write!(f, "query graph has no join conditions"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A multiway spatial join query: `n` variables plus predicate-labelled
+/// edges between them.
+///
+/// ```
+/// use mwsj_query::QueryGraph;
+///
+/// // "cities crossed by a river which crosses an industrial area"
+/// let chain = QueryGraph::chain(3);
+/// assert_eq!(chain.edge_count(), 2);
+/// // "... where the industrial area also intersects the city"
+/// let clique = QueryGraph::clique(3);
+/// assert_eq!(clique.edge_count(), 3);
+/// assert!(clique.is_clique());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// Adjacency lists; predicates oriented *from* the list owner.
+    adj: Vec<Vec<(VarId, Predicate)>>,
+    /// Edge index by unordered pair: `pair_index[a][b] = Some(edge idx)`.
+    pair_index: Vec<Vec<Option<usize>>>,
+}
+
+impl QueryGraph {
+    /// Builds a graph from an explicit edge list.
+    pub fn from_edges(n: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if n < 2 {
+            return Err(GraphError::TooFewVariables(n));
+        }
+        if edges.is_empty() {
+            return Err(GraphError::NoEdges);
+        }
+        let mut adj: Vec<Vec<(VarId, Predicate)>> = vec![Vec::new(); n];
+        let mut pair_index: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+        for (idx, e) in edges.iter().enumerate() {
+            if e.a == e.b {
+                return Err(GraphError::SelfLoop(e.a));
+            }
+            for v in [e.a, e.b] {
+                if v >= n {
+                    return Err(GraphError::OutOfRange(v, n));
+                }
+            }
+            if pair_index[e.a][e.b].is_some() {
+                return Err(GraphError::DuplicateEdge(e.a, e.b));
+            }
+            pair_index[e.a][e.b] = Some(idx);
+            pair_index[e.b][e.a] = Some(idx);
+            adj[e.a].push((e.b, e.pred));
+            adj[e.b].push((e.a, e.pred.transpose()));
+        }
+        Ok(QueryGraph {
+            n,
+            edges,
+            adj,
+            pair_index,
+        })
+    }
+
+    /// Chain query `v₀ — v₁ — … — vₙ₋₁` with the *overlap* predicate: the
+    /// most under-constrained connected topology (paper §6, footnote 2).
+    pub fn chain(n: usize) -> Self {
+        Self::chain_with(n, Predicate::Intersects)
+    }
+
+    /// Chain query with an arbitrary predicate on every edge.
+    pub fn chain_with(n: usize, pred: Predicate) -> Self {
+        let edges = (0..n.saturating_sub(1))
+            .map(|i| Edge {
+                a: i,
+                b: i + 1,
+                pred,
+            })
+            .collect();
+        Self::from_edges(n, edges).expect("chain construction is valid for n >= 2")
+    }
+
+    /// Clique query (every pair joined) with the *overlap* predicate: the
+    /// most over-constrained topology (paper §6, footnote 2).
+    pub fn clique(n: usize) -> Self {
+        Self::clique_with(n, Predicate::Intersects)
+    }
+
+    /// Clique query with an arbitrary (symmetric) predicate on every edge.
+    pub fn clique_with(n: usize, pred: Predicate) -> Self {
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push(Edge { a, b, pred });
+            }
+        }
+        Self::from_edges(n, edges).expect("clique construction is valid for n >= 2")
+    }
+
+    /// Cycle query `v₀ — v₁ — … — vₙ₋₁ — v₀`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "a cycle needs at least 3 variables");
+        let mut edges: Vec<Edge> = (0..n - 1)
+            .map(|i| Edge {
+                a: i,
+                b: i + 1,
+                pred: Predicate::Intersects,
+            })
+            .collect();
+        edges.push(Edge {
+            a: n - 1,
+            b: 0,
+            pred: Predicate::Intersects,
+        });
+        Self::from_edges(n, edges).expect("cycle construction is valid for n >= 3")
+    }
+
+    /// Star query: `v₀` joined with every other variable.
+    pub fn star(n: usize) -> Self {
+        let edges = (1..n)
+            .map(|i| Edge {
+                a: 0,
+                b: i,
+                pred: Predicate::Intersects,
+            })
+            .collect();
+        Self::from_edges(n, edges).expect("star construction is valid for n >= 2")
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of join conditions.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The join conditions, in construction order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbours of `v` with the predicate oriented from `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VarId) -> &[(VarId, Predicate)] {
+        &self.adj[v]
+    }
+
+    /// Number of join conditions incident to `v`.
+    #[inline]
+    pub fn degree(&self, v: VarId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The predicate between `a` and `b`, oriented `a → b`, if an edge
+    /// exists.
+    pub fn predicate_between(&self, a: VarId, b: VarId) -> Option<Predicate> {
+        let idx = self.pair_index[a][b]?;
+        let e = &self.edges[idx];
+        Some(if e.a == a { e.pred } else { e.pred.transpose() })
+    }
+
+    /// Index into [`QueryGraph::edges`] of the edge between `a` and `b`.
+    pub fn edge_index(&self, a: VarId, b: VarId) -> Option<usize> {
+        self.pair_index[a][b]
+    }
+
+    /// Returns `true` if every variable is reachable from variable 0.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in &self.adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Returns `true` if the graph is a tree (connected and acyclic) —
+    /// the class the paper's acyclic selectivity formula covers.
+    pub fn is_acyclic(&self) -> bool {
+        self.edges.len() == self.n - 1 && self.is_connected()
+    }
+
+    /// Returns `true` if every pair of variables is joined.
+    pub fn is_clique(&self) -> bool {
+        self.edges.len() == self.n * (self.n - 1) / 2
+    }
+
+    /// Problem size `s = log₂ ∏ Nᵢ` — the number of bits needed to express
+    /// all possible solutions \[CFG+98\], used by the paper to scale SEA's
+    /// parameters (§5). `cards[i]` is the cardinality of dataset `i`.
+    pub fn problem_size_bits(&self, cards: &[usize]) -> f64 {
+        assert_eq!(cards.len(), self.n);
+        cards.iter().map(|&c| (c.max(1) as f64).log2()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let g = QueryGraph::chain(5);
+        assert_eq!(g.n_vars(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+        assert!(g.is_acyclic());
+        assert!(!g.is_clique());
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn clique_structure() {
+        let g = QueryGraph::clique(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.is_clique());
+        assert!(g.is_connected());
+        assert!(!g.is_acyclic());
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn two_var_clique_equals_chain() {
+        let g = QueryGraph::clique(2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.is_clique());
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = QueryGraph::cycle(4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+        assert!(!g.is_acyclic());
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = QueryGraph::star(6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_acyclic());
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn predicate_between_orientation() {
+        let g = QueryGraph::from_edges(
+            2,
+            vec![Edge {
+                a: 0,
+                b: 1,
+                pred: Predicate::Contains,
+            }],
+        )
+        .unwrap();
+        assert_eq!(g.predicate_between(0, 1), Some(Predicate::Contains));
+        assert_eq!(g.predicate_between(1, 0), Some(Predicate::Inside));
+        assert_eq!(g.predicate_between(0, 0), None);
+    }
+
+    #[test]
+    fn neighbors_carry_transposed_predicates() {
+        let g = QueryGraph::from_edges(
+            3,
+            vec![
+                Edge {
+                    a: 0,
+                    b: 1,
+                    pred: Predicate::NorthEast,
+                },
+                Edge {
+                    a: 1,
+                    b: 2,
+                    pred: Predicate::Intersects,
+                },
+            ],
+        )
+        .unwrap();
+        let n1: Vec<_> = g.neighbors(1).to_vec();
+        assert!(n1.contains(&(0, Predicate::SouthWest)));
+        assert!(n1.contains(&(2, Predicate::Intersects)));
+    }
+
+    #[test]
+    fn rejects_invalid_graphs() {
+        assert_eq!(
+            QueryGraph::from_edges(1, vec![]).unwrap_err(),
+            GraphError::TooFewVariables(1)
+        );
+        assert_eq!(
+            QueryGraph::from_edges(3, vec![]).unwrap_err(),
+            GraphError::NoEdges
+        );
+        let self_loop = Edge {
+            a: 1,
+            b: 1,
+            pred: Predicate::Intersects,
+        };
+        assert_eq!(
+            QueryGraph::from_edges(3, vec![self_loop]).unwrap_err(),
+            GraphError::SelfLoop(1)
+        );
+        let oob = Edge {
+            a: 0,
+            b: 7,
+            pred: Predicate::Intersects,
+        };
+        assert_eq!(
+            QueryGraph::from_edges(3, vec![oob]).unwrap_err(),
+            GraphError::OutOfRange(7, 3)
+        );
+        let e = Edge {
+            a: 0,
+            b: 1,
+            pred: Predicate::Intersects,
+        };
+        let rev = Edge {
+            a: 1,
+            b: 0,
+            pred: Predicate::Intersects,
+        };
+        assert_eq!(
+            QueryGraph::from_edges(3, vec![e, rev]).unwrap_err(),
+            GraphError::DuplicateEdge(1, 0)
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_is_detected() {
+        let g = QueryGraph::from_edges(
+            4,
+            vec![
+                Edge {
+                    a: 0,
+                    b: 1,
+                    pred: Predicate::Intersects,
+                },
+                Edge {
+                    a: 2,
+                    b: 3,
+                    pred: Predicate::Intersects,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(!g.is_connected());
+        assert!(!g.is_acyclic()); // acyclic requires connectivity here
+    }
+
+    #[test]
+    fn problem_size_bits_matches_formula() {
+        let g = QueryGraph::chain(3);
+        // s = log2(1000^3) = 3 * log2(1000)
+        let s = g.problem_size_bits(&[1000, 1000, 1000]);
+        assert!((s - 3.0 * 1000f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_needs_three() {
+        let _ = QueryGraph::cycle(2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Query graphs, solutions and similarity for multiway spatial joins.
+//!
+//! A multiway spatial join over datasets `D₁ … Dₙ` is specified by a *query
+//! graph* whose nodes are the datasets (problem variables) and whose edges
+//! carry binary spatial predicates — equivalently, a binary *constraint
+//! network* (the paper's §2). This crate provides:
+//!
+//! * [`QueryGraph`] — the constraint network, with constructors for the
+//!   paper's query topologies (chains, cliques, cycles, stars, random
+//!   connected graphs) and a fluent [`QueryGraphBuilder`];
+//! * [`Solution`] — a full assignment of one object per variable;
+//! * inconsistency-degree / similarity evaluation
+//!   (`similarity = 1 − #violated / #total`, §6);
+//! * [`ConflictState`] — incremental per-variable conflict bookkeeping used
+//!   by the local-search algorithms to find the *worst variable* in O(1)
+//!   amortised per move;
+//! * [`PenaltyTable`] — the sparse assignment-penalty memory of guided
+//!   indexed local search (§4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod builder;
+mod conflicts;
+mod graph;
+mod penalty;
+mod solution;
+
+pub use blocks::Block;
+pub use builder::QueryGraphBuilder;
+pub use conflicts::ConflictState;
+pub use graph::{Edge, GraphError, QueryGraph};
+pub use penalty::PenaltyTable;
+pub use solution::Solution;
+
+/// Index of a query variable (dataset) in `0..n`.
+pub type VarId = usize;

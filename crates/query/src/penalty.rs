@@ -1,0 +1,147 @@
+//! The sparse penalty memory of guided indexed local search (paper §4).
+//!
+//! GILS penalises variable *assignments* (`vᵢ ← r`) found at local maxima.
+//! The effective inconsistency degree of a solution adds
+//! `λ · Σᵢ penalty(vᵢ ← rᵢ)` to its violation count. The paper notes the
+//! penalty array is very sparse and suggests a hash table for large
+//! problems — which is what this is.
+
+use crate::{Solution, VarId};
+use std::collections::HashMap;
+
+/// Sparse table of assignment penalties.
+#[derive(Debug, Clone, Default)]
+pub struct PenaltyTable {
+    penalties: HashMap<(VarId, usize), u32>,
+}
+
+impl PenaltyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Penalty of the assignment `v ← obj` (0 if never penalised).
+    #[inline]
+    pub fn get(&self, v: VarId, obj: usize) -> u32 {
+        self.penalties.get(&(v, obj)).copied().unwrap_or(0)
+    }
+
+    /// Increments the penalty of `v ← obj`.
+    pub fn penalize(&mut self, v: VarId, obj: usize) {
+        *self.penalties.entry((v, obj)).or_insert(0) += 1;
+    }
+
+    /// Sum of penalties over all assignments of `sol`.
+    pub fn total_for(&self, sol: &Solution) -> u64 {
+        sol.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(v, &obj)| self.get(v, obj) as u64)
+            .sum()
+    }
+
+    /// Effective inconsistency degree: violations plus λ-weighted penalties
+    /// (paper §4).
+    pub fn effective_inconsistency(&self, violations: usize, sol: &Solution, lambda: f64) -> f64 {
+        violations as f64 + lambda * self.total_for(sol) as f64
+    }
+
+    /// The GILS punishment step: among the assignments of the current local
+    /// maximum, penalise those with the **minimum** penalty so far (avoiding
+    /// over-punishing assignments already penalised at earlier maxima).
+    /// Returns the penalised variables.
+    pub fn penalize_local_maximum(&mut self, sol: &Solution) -> Vec<VarId> {
+        let min = sol
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(v, &obj)| self.get(v, obj))
+            .min()
+            .expect("solution has at least one variable");
+        let chosen: Vec<VarId> = (0..sol.len())
+            .filter(|&v| self.get(v, sol.get(v)) == min)
+            .collect();
+        for &v in &chosen {
+            self.penalize(v, sol.get(v));
+        }
+        chosen
+    }
+
+    /// Number of distinct assignments holding a positive penalty.
+    pub fn len(&self) -> usize {
+        self.penalties.len()
+    }
+
+    /// Returns `true` if no assignment has been penalised yet.
+    pub fn is_empty(&self) -> bool {
+        self.penalties.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_defaults_to_zero() {
+        let t = PenaltyTable::new();
+        assert_eq!(t.get(0, 42), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn penalize_accumulates() {
+        let mut t = PenaltyTable::new();
+        t.penalize(1, 7);
+        t.penalize(1, 7);
+        t.penalize(2, 7);
+        assert_eq!(t.get(1, 7), 2);
+        assert_eq!(t.get(2, 7), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn total_for_sums_assignments() {
+        let mut t = PenaltyTable::new();
+        t.penalize(0, 5);
+        t.penalize(0, 5);
+        t.penalize(2, 1);
+        let sol = Solution::new(vec![5, 9, 1]);
+        assert_eq!(t.total_for(&sol), 3); // 2 (v0←5) + 0 (v1←9) + 1 (v2←1)
+    }
+
+    #[test]
+    fn effective_inconsistency_applies_lambda() {
+        let mut t = PenaltyTable::new();
+        let sol = Solution::new(vec![0, 0]);
+        t.penalize(0, 0);
+        let eff = t.effective_inconsistency(3, &sol, 0.5);
+        assert!((eff - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_maximum_punishes_min_penalty_assignments_only() {
+        let mut t = PenaltyTable::new();
+        let sol = Solution::new(vec![10, 20, 30]);
+        // First maximum: all assignments have penalty 0 → all punished.
+        let p1 = t.penalize_local_maximum(&sol);
+        assert_eq!(p1, vec![0, 1, 2]);
+        // Manually bump v0's assignment.
+        t.penalize(0, 10);
+        // Same maximum again: v0←10 has penalty 2, v1/v2 have 1 → only v1, v2.
+        let p2 = t.penalize_local_maximum(&sol);
+        assert_eq!(p2, vec![1, 2]);
+        assert_eq!(t.get(0, 10), 2);
+        assert_eq!(t.get(1, 20), 2);
+        assert_eq!(t.get(2, 30), 2);
+    }
+
+    #[test]
+    fn punishment_distinguishes_same_object_in_different_vars() {
+        let mut t = PenaltyTable::new();
+        t.penalize(0, 3);
+        assert_eq!(t.get(0, 3), 1);
+        assert_eq!(t.get(1, 3), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Deletion with tree condensation (Guttman's CondenseTree adapted to the
+//! arena layout): underfull nodes are dissolved and their entries
+//! re-inserted at their original level.
+
+use crate::node::{Entry, NodeId, Payload};
+use crate::tree::RTree;
+use mwsj_geom::Rect;
+
+impl<T: PartialEq> RTree<T> {
+    /// Removes one entry whose MBR equals `mbr` and whose payload equals
+    /// `value`. Returns `true` if an entry was found and removed.
+    ///
+    /// If several identical entries exist, exactly one is removed.
+    pub fn remove(&mut self, mbr: &Rect, value: &T) -> bool {
+        let mut orphans: Vec<(Entry<T>, u32)> = Vec::new();
+        let root = self.root;
+        let found = self.remove_rec(root, mbr, value, &mut orphans);
+        if !found {
+            return false;
+        }
+        self.len -= 1;
+
+        // Re-insert orphaned entries at their original levels.
+        while let Some((entry, level)) = orphans.pop() {
+            // `level` may exceed the current height if the tree shrank; the
+            // shrink step below runs first in practice because orphans are
+            // collected bottom-up, but clamp defensively.
+            self.reinsert_orphan(entry, level, &mut orphans);
+        }
+
+        // Shrink the root while it is an internal node with a single child.
+        while !self.node(self.root).is_leaf() && self.node(self.root).entries.len() == 1 {
+            let child = self.node(self.root).entries[0].child_id();
+            let old_root = self.root;
+            self.dealloc(old_root);
+            self.root = child;
+            self.height = self.node(child).level + 1;
+        }
+        // An empty internal root can occur if everything was deleted.
+        if self.len == 0 && !self.node(self.root).is_leaf() {
+            let old_root = self.root;
+            self.dealloc(old_root);
+            let leaf = self.alloc(0);
+            self.root = leaf;
+            self.height = 1;
+        }
+        true
+    }
+
+    /// Depth-first search for the entry; on the way back up, condenses
+    /// underfull children. Returns whether the entry was removed below.
+    fn remove_rec(
+        &mut self,
+        node_id: NodeId,
+        mbr: &Rect,
+        value: &T,
+        orphans: &mut Vec<(Entry<T>, u32)>,
+    ) -> bool {
+        if self.node(node_id).is_leaf() {
+            let node = self.node_mut(node_id);
+            if let Some(pos) = node.entries.iter().position(|e| {
+                e.mbr == *mbr
+                    && matches!(&e.payload, Payload::Data(v) if v == value)
+            }) {
+                node.entries.swap_remove(pos);
+                return true;
+            }
+            return false;
+        }
+
+        let slots = self.node(node_id).entries.len();
+        for slot in 0..slots {
+            let (child_mbr, child_id) = {
+                let e = &self.node(node_id).entries[slot];
+                (e.mbr, e.child_id())
+            };
+            // The MBR invariant guarantees the entry's MBR is fully
+            // contained in every ancestor MBR, so non-covering children
+            // cannot hold it.
+            if !child_mbr.contains(mbr) {
+                continue;
+            }
+            if self.remove_rec(child_id, mbr, value, orphans) {
+                let child_len = self.node(child_id).entries.len();
+                if child_len < self.params.min_entries {
+                    // Dissolve the underfull child: orphan its entries.
+                    let level = self.node(child_id).level;
+                    let entries = std::mem::take(&mut self.node_mut(child_id).entries);
+                    orphans.extend(entries.into_iter().map(|e| (e, level)));
+                    self.dealloc(child_id);
+                    self.node_mut(node_id).entries.swap_remove(slot);
+                } else {
+                    self.node_mut(node_id).entries[slot].mbr = self.node(child_id).mbr();
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Re-inserts an orphaned entry at its level, splitting as needed.
+    /// Orphans skip forced reinsertion (they are already being reinserted).
+    fn reinsert_orphan(
+        &mut self,
+        entry: Entry<T>,
+        target_level: u32,
+        _orphans: &mut [(Entry<T>, u32)],
+    ) {
+        // If the tree shrank below the orphan's level, splice the orphan's
+        // subtree back by raising the root.
+        if target_level >= self.height {
+            // The orphan is a subtree as tall as (or taller than) the tree:
+            // grow the root until it can hold the orphan.
+            while target_level >= self.height {
+                let old_root = self.root;
+                let old_mbr = self.node(old_root).mbr();
+                let lvl = self.node(old_root).level + 1;
+                let new_root = self.alloc(lvl);
+                self.node_mut(new_root)
+                    .entries
+                    .push(Entry::child(old_mbr, old_root));
+                self.root = new_root;
+                self.height = lvl + 1;
+            }
+        }
+
+        let mbr = entry.mbr;
+        let mut path: Vec<(NodeId, usize)> = Vec::new();
+        let mut cur = self.root;
+        while self.node(cur).level > target_level {
+            let slot = self.choose_subtree(cur, &mbr);
+            let child = self.node(cur).entries[slot].child_id();
+            path.push((cur, slot));
+            cur = child;
+        }
+        self.node_mut(cur).entries.push(entry);
+
+        let mut split_sibling: Option<Entry<T>> = None;
+        loop {
+            if self.node(cur).entries.len() > self.params.max_entries {
+                split_sibling = Some(self.split_node(cur));
+            }
+            match path.pop() {
+                None => {
+                    if let Some(sib) = split_sibling.take() {
+                        self.grow_root(sib);
+                    }
+                    return;
+                }
+                Some((parent, slot)) => {
+                    let child_mbr = self.node(cur).mbr();
+                    let parent_node = self.node_mut(parent);
+                    parent_node.entries[slot].mbr = child_mbr;
+                    if let Some(sib) = split_sibling.take() {
+                        parent_node.entries.push(sib);
+                    }
+                    cur = parent;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeParams};
+    use mwsj_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn rect_for(i: usize) -> Rect {
+        let x = (i % 20) as f64;
+        let y = (i / 20) as f64;
+        Rect::new(x, y, x + 0.7, y + 0.7)
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut tree: RTree<usize> = RTree::new();
+        tree.insert(rect_for(0), 0);
+        assert!(!tree.remove(&rect_for(1), &1));
+        assert!(!tree.remove(&rect_for(0), &5)); // right rect, wrong payload
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn insert_then_remove_everything() {
+        let mut tree: RTree<usize> = RTree::with_params(RTreeParams::new(4));
+        let n = 300;
+        for i in 0..n {
+            tree.insert(rect_for(i), i);
+        }
+        tree.check_invariants().unwrap();
+        for i in 0..n {
+            assert!(tree.remove(&rect_for(i), &i), "entry {i} not found");
+            if i % 37 == 0 {
+                tree.check_invariants().unwrap();
+            }
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_in_random_order() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tree: RTree<usize> = RTree::with_params(RTreeParams::new(5));
+        let n = 400;
+        let mut rects = Vec::new();
+        for i in 0..n {
+            let x: f64 = rng.random_range(0.0..1.0);
+            let y: f64 = rng.random_range(0.0..1.0);
+            let r = Rect::new(x, y, x + 0.01, y + 0.01);
+            rects.push(r);
+            tree.insert(r, i);
+        }
+        // Shuffle removal order.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for (k, &i) in order.iter().enumerate() {
+            assert!(tree.remove(&rects[i], &i));
+            if k % 50 == 0 {
+                tree.check_invariants().unwrap();
+            }
+        }
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn removed_entries_are_not_found_by_queries() {
+        let mut tree: RTree<usize> = RTree::new();
+        for i in 0..100 {
+            tree.insert(rect_for(i), i);
+        }
+        for i in (0..100).step_by(2) {
+            tree.remove(&rect_for(i), &i);
+        }
+        let all: Vec<usize> = tree.iter().map(|(_, v)| *v).collect();
+        assert_eq!(all.len(), 50);
+        assert!(all.iter().all(|v| v % 2 == 1));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_entries_removed_one_at_a_time() {
+        let mut tree: RTree<u32> = RTree::new();
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        tree.insert(r, 9);
+        tree.insert(r, 9);
+        assert!(tree.remove(&r, &9));
+        assert_eq!(tree.len(), 1);
+        assert!(tree.remove(&r, &9));
+        assert!(tree.is_empty());
+        assert!(!tree.remove(&r, &9));
+    }
+}

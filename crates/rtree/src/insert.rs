@@ -1,0 +1,242 @@
+//! R* insertion: choose-subtree, overflow treatment with forced reinsertion.
+
+use crate::node::{Entry, NodeId};
+use crate::split::rstar_split;
+use crate::tree::RTree;
+use mwsj_geom::Rect;
+
+impl<T> RTree<T> {
+    /// Inserts a rectangle with its payload.
+    pub fn insert(&mut self, mbr: Rect, value: T) {
+        debug_assert!(mbr.is_finite(), "inserted MBR must be finite");
+        self.len += 1;
+        // Pending (entry, target_level) queue: forced reinsertion evicts
+        // entries mid-insert; they re-enter from the root after the current
+        // descent finishes, exactly as BKSS90 prescribes.
+        let mut pending: Vec<(Entry<T>, u32)> = vec![(Entry::data(mbr, value), 0)];
+        // One forced-reinsert opportunity per level per insert operation.
+        let mut reinserted = vec![false; self.height as usize + 1];
+        while let Some((entry, level)) = pending.pop() {
+            if reinserted.len() <= self.height as usize {
+                reinserted.resize(self.height as usize + 1, false);
+            }
+            self.insert_one(entry, level, &mut reinserted, &mut pending);
+        }
+    }
+
+    /// Inserts one entry at `target_level`, handling overflow on the way up.
+    fn insert_one(
+        &mut self,
+        entry: Entry<T>,
+        target_level: u32,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(Entry<T>, u32)>,
+    ) {
+        // Descend, recording the path as (parent, child-slot) pairs.
+        let mbr = entry.mbr;
+        let mut path: Vec<(NodeId, usize)> = Vec::with_capacity(self.height as usize);
+        let mut cur = self.root;
+        while self.node(cur).level > target_level {
+            let slot = self.choose_subtree(cur, &mbr);
+            let child = self.node(cur).entries[slot].child_id();
+            path.push((cur, slot));
+            cur = child;
+        }
+        self.node_mut(cur).entries.push(entry);
+
+        // Unwind: overflow treatment + MBR maintenance.
+        let mut split_sibling: Option<Entry<T>> = None;
+        loop {
+            let level = self.node(cur).level as usize;
+            if self.node(cur).entries.len() > self.params.max_entries {
+                let can_reinsert = cur != self.root
+                    && self.params.reinsert_count > 0
+                    && !reinserted[level];
+                if can_reinsert {
+                    reinserted[level] = true;
+                    self.forced_reinsert(cur, pending);
+                } else {
+                    split_sibling = Some(self.split_node(cur));
+                }
+            }
+            match path.pop() {
+                None => {
+                    // `cur` is the root.
+                    if let Some(sib) = split_sibling.take() {
+                        self.grow_root(sib);
+                    }
+                    return;
+                }
+                Some((parent, slot)) => {
+                    let child_mbr = self.node(cur).mbr();
+                    let parent_node = self.node_mut(parent);
+                    parent_node.entries[slot].mbr = child_mbr;
+                    if let Some(sib) = split_sibling.take() {
+                        parent_node.entries.push(sib);
+                    }
+                    cur = parent;
+                }
+            }
+        }
+    }
+
+    /// R* choose-subtree: among the children of `node_id`, pick the slot for
+    /// a rectangle `mbr` descending towards the leaves.
+    ///
+    /// When the children are leaves the criterion is minimum **overlap**
+    /// enlargement (ties: minimum area enlargement, then minimum area);
+    /// higher up it is minimum area enlargement (ties: minimum area).
+    pub(crate) fn choose_subtree(&self, node_id: NodeId, mbr: &Rect) -> usize {
+        let node = self.node(node_id);
+        debug_assert!(!node.is_leaf());
+        let children_are_leaves = node.level == 1;
+        let entries = &node.entries;
+        debug_assert!(!entries.is_empty());
+
+        let mut best = 0usize;
+        let mut best_overlap_delta = f64::INFINITY;
+        let mut best_area_delta = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+
+        for (i, e) in entries.iter().enumerate() {
+            let enlarged = e.mbr.union(mbr);
+            let area = e.mbr.area();
+            let area_delta = enlarged.area() - area;
+            let overlap_delta = if children_are_leaves {
+                // Overlap of this child with its siblings, before vs. after
+                // enlargement. O(M²) total, as in BKSS90.
+                let mut delta = 0.0;
+                for (j, other) in entries.iter().enumerate() {
+                    if i != j {
+                        delta += enlarged.overlap_area(&other.mbr)
+                            - e.mbr.overlap_area(&other.mbr);
+                    }
+                }
+                delta
+            } else {
+                0.0
+            };
+
+            let better = (overlap_delta, area_delta, area)
+                < (best_overlap_delta, best_area_delta, best_area);
+            if better {
+                best = i;
+                best_overlap_delta = overlap_delta;
+                best_area_delta = area_delta;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    /// Forced reinsertion: evicts the `p` entries whose centers lie farthest
+    /// from the center of the node's MBR and queues them for re-insertion,
+    /// closest first (*close reinsert*).
+    fn forced_reinsert(&mut self, node_id: NodeId, pending: &mut Vec<(Entry<T>, u32)>) {
+        let p = self.params.reinsert_count;
+        let level = self.node(node_id).level;
+        let center = self.node(node_id).mbr().center();
+
+        // Sort slots by center distance, descending.
+        let node = self.node_mut(node_id);
+        node.entries.sort_by(|a, b| {
+            let da = a.mbr.center().distance_sq(&center);
+            let db = b.mbr.center().distance_sq(&center);
+            db.partial_cmp(&da).expect("finite MBR centers")
+        });
+        // The first `p` entries are the farthest. Draining them in order
+        // pushes farthest first, so the LIFO `pending` queue pops the
+        // closest first — BKSS90's close-reinsert variant.
+        let evicted: Vec<Entry<T>> = node.entries.drain(..p).collect();
+        pending.extend(evicted.into_iter().map(|e| (e, level)));
+    }
+
+    /// Splits an overflowing node; returns the parent entry for the new
+    /// sibling.
+    pub(crate) fn split_node(&mut self, node_id: NodeId) -> Entry<T> {
+        let level = self.node(node_id).level;
+        let entries = std::mem::take(&mut self.node_mut(node_id).entries);
+        let (left, right) = rstar_split(entries, self.params.min_entries);
+        self.node_mut(node_id).entries = left;
+        let sibling = self.alloc(level);
+        self.node_mut(sibling).entries = right;
+        let sib_mbr = self.node(sibling).mbr();
+        Entry::child(sib_mbr, sibling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn grid_tree(n: usize) -> RTree<usize> {
+        let mut tree = RTree::with_params(crate::RTreeParams::new(8));
+        let side = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            let x = (i % side) as f64;
+            let y = (i / side) as f64;
+            tree.insert(Rect::new(x, y, x + 0.8, y + 0.8), i);
+        }
+        tree
+    }
+
+    #[test]
+    fn insert_grows_len_and_height() {
+        let tree = grid_tree(200);
+        assert_eq!(tree.len(), 200);
+        assert!(tree.height() > 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_inserted_entries_are_reachable() {
+        let tree = grid_tree(500);
+        let mut seen: Vec<usize> = tree.iter().map(|(_, v)| *v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_inserts_preserve_invariants() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut tree = RTree::with_params(crate::RTreeParams::new(6));
+        for i in 0..1000usize {
+            let x: f64 = rng.random_range(0.0..1.0);
+            let y: f64 = rng.random_range(0.0..1.0);
+            let w: f64 = rng.random_range(0.0..0.05);
+            let h: f64 = rng.random_range(0.0..0.05);
+            tree.insert(Rect::new(x, y, x + w, y + h), i);
+            if i % 100 == 0 {
+                tree.check_invariants().unwrap();
+            }
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 1000);
+    }
+
+    #[test]
+    fn duplicate_rectangles_are_allowed() {
+        let mut tree: RTree<u32> = RTree::with_params(crate::RTreeParams::new(4));
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for i in 0..50 {
+            tree.insert(r, i);
+        }
+        assert_eq!(tree.len(), 50);
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.window(&r).count(), 50);
+    }
+
+    #[test]
+    fn degenerate_point_rectangles() {
+        let mut tree: RTree<u32> = RTree::new();
+        for i in 0..100 {
+            let p = i as f64 / 100.0;
+            tree.insert(Rect::new(p, p, p, p), i);
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.window(&Rect::new(0.0, 0.0, 0.5, 0.5)).count(), 51);
+    }
+}

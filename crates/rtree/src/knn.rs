@@ -1,0 +1,176 @@
+//! Best-first k-nearest-neighbour search (Hjaltason & Samet style).
+
+use crate::node::{NodeId, Payload};
+use crate::tree::RTree;
+use mwsj_geom::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A k-NN result: the entry plus its distance to the query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor<'a, T> {
+    /// MBR of the matching entry.
+    pub mbr: &'a Rect,
+    /// Payload of the matching entry.
+    pub value: &'a T,
+    /// Minimum distance from the query point to `mbr`.
+    pub distance: f64,
+}
+
+/// Heap item ordered by ascending distance (min-heap via reversed `Ord`).
+struct HeapItem {
+    dist: f64,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Node(NodeId),
+    /// (node, entry index) of a data entry.
+    Data(NodeId, usize),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need smallest distance first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+    }
+}
+
+impl<T> RTree<T> {
+    /// The `k` entries nearest to `point` by minimum MBR distance, in
+    /// ascending distance order. Returns fewer than `k` results if the tree
+    /// holds fewer entries.
+    pub fn nearest_neighbors(&self, point: &Point, k: usize) -> Vec<Neighbor<'_, T>> {
+        let mut result = Vec::with_capacity(k.min(self.len));
+        if k == 0 || self.is_empty() {
+            return result;
+        }
+        let query = Rect::from_point(*point);
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: self.node(self.root).mbr().min_distance(&query),
+            kind: ItemKind::Node(self.root),
+        });
+        while let Some(item) = heap.pop() {
+            match item.kind {
+                ItemKind::Node(id) => {
+                    let node = self.node(id);
+                    for (i, e) in node.entries.iter().enumerate() {
+                        let dist = e.mbr.min_distance(&query);
+                        let kind = match &e.payload {
+                            Payload::Child(c) => ItemKind::Node(*c),
+                            Payload::Data(_) => ItemKind::Data(id, i),
+                        };
+                        heap.push(HeapItem { dist, kind });
+                    }
+                }
+                ItemKind::Data(id, i) => {
+                    let e = &self.node(id).entries[i];
+                    let value = match &e.payload {
+                        Payload::Data(v) => v,
+                        Payload::Child(_) => unreachable!(),
+                    };
+                    result.push(Neighbor {
+                        mbr: &e.mbr,
+                        value,
+                        distance: item.dist,
+                    });
+                    if result.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Convenience wrapper for the single nearest neighbour.
+    pub fn nearest_neighbor(&self, point: &Point) -> Option<Neighbor<'_, T>> {
+        self.nearest_neighbors(point, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeParams};
+    use mwsj_geom::{Point, Rect};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_tree(n: usize, seed: u64) -> (RTree<usize>, Vec<Rect>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rects: Vec<Rect> = (0..n)
+            .map(|_| {
+                let x: f64 = rng.random_range(0.0..1.0);
+                let y: f64 = rng.random_range(0.0..1.0);
+                Rect::new(x, y, x + 0.02, y + 0.02)
+            })
+            .collect();
+        let tree = RTree::bulk_load_with_params(
+            RTreeParams::new(8),
+            rects.iter().copied().zip(0..n).collect(),
+        );
+        (tree, rects)
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let (tree, rects) = random_tree(1_000, 21);
+        let q = Point::new(0.5, 0.5);
+        let got = tree.nearest_neighbors(&q, 10);
+        assert_eq!(got.len(), 10);
+
+        let mut expected: Vec<(f64, usize)> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.min_distance_to_point(&q), i))
+            .collect();
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        for (n, (d, _)) in got.iter().zip(expected.iter()) {
+            assert!((n.distance - d).abs() < 1e-12);
+        }
+        // Distances are non-decreasing.
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_len() {
+        let (tree, _) = random_tree(5, 22);
+        assert_eq!(tree.nearest_neighbors(&Point::new(0.0, 0.0), 100).len(), 5);
+    }
+
+    #[test]
+    fn knn_zero_k_and_empty_tree() {
+        let (tree, _) = random_tree(10, 23);
+        assert!(tree.nearest_neighbors(&Point::new(0.0, 0.0), 0).is_empty());
+        let empty: RTree<usize> = RTree::new();
+        assert!(empty.nearest_neighbor(&Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn nn_inside_a_rect_has_zero_distance() {
+        let mut tree: RTree<u32> = RTree::new();
+        tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 1);
+        tree.insert(Rect::new(5.0, 5.0, 6.0, 6.0), 2);
+        let n = tree.nearest_neighbor(&Point::new(0.5, 0.5)).unwrap();
+        assert_eq!(*n.value, 1);
+        assert_eq!(n.distance, 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! An arena-based R*-tree.
+//!
+//! This crate implements the index substrate of the EDBT 2002 paper: the
+//! R*-tree of Beckmann, Kriegel, Schneider and Seeger (SIGMOD 1990), the
+//! structure the paper assumes over every input dataset ("for the rest of
+//! the paper we consider that all datasets are indexed by R*-trees on
+//! minimum bounding rectangles").
+//!
+//! Features:
+//!
+//! * **Dynamic insertion** with R* subtree choice (minimum overlap
+//!   enlargement at the leaf level), topological split and forced
+//!   reinsertion (30 % of the node on first overflow per level).
+//! * **Deletion** with tree condensation and orphan re-insertion.
+//! * **STR bulk loading** (Sort-Tile-Recursive) for building an index over a
+//!   static dataset in one pass — used by the experiment harness, which
+//!   builds trees over 10⁴–10⁵ objects per query variable.
+//! * **Queries**: window (rectangle intersection), generic
+//!   [`Predicate`](mwsj_geom::Predicate)-based candidate enumeration,
+//!   point queries and best-first k-nearest-neighbour search.
+//! * A **read-only traversal API** ([`NodeRef`]/[`EntryRef`]) that the join
+//!   algorithms in `mwsj-core` use to drive custom branch-and-bound
+//!   traversals (the paper's *find best value*, synchronous traversal and
+//!   IBB) while counting node accesses themselves.
+//! * An **invariant checker** ([`RTree::check_invariants`]) used by the test
+//!   suite and property tests.
+//!
+//! The tree stores nodes in a slab (`Vec`) addressed by compact ids — no
+//! pointer chasing through boxes, no unsafe code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod bulk_hilbert;
+mod delete;
+mod insert;
+mod knn;
+mod node;
+mod params;
+mod query;
+mod split;
+mod stats;
+mod tree;
+mod validate;
+mod visit;
+
+pub use knn::Neighbor;
+pub use params::RTreeParams;
+pub use stats::TreeStats;
+pub use tree::RTree;
+pub use visit::{EntryRef, NodeRef};

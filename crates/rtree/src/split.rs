@@ -1,0 +1,181 @@
+//! The R* topological split (BKSS90 §4.2).
+//!
+//! Split axis: the axis whose distributions have the minimum total margin.
+//! Split index: among the chosen axis's distributions, minimum overlap
+//! between the two groups, ties broken by minimum combined area.
+
+use crate::node::Entry;
+use mwsj_geom::Rect;
+
+/// Sort key for candidate distributions: entries sorted by lower or by upper
+/// MBR coordinate on an axis (BKSS90 considers both).
+#[derive(Clone, Copy)]
+enum SortBy {
+    Lower,
+    Upper,
+}
+
+/// Splits `entries` (length `M + 1`) into two groups, each with at least
+/// `min_entries` members, per the R* topological split.
+pub(crate) fn rstar_split<T>(
+    mut entries: Vec<Entry<T>>,
+    min_entries: usize,
+) -> (Vec<Entry<T>>, Vec<Entry<T>>) {
+    let total = entries.len();
+    debug_assert!(total >= 2 * min_entries, "not enough entries to split");
+
+    // Pick the split axis by minimum total margin.
+    let margin_x = axis_margin_sum(&mut entries, Axis::X, min_entries);
+    let margin_y = axis_margin_sum(&mut entries, Axis::Y, min_entries);
+    let axis = if margin_x <= margin_y { Axis::X } else { Axis::Y };
+
+    // Pick the distribution on that axis: min overlap, ties min area.
+    let mut best: Option<(f64, f64, SortBy, usize)> = None;
+    for sort_by in [SortBy::Lower, SortBy::Upper] {
+        sort_entries(&mut entries, axis, sort_by);
+        let (prefix, suffix) = boundary_boxes(&entries);
+        for split_at in splits(total, min_entries) {
+            let left = prefix[split_at - 1];
+            let right = suffix[split_at];
+            let overlap = left.overlap_area(&right);
+            let area = left.area() + right.area();
+            let candidate = (overlap, area, sort_by, split_at);
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => (overlap, area) < (*bo, *ba),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+
+    let (_, _, sort_by, split_at) = best.expect("at least one distribution exists");
+    sort_entries(&mut entries, axis, sort_by);
+    let right = entries.split_off(split_at);
+    (entries, right)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Axis {
+    X,
+    Y,
+}
+
+#[inline]
+fn key<T>(e: &Entry<T>, axis: Axis, sort_by: SortBy) -> f64 {
+    match (axis, sort_by) {
+        (Axis::X, SortBy::Lower) => e.mbr.min.x,
+        (Axis::X, SortBy::Upper) => e.mbr.max.x,
+        (Axis::Y, SortBy::Lower) => e.mbr.min.y,
+        (Axis::Y, SortBy::Upper) => e.mbr.max.y,
+    }
+}
+
+fn sort_entries<T>(entries: &mut [Entry<T>], axis: Axis, sort_by: SortBy) {
+    entries.sort_by(|a, b| {
+        key(a, axis, sort_by)
+            .partial_cmp(&key(b, axis, sort_by))
+            .expect("finite MBRs")
+    });
+}
+
+/// Candidate split positions: the first group takes `m - 1 + k` entries for
+/// `k = 1 ..= M - 2m + 2`.
+fn splits(total: usize, min_entries: usize) -> impl Iterator<Item = usize> {
+    min_entries..=(total - min_entries)
+}
+
+/// `prefix[i]` bounds entries `0..=i`; `suffix[i]` bounds entries `i..`.
+fn boundary_boxes<T>(entries: &[Entry<T>]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = entries.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = Rect::EMPTY;
+    for e in entries {
+        acc = acc.union(&e.mbr);
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Rect::EMPTY; n];
+    let mut acc = Rect::EMPTY;
+    for i in (0..n).rev() {
+        acc = acc.union(&entries[i].mbr);
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+
+/// Total margin over all candidate distributions of one axis (both sorts).
+fn axis_margin_sum<T>(entries: &mut [Entry<T>], axis: Axis, min_entries: usize) -> f64 {
+    let total = entries.len();
+    let mut sum = 0.0;
+    for sort_by in [SortBy::Lower, SortBy::Upper] {
+        sort_entries(entries, axis, sort_by);
+        let (prefix, suffix) = boundary_boxes(entries);
+        for split_at in splits(total, min_entries) {
+            sum += prefix[split_at - 1].margin() + suffix[split_at].margin();
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Entry;
+
+    fn data_entries(rects: &[Rect]) -> Vec<Entry<u32>> {
+        rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Entry::data(*r, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn split_respects_minimum_occupancy() {
+        let rects: Vec<Rect> = (0..9)
+            .map(|i| Rect::new(i as f64, 0.0, i as f64 + 0.5, 1.0))
+            .collect();
+        let (l, r) = rstar_split(data_entries(&rects), 3);
+        assert!(l.len() >= 3 && r.len() >= 3);
+        assert_eq!(l.len() + r.len(), 9);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two well-separated clusters along x: the topological split must
+        // not mix them.
+        let mut rects = Vec::new();
+        for i in 0..5 {
+            rects.push(Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 0.1));
+        }
+        for i in 0..4 {
+            rects.push(Rect::new(10.0 + i as f64 * 0.1, 0.0, 10.0 + i as f64 * 0.1 + 0.05, 0.1));
+        }
+        let (l, r) = rstar_split(data_entries(&rects), 3);
+        let lbb = Rect::union_all(l.iter().map(|e| &e.mbr));
+        let rbb = Rect::union_all(r.iter().map(|e| &e.mbr));
+        assert!(!lbb.intersects(&rbb), "clusters were mixed: {lbb} vs {rbb}");
+    }
+
+    #[test]
+    fn split_picks_axis_with_smaller_margin() {
+        // Entries form a tall thin column: splitting on y gives much smaller
+        // margins than splitting on x.
+        let rects: Vec<Rect> = (0..9)
+            .map(|i| Rect::new(0.0, i as f64, 1.0, i as f64 + 0.5))
+            .collect();
+        let (l, r) = rstar_split(data_entries(&rects), 3);
+        let lbb = Rect::union_all(l.iter().map(|e| &e.mbr));
+        let rbb = Rect::union_all(r.iter().map(|e| &e.mbr));
+        // Groups must be stacked vertically, not side by side.
+        assert!(lbb.max.y <= rbb.min.y || rbb.max.y <= lbb.min.y);
+    }
+
+    #[test]
+    fn split_of_identical_rects_is_balancedish() {
+        let rects = vec![Rect::new(0.0, 0.0, 1.0, 1.0); 9];
+        let (l, r) = rstar_split(data_entries(&rects), 3);
+        assert!(l.len() >= 3 && r.len() >= 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Read-only traversal API.
+//!
+//! The join algorithms of `mwsj-core` implement their own branch-and-bound
+//! traversals over the index (the paper's *find best value*, synchronous
+//! traversal and IBB all sort and prune node entries with query-specific
+//! logic). [`NodeRef`] and [`EntryRef`] expose the tree structure immutably
+//! so those algorithms can walk it — and count their own node accesses —
+//! without this crate leaking mutable internals.
+
+use crate::node::{NodeId, Payload};
+use crate::tree::RTree;
+use mwsj_geom::Rect;
+
+/// Immutable view of one tree node.
+#[derive(Debug)]
+pub struct NodeRef<'a, T> {
+    tree: &'a RTree<T>,
+    id: NodeId,
+}
+
+impl<T> Clone for NodeRef<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for NodeRef<'_, T> {}
+
+impl<'a, T> NodeRef<'a, T> {
+    pub(crate) fn new(tree: &'a RTree<T>, id: NodeId) -> Self {
+        NodeRef { tree, id }
+    }
+
+    /// Level of this node (0 = leaf).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.tree.node(self.id).level
+    }
+
+    /// Returns `true` if this node's entries carry data payloads.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.tree.node(self.id).is_leaf()
+    }
+
+    /// Number of entries in the node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tree.node(self.id).entries.len()
+    }
+
+    /// Returns `true` if the node holds no entries (only the root of an
+    /// empty tree can be in this state).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tight bounding box over the node's entries.
+    pub fn mbr(&self) -> Rect {
+        self.tree.node(self.id).mbr()
+    }
+
+    /// The `i`-th entry of the node.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn entry(&self, i: usize) -> EntryRef<'a, T> {
+        EntryRef {
+            tree: self.tree,
+            node: self.id,
+            slot: i,
+        }
+    }
+
+    /// Iterates over the node's entries.
+    pub fn entries(&self) -> impl Iterator<Item = EntryRef<'a, T>> + '_ {
+        let tree = self.tree;
+        let node = self.id;
+        (0..self.len()).map(move |slot| EntryRef { tree, node, slot })
+    }
+}
+
+/// Immutable view of one entry (MBR + child pointer or data payload).
+#[derive(Debug)]
+pub struct EntryRef<'a, T> {
+    tree: &'a RTree<T>,
+    node: NodeId,
+    slot: usize,
+}
+
+impl<T> Clone for EntryRef<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for EntryRef<'_, T> {}
+
+impl<'a, T> EntryRef<'a, T> {
+    /// The entry's bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> &'a Rect {
+        &self.tree.node(self.node).entries[self.slot].mbr
+    }
+
+    /// The child node, if this is an internal entry.
+    #[inline]
+    pub fn child(&self) -> Option<NodeRef<'a, T>> {
+        match self.tree.node(self.node).entries[self.slot].payload {
+            Payload::Child(id) => Some(NodeRef::new(self.tree, id)),
+            Payload::Data(_) => None,
+        }
+    }
+
+    /// The data payload, if this is a leaf entry.
+    #[inline]
+    pub fn value(&self) -> Option<&'a T> {
+        match &self.tree.node(self.node).entries[self.slot].payload {
+            Payload::Data(v) => Some(v),
+            Payload::Child(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeParams};
+    use mwsj_geom::Rect;
+
+    fn sample_tree() -> RTree<usize> {
+        let items: Vec<(Rect, usize)> = (0..200)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                (Rect::new(x, y, x + 0.5, y + 0.5), i)
+            })
+            .collect();
+        RTree::bulk_load_with_params(RTreeParams::new(8), items)
+    }
+
+    #[test]
+    fn traversal_reaches_every_data_entry() {
+        let tree = sample_tree();
+        let mut count = 0usize;
+        let mut stack = vec![tree.root_node()];
+        while let Some(node) = stack.pop() {
+            for e in node.entries() {
+                match e.child() {
+                    Some(child) => {
+                        assert_eq!(child.level() + 1, node.level());
+                        stack.push(child);
+                    }
+                    None => {
+                        assert!(node.is_leaf());
+                        assert!(e.value().is_some());
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, tree.len());
+    }
+
+    #[test]
+    fn entry_mbrs_are_contained_in_node_mbr() {
+        let tree = sample_tree();
+        let root = tree.root_node();
+        let root_mbr = root.mbr();
+        for e in root.entries() {
+            assert!(root_mbr.contains(e.mbr()));
+        }
+    }
+
+    #[test]
+    fn leaf_entries_have_values_not_children() {
+        let tree = sample_tree();
+        let mut node = tree.root_node();
+        while !node.is_leaf() {
+            node = node.entry(0).child().unwrap();
+        }
+        for e in node.entries() {
+            assert!(e.value().is_some());
+            assert!(e.child().is_none());
+        }
+    }
+
+    #[test]
+    fn root_of_empty_tree_is_empty_leaf() {
+        let tree: RTree<usize> = RTree::new();
+        let root = tree.root_node();
+        assert!(root.is_leaf());
+        assert!(root.is_empty());
+        assert_eq!(root.entries().count(), 0);
+    }
+}

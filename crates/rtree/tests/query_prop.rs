@@ -1,0 +1,136 @@
+//! Property-based tests: every query kind agrees with a linear scan on
+//! arbitrary data, for both construction paths.
+
+use mwsj_geom::{Point, Predicate, Rect};
+use mwsj_rtree::{RTree, RTreeParams};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        Just(Predicate::Intersects),
+        Just(Predicate::Contains),
+        Just(Predicate::Inside),
+        Just(Predicate::NorthEast),
+        Just(Predicate::SouthWest),
+        (0.0f64..0.3).prop_map(Predicate::WithinDistance),
+    ]
+}
+
+fn trees_of(rects: &[Rect]) -> Vec<RTree<usize>> {
+    let items: Vec<(Rect, usize)> = rects.iter().copied().zip(0..).collect();
+    let mut incremental = RTree::with_params(RTreeParams::new(4));
+    for (r, v) in &items {
+        incremental.insert(*r, *v);
+    }
+    vec![
+        incremental,
+        RTree::bulk_load_with_params(RTreeParams::new(4), items.clone()),
+        RTree::bulk_load_hilbert_with_params(RTreeParams::new(4), items),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_query_agrees_with_scan(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        window in arb_rect(),
+    ) {
+        let expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i)
+            .collect();
+        for tree in trees_of(&rects) {
+            prop_assert!(tree.check_invariants().is_ok());
+            let mut got: Vec<usize> = tree.window(&window).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn predicate_query_agrees_with_scan(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        window in arb_rect(),
+        pred in arb_pred(),
+    ) {
+        let expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| pred.eval(r, &window))
+            .map(|(i, _)| i)
+            .collect();
+        for tree in trees_of(&rects) {
+            let mut got: Vec<usize> =
+                tree.query_predicate(pred, &window).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "predicate {}", pred);
+        }
+    }
+
+    #[test]
+    fn knn_agrees_with_scan(
+        rects in prop::collection::vec(arb_rect(), 1..120),
+        qx in 0.0f64..1.0,
+        qy in 0.0f64..1.0,
+        k in 1usize..10,
+    ) {
+        let q = Point::new(qx, qy);
+        let mut expected: Vec<f64> = rects
+            .iter()
+            .map(|r| r.min_distance_to_point(&q))
+            .collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.truncate(k);
+        for tree in trees_of(&rects) {
+            let got: Vec<f64> = tree
+                .nearest_neighbors(&q, k)
+                .iter()
+                .map(|n| n.distance)
+                .collect();
+            prop_assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                prop_assert!((g - e).abs() < 1e-12, "distance {g} vs {e}");
+            }
+        }
+    }
+
+    /// Mixed insert/remove workloads keep invariants and query correctness.
+    #[test]
+    fn mixed_workload_stays_consistent(
+        rects in prop::collection::vec(arb_rect(), 2..80),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+        window in arb_rect(),
+    ) {
+        let mut tree = RTree::with_params(RTreeParams::new(4));
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        let mut alive: Vec<bool> = vec![true; rects.len()];
+        for idx in removals {
+            let i = idx.index(rects.len());
+            if alive[i] {
+                prop_assert!(tree.remove(&rects[i], &i));
+                alive[i] = false;
+            }
+        }
+        prop_assert!(tree.check_invariants().is_ok());
+        let expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| alive[*i] && r.intersects(&window))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = tree.window(&window).map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,198 @@
+//! Scaled-down checks of the paper's headline experimental claims.
+//!
+//! These are statistical statements, so every test uses multiple seeds and
+//! generous margins; they assert *directions* (who beats whom), not
+//! absolute numbers.
+
+use mwsj::datagen::plant_solution;
+use mwsj::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hard_instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = hard_region_density(shape, n, cardinality, 1.0);
+    let datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    Instance::new(shape.graph(n), datasets).unwrap()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// §6, claim (i): index-based re-instantiation (ILS) beats random
+/// re-instantiation (naive LS) at equal step budgets.
+#[test]
+fn ils_beats_naive_local_search() {
+    let inst = hard_instance(401, QueryShape::Clique, 6, 1_500);
+    let steps = 800;
+    let mut ils = Vec::new();
+    let mut naive = Vec::new();
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        ils.push(
+            Ils::new(IlsConfig::default())
+                .run(&inst, &SearchBudget::iterations(steps), &mut rng)
+                .best_similarity,
+        );
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        naive.push(
+            NaiveLocalSearch::default()
+                .run(&inst, &SearchBudget::iterations(steps), &mut rng)
+                .best_similarity,
+        );
+    }
+    assert!(
+        mean(&ils) > mean(&naive),
+        "ILS {} vs naive {}",
+        mean(&ils),
+        mean(&naive)
+    );
+}
+
+/// §6, claim (ii): the greedy quality-aware crossover (SEA) beats the
+/// random-crossover GA at equal generation budgets.
+#[test]
+fn sea_beats_naive_ga() {
+    let inst = hard_instance(402, QueryShape::Clique, 6, 1_500);
+    let generations = 30;
+    let mut sea = Vec::new();
+    let mut naive = Vec::new();
+    for seed in 0..6 {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        sea.push(
+            Sea::new(SeaConfig::default_for(&inst))
+                .run(&inst, &SearchBudget::iterations(generations), &mut rng)
+                .best_similarity,
+        );
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        naive.push(
+            NaiveGa::default()
+                .run(&inst, &SearchBudget::iterations(generations), &mut rng)
+                .best_similarity,
+        );
+    }
+    assert!(
+        mean(&sea) > mean(&naive),
+        "SEA {} vs naive GA {}",
+        mean(&sea),
+        mean(&naive)
+    );
+}
+
+/// Fig. 11's mechanism: seeding IBB with a heuristic solution cannot
+/// *increase* the work to retrieve the planted exact solution, and in the
+/// hard region it strictly prunes.
+#[test]
+fn seeded_ibb_prunes_search() {
+    let mut rng = StdRng::seed_from_u64(403);
+    let shape = QueryShape::Clique;
+    let n = 4;
+    let cardinality = 400;
+    let d = hard_region_density(shape, n, cardinality, 1.0);
+    let mut datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    let graph = shape.graph(n);
+    plant_solution(&mut datasets, &graph, &mut rng);
+    let inst = Instance::new(graph, datasets).unwrap();
+
+    let plain = Ibb::new(IbbConfig::new()).run(&inst, &SearchBudget::seconds(120.0));
+    assert!(plain.is_exact());
+
+    // Seed with a good heuristic solution.
+    let heuristic = Ils::new(IlsConfig::default()).run(
+        &inst,
+        &SearchBudget::iterations(400),
+        &mut rng,
+    );
+    let seeded = Ibb::new(IbbConfig::with_initial(heuristic.best.clone()))
+        .run(&inst, &SearchBudget::seconds(120.0));
+    assert!(seeded.is_exact());
+    assert!(
+        seeded.stats.steps <= plain.stats.steps,
+        "seeded {} vs plain {} instantiations",
+        seeded.stats.steps,
+        plain.stats.steps
+    );
+}
+
+/// Hard-region calibration: raising the target expected solutions makes
+/// instances easier for the same algorithm and budget (Fig. 10c's x-axis
+/// actually works).
+#[test]
+fn higher_expected_solutions_mean_easier_instances() {
+    let n = 5;
+    let cardinality = 1_000;
+    let budget = SearchBudget::iterations(600);
+    let mut hard_sims = Vec::new();
+    let mut easy_sims = Vec::new();
+    for seed in 0..6 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let d_hard = hard_region_density(QueryShape::Clique, n, cardinality, 1.0);
+        let ds: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d_hard, &mut rng))
+            .collect();
+        let inst = Instance::new(QueryShape::Clique.graph(n), ds).unwrap();
+        hard_sims.push(
+            Ils::new(IlsConfig::default())
+                .run(&inst, &budget, &mut rng)
+                .best_similarity,
+        );
+
+        let d_easy = hard_region_density(QueryShape::Clique, n, cardinality, 1e4);
+        let ds: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d_easy, &mut rng))
+            .collect();
+        let inst = Instance::new(QueryShape::Clique.graph(n), ds).unwrap();
+        easy_sims.push(
+            Ils::new(IlsConfig::default())
+                .run(&inst, &budget, &mut rng)
+                .best_similarity,
+        );
+    }
+    assert!(
+        mean(&easy_sims) >= mean(&hard_sims),
+        "easy {} vs hard {}",
+        mean(&easy_sims),
+        mean(&hard_sims)
+    );
+}
+
+/// Fig. 10b's convergence claim: "since chain queries are
+/// under-constrained, it is easier for the algorithms to quickly find good
+/// solutions; the large number of constraints in cliques necessitates more
+/// processing time." Measured as the fraction of the long-run similarity
+/// already reached by a short run: chains converge at least as fast.
+#[test]
+fn chains_converge_faster_than_cliques() {
+    let short = SearchBudget::iterations(60);
+    let long = SearchBudget::iterations(2_000);
+    let mut chain_ratio = Vec::new();
+    let mut clique_ratio = Vec::new();
+    for seed in 0..6 {
+        for (shape, out) in [
+            (QueryShape::Chain, &mut chain_ratio),
+            (QueryShape::Clique, &mut clique_ratio),
+        ] {
+            let inst = hard_instance(800 + seed, shape, 12, 800);
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let quick = Ils::new(IlsConfig::default())
+                .run(&inst, &short, &mut rng)
+                .best_similarity;
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let full = Ils::new(IlsConfig::default())
+                .run(&inst, &long, &mut rng)
+                .best_similarity;
+            out.push(if full > 0.0 { quick / full } else { 1.0 });
+        }
+    }
+    assert!(
+        mean(&chain_ratio) >= mean(&clique_ratio) - 0.05,
+        "chain convergence ratio {} vs clique {}",
+        mean(&chain_ratio),
+        mean(&clique_ratio)
+    );
+}
