@@ -59,7 +59,13 @@ fn bench_with_penalties(c: &mut Criterion) {
         b.iter(|| {
             var = (var + 1) % inst.n_vars();
             let mut acc = 0u64;
-            black_box(find_best_value(&inst, &sol, var, Some((&table, 0.5)), &mut acc))
+            black_box(find_best_value(
+                &inst,
+                &sol,
+                var,
+                Some((&table, 0.5)),
+                &mut acc,
+            ))
         })
     });
 }
@@ -73,11 +79,8 @@ fn bench_local_maxima_rate(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut rng = StdRng::seed_from_u64(seed);
-            let outcome = mwsj_core::Ils::default().run(
-                &inst,
-                &SearchBudget::iterations(1_000),
-                &mut rng,
-            );
+            let outcome =
+                mwsj_core::Ils::default().run(&inst, &SearchBudget::iterations(1_000), &mut rng);
             black_box(outcome.stats.local_maxima)
         })
     });

@@ -33,20 +33,16 @@ fn bench_heuristics(c: &mut Criterion) {
         (Algo::Sa, 5_000),
     ];
     for (algo, steps) in cases {
-        group.bench_with_input(
-            BenchmarkId::new(algo.name(), steps),
-            &inst,
-            |b, inst| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(
-                        algo.run(inst, &SearchBudget::iterations(steps), seed)
-                            .best_similarity,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(algo.name(), steps), &inst, |b, inst| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    algo.run(inst, &SearchBudget::iterations(steps), seed)
+                        .best_similarity,
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -54,7 +54,14 @@ fn bench_exact_joins(c: &mut Criterion) {
         })
     });
     group.bench_function("pjm/chain4", |b| {
-        b.iter(|| black_box(Pjm::default().run(&inst, &budget, usize::MAX).solutions.len()))
+        b.iter(|| {
+            black_box(
+                Pjm::default()
+                    .run(&inst, &budget, usize::MAX)
+                    .solutions
+                    .len(),
+            )
+        })
     });
     group.finish();
 }

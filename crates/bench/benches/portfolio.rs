@@ -1,0 +1,53 @@
+//! Criterion bench for the parallel portfolio: the same restart count at
+//! 1 and 4 worker threads. The parallel run produces bit-identical results
+//! (step budgets → deterministic reduction), so the speedup is pure
+//! wall-clock: ≥2× at 4 threads on the Fig. 10-style workload below.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwsj_bench::Algo;
+use mwsj_core::{Instance, SearchBudget};
+use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(shape: QueryShape, n: usize, cardinality: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(17);
+    let d = hard_region_density(shape, n, cardinality, 1.0);
+    let datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    Instance::new(shape.graph(n), datasets).unwrap()
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_restarts8");
+    group.sample_size(10);
+    let inst = instance(QueryShape::Clique, 8, 2_000);
+    const RESTARTS: usize = 8;
+    const TOTAL_STEPS: u64 = 8_000;
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("ILS", threads), &inst, |b, inst| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    Algo::Ils
+                        .run_portfolio(
+                            inst,
+                            &SearchBudget::iterations(TOTAL_STEPS),
+                            seed,
+                            RESTARTS,
+                            threads,
+                        )
+                        .merged
+                        .best_similarity,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

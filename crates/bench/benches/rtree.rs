@@ -47,17 +47,20 @@ fn bench_build(c: &mut Criterion) {
                 BatchSize::LargeInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("bulk_load_hilbert", n), &data, |b, data| {
-            b.iter_batched(
-                || data.clone(),
-                |data| {
-                    let tree =
-                        RTree::bulk_load_hilbert_with_params(RTreeParams::new(32), data);
-                    black_box(tree.len())
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bulk_load_hilbert", n),
+            &data,
+            |b, data| {
+                b.iter_batched(
+                    || data.clone(),
+                    |data| {
+                        let tree = RTree::bulk_load_hilbert_with_params(RTreeParams::new(32), data);
+                        black_box(tree.len())
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -34,7 +34,10 @@ pub fn run(scale: Scale) -> Table {
         // (i) Re-instantiation policy.
         for algo in [Algo::Ils, Algo::NaiveLs, Algo::Sa] {
             let sims: Vec<f64> = (0..reps)
-                .map(|rep| algo.run(&instance, &budget, 6000 + rep as u64).best_similarity)
+                .map(|rep| {
+                    algo.run(&instance, &budget, 6000 + rep as u64)
+                        .best_similarity
+                })
                 .collect();
             table.row(vec![
                 "reinstantiation".to_string(),
@@ -42,13 +45,20 @@ pub fn run(scale: Scale) -> Table {
                 algo.name().to_string(),
                 format!("{:.3}", mean(&sims)),
             ]);
-            eprintln!("ablations: reinstantiation {} {} done", shape.name(), algo.name());
+            eprintln!(
+                "ablations: reinstantiation {} {} done",
+                shape.name(),
+                algo.name()
+            );
         }
 
         // (ii) Crossover mechanism.
         for algo in [Algo::Sea, Algo::NaiveGa] {
             let sims: Vec<f64> = (0..reps)
-                .map(|rep| algo.run(&instance, &budget, 7000 + rep as u64).best_similarity)
+                .map(|rep| {
+                    algo.run(&instance, &budget, 7000 + rep as u64)
+                        .best_similarity
+                })
                 .collect();
             table.row(vec![
                 "crossover".to_string(),

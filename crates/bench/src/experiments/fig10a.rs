@@ -17,8 +17,14 @@ pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(vec!["shape", "n", "density", "ILS", "GILS", "SEA"]);
     for shape in [QueryShape::Chain, QueryShape::Clique] {
         for &n in &scale.query_sizes() {
-            let (instance, _, density) =
-                build_instance(shape, n, scale.cardinality(), 1.0, false, 0xA11CE + n as u64);
+            let (instance, _, density) = build_instance(
+                shape,
+                n,
+                scale.cardinality(),
+                1.0,
+                false,
+                0xA11CE + n as u64,
+            );
             let budget = SearchBudget::time(scale.query_budget(n));
             let mut cells = vec![
                 shape.name().to_string(),
@@ -27,7 +33,10 @@ pub fn run(scale: Scale) -> Table {
             ];
             for algo in Algo::PAPER {
                 let sims: Vec<f64> = (0..scale.repetitions())
-                    .map(|rep| algo.run(&instance, &budget, 1000 + rep as u64).best_similarity)
+                    .map(|rep| {
+                        algo.run(&instance, &budget, 1000 + rep as u64)
+                            .best_similarity
+                    })
                     .collect();
                 cells.push(format!("{:.3}", mean(&sims)));
             }

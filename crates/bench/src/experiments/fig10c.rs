@@ -37,7 +37,10 @@ pub fn run_shape(scale: Scale, shape: QueryShape) -> Table {
         let mut cells = vec![format!("1e{e}"), format!("{density:.4}")];
         for algo in Algo::PAPER {
             let sims: Vec<f64> = (0..scale.repetitions())
-                .map(|rep| algo.run(&instance, &budget, 3000 + rep as u64).best_similarity)
+                .map(|rep| {
+                    algo.run(&instance, &budget, 3000 + rep as u64)
+                        .best_similarity
+                })
                 .collect();
             cells.push(format!("{:.3}", mean(&sims)));
         }

@@ -38,8 +38,14 @@ pub fn run(scale: Scale) -> Table {
     let (sizes, cardinality, ibb_cap, reps) = settings(scale);
     let mut table = Table::new(vec!["n", "IBB", "ILS+IBB", "SEA+IBB"]);
     for &n in &sizes {
-        let (instance, planted, _) =
-            build_instance(QueryShape::Clique, n, cardinality, 1.0, true, 0xF16 + n as u64);
+        let (instance, planted, _) = build_instance(
+            QueryShape::Clique,
+            n,
+            cardinality,
+            1.0,
+            true,
+            0xF16 + n as u64,
+        );
         assert!(planted.is_some());
 
         // --- Plain IBB (deterministic: one run). ---

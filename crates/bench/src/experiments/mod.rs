@@ -61,14 +61,8 @@ mod tests {
 
     #[test]
     fn instance_builder_plants_on_request() {
-        let (inst, planted, density) = super::build_instance(
-            mwsj_datagen::QueryShape::Clique,
-            3,
-            100,
-            1.0,
-            true,
-            9,
-        );
+        let (inst, planted, density) =
+            super::build_instance(mwsj_datagen::QueryShape::Clique, 3, 100, 1.0, true, 9);
         assert!(density > 0.0);
         let sol = planted.expect("planted");
         assert_eq!(inst.violations(&sol), 0);

@@ -35,8 +35,14 @@ pub fn run(scale: Scale) -> Table {
         Scale::Smoke => 5,
         _ => 15,
     };
-    let (instance, _, _) =
-        build_instance(QueryShape::Clique, n, scale.cardinality(), 1.0, false, 0x5EA);
+    let (instance, _, _) = build_instance(
+        QueryShape::Clique,
+        n,
+        scale.cardinality(),
+        1.0,
+        false,
+        0x5EA,
+    );
     let budget = SearchBudget::time(scale.query_budget(n));
     let base = SeaConfig::default_for(&instance);
     let reps = scale.repetitions().min(5);
@@ -54,7 +60,11 @@ pub fn run(scale: Scale) -> Table {
             ..base.clone()
         };
         let sim = run_config(&instance, config, &budget, reps);
-        table.row(vec!["population".into(), p.to_string(), format!("{sim:.3}")]);
+        table.row(vec![
+            "population".into(),
+            p.to_string(),
+            format!("{sim:.3}"),
+        ]);
         eprintln!("sea_tuning: population={p} done");
     }
 
@@ -64,7 +74,11 @@ pub fn run(scale: Scale) -> Table {
             ..base.clone()
         };
         let sim = run_config(&instance, config, &budget, reps);
-        table.row(vec!["tournament".into(), t.to_string(), format!("{sim:.3}")]);
+        table.row(vec![
+            "tournament".into(),
+            t.to_string(),
+            format!("{sim:.3}"),
+        ]);
         eprintln!("sea_tuning: tournament={t} done");
     }
 
@@ -74,7 +88,11 @@ pub fn run(scale: Scale) -> Table {
             ..base.clone()
         };
         let sim = run_config(&instance, config, &budget, reps);
-        table.row(vec!["crossover_rate".into(), mc.to_string(), format!("{sim:.3}")]);
+        table.row(vec![
+            "crossover_rate".into(),
+            mc.to_string(),
+            format!("{sim:.3}"),
+        ]);
         eprintln!("sea_tuning: crossover_rate={mc} done");
     }
 
@@ -84,7 +102,11 @@ pub fn run(scale: Scale) -> Table {
             ..base.clone()
         };
         let sim = run_config(&instance, config, &budget, reps);
-        table.row(vec!["mutation_rate".into(), mm.to_string(), format!("{sim:.3}")]);
+        table.row(vec![
+            "mutation_rate".into(),
+            mm.to_string(),
+            format!("{sim:.3}"),
+        ]);
         eprintln!("sea_tuning: mutation_rate={mm} done");
     }
 

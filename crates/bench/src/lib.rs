@@ -27,11 +27,12 @@ mod scale;
 pub use io::{write_csv, Table};
 pub use scale::Scale;
 
-use mwsj_core::{
-    Gils, GilsConfig, Ils, IlsConfig, NaiveGa, NaiveGaConfig, NaiveLocalSearch, RunOutcome, Sea,
-    SeaConfig, SearchBudget, SimulatedAnnealing,
-};
 use mwsj_core::Instance;
+use mwsj_core::{
+    Gils, GilsConfig, Ils, IlsConfig, NaiveGa, NaiveGaConfig, NaiveLocalSearch, ParallelPortfolio,
+    PortfolioConfig, PortfolioOutcome, RunOutcome, Sea, SeaConfig, SearchBudget,
+    SimulatedAnnealing,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -74,14 +75,50 @@ impl Algo {
         match self {
             Algo::Ils => Ils::new(IlsConfig::default()).run(instance, budget, &mut rng),
             Algo::Gils => Gils::new(GilsConfig::default()).run(instance, budget, &mut rng),
-            Algo::Sea => {
-                Sea::new(SeaConfig::default_for(instance)).run(instance, budget, &mut rng)
-            }
+            Algo::Sea => Sea::new(SeaConfig::default_for(instance)).run(instance, budget, &mut rng),
             Algo::NaiveLs => NaiveLocalSearch::default().run(instance, budget, &mut rng),
-            Algo::NaiveGa => {
-                NaiveGa::new(NaiveGaConfig::default()).run(instance, budget, &mut rng)
-            }
+            Algo::NaiveGa => NaiveGa::new(NaiveGaConfig::default()).run(instance, budget, &mut rng),
             Algo::Sa => SimulatedAnnealing::default().run(instance, budget, &mut rng),
+        }
+    }
+
+    /// Runs the algorithm as a [`ParallelPortfolio`] of `restarts` seeded
+    /// restarts on `threads` worker threads (`0` = all cores), sharing
+    /// `budget` across the restarts.
+    pub fn run_portfolio(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        master_seed: u64,
+        restarts: usize,
+        threads: usize,
+    ) -> PortfolioOutcome {
+        let config = PortfolioConfig::new(restarts, threads);
+        match self {
+            Algo::Ils => ParallelPortfolio::new(Ils::new(IlsConfig::default()), config).run(
+                instance,
+                budget,
+                master_seed,
+            ),
+            Algo::Gils => ParallelPortfolio::new(Gils::new(GilsConfig::default()), config).run(
+                instance,
+                budget,
+                master_seed,
+            ),
+            Algo::Sea => ParallelPortfolio::new(Sea::new(SeaConfig::default_for(instance)), config)
+                .run(instance, budget, master_seed),
+            Algo::NaiveLs => ParallelPortfolio::new(NaiveLocalSearch::default(), config).run(
+                instance,
+                budget,
+                master_seed,
+            ),
+            Algo::NaiveGa => ParallelPortfolio::new(NaiveGa::new(NaiveGaConfig::default()), config)
+                .run(instance, budget, master_seed),
+            Algo::Sa => ParallelPortfolio::new(SimulatedAnnealing::default(), config).run(
+                instance,
+                budget,
+                master_seed,
+            ),
         }
     }
 }

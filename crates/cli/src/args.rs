@@ -52,8 +52,24 @@ impl std::error::Error for ArgError {}
 
 /// Options that take a value (everything else after `--` is a flag).
 const VALUE_OPTIONS: &[&str] = &[
-    "out", "n", "density", "distribution", "seed", "data", "query", "algo", "seconds",
-    "iterations", "top", "limit", "lambda", "target", "shape", "vars",
+    "out",
+    "n",
+    "density",
+    "distribution",
+    "seed",
+    "data",
+    "query",
+    "algo",
+    "seconds",
+    "iterations",
+    "top",
+    "limit",
+    "lambda",
+    "target",
+    "shape",
+    "vars",
+    "threads",
+    "restarts",
 ];
 
 impl Args {
@@ -76,11 +92,9 @@ impl Args {
                 } else if VALUE_OPTIONS.contains(&rest) {
                     // `--key value` form.
                     match iter.next() {
-                        Some(v) if !v.starts_with("--") => args
-                            .options
-                            .entry(rest.to_string())
-                            .or_default()
-                            .push(v),
+                        Some(v) if !v.starts_with("--") => {
+                            args.options.entry(rest.to_string()).or_default().push(v)
+                        }
                         _ => return Err(ArgError::MissingValue(rest.to_string())),
                     }
                 } else {
@@ -102,7 +116,10 @@ impl Args {
 
     /// The single value of an option, if present.
     pub fn value(&self, key: &str) -> Option<&str> {
-        self.options.get(key).and_then(|v| v.first()).map(String::as_str)
+        self.options
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
     }
 
     /// The single value of a required option.
@@ -190,7 +207,10 @@ mod tests {
     fn required_and_parse_or() {
         let a = parse("generate --n 50").unwrap();
         assert_eq!(a.required("n").unwrap(), "50");
-        assert!(matches!(a.required("density"), Err(ArgError::MissingOption(_))));
+        assert!(matches!(
+            a.required("density"),
+            Err(ArgError::MissingOption(_))
+        ));
         assert_eq!(a.parse_or("n", 0usize, "an integer").unwrap(), 50);
         assert_eq!(a.parse_or("seed", 7u64, "an integer").unwrap(), 7);
         let bad = parse("generate --n x").unwrap();

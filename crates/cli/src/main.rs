@@ -5,7 +5,7 @@
 //! mwsj info     --data rivers.csv
 //! mwsj solve    --data a.csv --data b.csv --data c.csv --query chain
 //!               [--algo ils|gils|sea|sea-hybrid|ibb|two-step] [--seconds 2] [--iterations N]
-//!               [--seed 42] [--top 5]
+//!               [--seed 42] [--top 5] [--restarts K] [--threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
 //! mwsj hard-density --shape chain|clique|star|cycle --vars 5 --n 100000 [--target 1]
 //! ```
@@ -18,8 +18,9 @@ mod query_spec;
 
 use args::Args;
 use mwsj_core::{
-    Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, Pjm, RunOutcome, Sea, SeaConfig,
-    SearchBudget, SynchronousTraversal, TwoStep, TwoStepConfig, WindowReduction,
+    AnytimeSearch, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, ParallelPortfolio,
+    Pjm, PortfolioConfig, RunOutcome, Sea, SeaConfig, SearchBudget, SynchronousTraversal, TwoStep,
+    TwoStepConfig, WindowReduction,
 };
 use mwsj_datagen::{Dataset, DatasetSpec, Distribution, QueryShape};
 use rand::rngs::StdRng;
@@ -63,6 +64,8 @@ USAGE:
   mwsj info --data FILE
   mwsj solve --data FILE... --query SPEC [--algo ils|gils|sea|sea-hybrid|ibb|two-step]
              [--seconds S | --iterations I] [--seed S] [--top K]
+             [--restarts K] [--threads T]   parallel portfolio of K seeded restarts
+                                            (heuristics only; T=0 -> all cores)
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
   mwsj hard-density --shape chain|clique|star|cycle --vars N --n CARD [--target SOL]
 
@@ -103,11 +106,15 @@ fn budget_from(args: &Args) -> Result<SearchBudget, String> {
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let out = args.required("out").map_err(|e| e.to_string())?.to_string();
-    let n: usize = args.parse_or("n", 10_000, "an object count").map_err(|e| e.to_string())?;
+    let n: usize = args
+        .parse_or("n", 10_000, "an object count")
+        .map_err(|e| e.to_string())?;
     let density: f64 = args
         .parse_or("density", 0.05, "a density")
         .map_err(|e| e.to_string())?;
-    let seed: u64 = args.parse_or("seed", 0, "a seed").map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .parse_or("seed", 0, "a seed")
+        .map_err(|e| e.to_string())?;
     let distribution = match args.value("distribution").unwrap_or("uniform") {
         "uniform" => Distribution::Uniform,
         "clustered" => Distribution::Clustered {
@@ -157,17 +164,68 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
     let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
     let budget = budget_from(args)?;
-    let seed: u64 = args.parse_or("seed", 42, "a seed").map_err(|e| e.to_string())?;
-    let top: usize = args.parse_or("top", 1, "a count").map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .parse_or("seed", 42, "a seed")
+        .map_err(|e| e.to_string())?;
+    let top: usize = args
+        .parse_or("top", 1, "a count")
+        .map_err(|e| e.to_string())?;
+    let restarts: usize = args
+        .parse_or("restarts", 1, "a restart count")
+        .map_err(|e| e.to_string())?;
+    let threads: usize = args
+        .parse_or("threads", 0, "a thread count")
+        .map_err(|e| e.to_string())?;
+    if restarts == 0 {
+        return Err("--restarts must be at least 1".into());
+    }
     let mut rng = StdRng::seed_from_u64(seed);
 
     let algo = args.value("algo").unwrap_or("ils");
+    let portfolio = restarts > 1;
     let outcome: RunOutcome = match algo {
+        "ils" if portfolio => run_portfolio(
+            Ils::new(IlsConfig::default()),
+            &instance,
+            &budget,
+            seed,
+            restarts,
+            threads,
+        ),
+        "gils" if portfolio => run_portfolio(
+            Gils::new(GilsConfig::default()),
+            &instance,
+            &budget,
+            seed,
+            restarts,
+            threads,
+        ),
+        "sea" if portfolio => run_portfolio(
+            Sea::new(SeaConfig::default_for(&instance)),
+            &instance,
+            &budget,
+            seed,
+            restarts,
+            threads,
+        ),
+        "sea-hybrid" if portfolio => run_portfolio(
+            Sea::new(SeaConfig::default_for(&instance).with_ils_seeding()),
+            &instance,
+            &budget,
+            seed,
+            restarts,
+            threads,
+        ),
         "ils" => Ils::new(IlsConfig::default()).run(&instance, &budget, &mut rng),
         "gils" => Gils::new(GilsConfig::default()).run(&instance, &budget, &mut rng),
         "sea" => Sea::new(SeaConfig::default_for(&instance)).run(&instance, &budget, &mut rng),
         "sea-hybrid" => Sea::new(SeaConfig::default_for(&instance).with_ils_seeding())
             .run(&instance, &budget, &mut rng),
+        "ibb" | "two-step" if portfolio => {
+            return Err(format!(
+                "--restarts applies to the anytime heuristics, not '{algo}'"
+            ))
+        }
         "ibb" => Ibb::new(IbbConfig::new()).run(&instance, &budget),
         "two-step" => {
             let heuristic_budget = SearchBudget::seconds(0.5);
@@ -198,12 +256,40 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         outcome.stats.local_maxima
     );
     if top > 1 {
-        println!("top {} distinct solutions:", top.min(outcome.top_solutions.len()));
+        println!(
+            "top {} distinct solutions:",
+            top.min(outcome.top_solutions.len())
+        );
         for (rank, (sol, violations)) in outcome.top_solutions.iter().take(top).enumerate() {
             println!("  {:>2}. {} ({} violations)", rank + 1, sol, violations);
         }
     }
     Ok(())
+}
+
+fn run_portfolio<A: AnytimeSearch>(
+    algo: A,
+    instance: &Instance,
+    budget: &SearchBudget,
+    master_seed: u64,
+    restarts: usize,
+    threads: usize,
+) -> RunOutcome {
+    let portfolio = ParallelPortfolio::new(algo, PortfolioConfig::new(restarts, threads));
+    let outcome = portfolio.run(instance, budget, master_seed);
+    println!(
+        "portfolio: {} restarts on {} thread{} (per-restart best: {})",
+        outcome.restarts.len(),
+        outcome.threads_used,
+        if outcome.threads_used == 1 { "" } else { "s" },
+        outcome
+            .restarts
+            .iter()
+            .map(|r| r.outcome.best_violations.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    outcome.merged
 }
 
 fn cmd_join(args: &Args) -> Result<(), String> {
@@ -250,9 +336,15 @@ fn cmd_hard_density(args: &Args) -> Result<(), String> {
         "cycle" => QueryShape::Cycle,
         other => return Err(format!("unknown shape '{other}'")),
     };
-    let vars: usize = args.parse_or("vars", 5, "a variable count").map_err(|e| e.to_string())?;
-    let n: usize = args.parse_or("n", 100_000, "a cardinality").map_err(|e| e.to_string())?;
-    let target: f64 = args.parse_or("target", 1.0, "a solution count").map_err(|e| e.to_string())?;
+    let vars: usize = args
+        .parse_or("vars", 5, "a variable count")
+        .map_err(|e| e.to_string())?;
+    let n: usize = args
+        .parse_or("n", 100_000, "a cardinality")
+        .map_err(|e| e.to_string())?;
+    let target: f64 = args
+        .parse_or("target", 1.0, "a solution count")
+        .map_err(|e| e.to_string())?;
     let d = mwsj_datagen::hard_region_density(shape, vars, n, target);
     println!(
         "{} query over {vars} datasets of {n} objects: density {d:.6} gives E[solutions] = {target}",

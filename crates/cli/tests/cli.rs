@@ -30,7 +30,11 @@ fn generate(dir: &std::path::Path, name: &str, n: u32, density: f64, seed: u64) 
         ])
         .output()
         .expect("run mwsj generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     path
 }
 
@@ -70,17 +74,28 @@ fn solve_chain_with_ils() {
     let out = mwsj()
         .args([
             "solve",
-            "--data", a.to_str().unwrap(),
-            "--data", b.to_str().unwrap(),
-            "--data", c.to_str().unwrap(),
-            "--query", "chain",
-            "--algo", "ils",
-            "--iterations", "500",
-            "--top", "3",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--data",
+            c.to_str().unwrap(),
+            "--query",
+            "chain",
+            "--algo",
+            "ils",
+            "--iterations",
+            "500",
+            "--top",
+            "3",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best solution"), "{text}");
     assert!(text.contains("top"), "{text}");
@@ -91,11 +106,7 @@ fn solve_rejects_bad_query() {
     let dir = temp_dir("badquery");
     let a = generate(&dir, "a.csv", 50, 0.1, 1);
     let out = mwsj()
-        .args([
-            "solve",
-            "--data", a.to_str().unwrap(),
-            "--query", "0-0",
-        ])
+        .args(["solve", "--data", a.to_str().unwrap(), "--query", "0-0"])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -109,15 +120,24 @@ fn exact_join_counts_solutions() {
     let out = mwsj()
         .args([
             "join",
-            "--data", a.to_str().unwrap(),
-            "--data", b.to_str().unwrap(),
-            "--query", "0-1",
-            "--algo", "wr",
-            "--limit", "10",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--query",
+            "0-1",
+            "--algo",
+            "wr",
+            "--limit",
+            "10",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("exact solutions"), "{text}");
 }
@@ -125,7 +145,15 @@ fn exact_join_counts_solutions() {
 #[test]
 fn hard_density_prints_formula_result() {
     let out = mwsj()
-        .args(["hard-density", "--shape", "chain", "--vars", "5", "--n", "100000"])
+        .args([
+            "hard-density",
+            "--shape",
+            "chain",
+            "--vars",
+            "5",
+            "--n",
+            "100000",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -142,13 +170,22 @@ fn solve_with_mixed_predicates_via_edge_list() {
     let out = mwsj()
         .args([
             "solve",
-            "--data", a.to_str().unwrap(),
-            "--data", b.to_str().unwrap(),
-            "--query", "0-1:contains",
-            "--algo", "gils",
-            "--iterations", "300",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--query",
+            "0-1:contains",
+            "--algo",
+            "gils",
+            "--iterations",
+            "300",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

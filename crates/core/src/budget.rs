@@ -1,4 +1,5 @@
-//! Search budgets: wall-clock and/or step limits.
+//! Search budgets: wall-clock and/or step limits, plus the cross-thread
+//! state that lets a portfolio of restarts share one budget.
 //!
 //! The paper frames approximate processing as retrieval of the best
 //! solution *within a time threshold* (its experiments use `10·n` seconds).
@@ -6,7 +7,16 @@
 //! here also accepts a *step* budget — one step is one `find best value`
 //! call (ILS/GILS), one generation (SEA) or one expanded node (IBB) — which
 //! makes tests and CI runs reproducible.
+//!
+//! For parallel portfolios ([`crate::ParallelPortfolio`]) a single budget
+//! is shared by `K` concurrent restarts: the wall-clock limit becomes one
+//! **absolute deadline** (every restart stops at the same instant, instead
+//! of each measuring its own start), the step limit is **split
+//! deterministically** across restarts, and a [`SharedSearchState`]
+//! aggregates steps and the best-known violation count across threads.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A budget limiting a search run. Both limits may be set; the run stops at
@@ -49,12 +59,148 @@ impl SearchBudget {
         }
     }
 
+    /// Splits this budget across `k` parallel restarts.
+    ///
+    /// The step limit is divided evenly — the first `max_steps % k`
+    /// restarts receive one extra step — so the restarts together consume
+    /// exactly `max_steps` and the split depends only on `(max_steps, k)`.
+    /// The time limit is copied verbatim into every share: a portfolio
+    /// converts it into one absolute deadline common to all restarts (see
+    /// [`SearchContext::with_deadline`]).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn split(&self, k: usize) -> Vec<SearchBudget> {
+        assert!(k > 0, "cannot split a budget across zero restarts");
+        let k64 = k as u64;
+        (0..k64)
+            .map(|i| SearchBudget {
+                time_limit: self.time_limit,
+                max_steps: self.max_steps.map(|total| {
+                    let base = total / k64;
+                    let extra = u64::from(i < total % k64);
+                    base + extra
+                }),
+            })
+            .collect()
+    }
+
     /// Panics if neither limit is set (a run would never terminate).
     pub(crate) fn validate(&self) {
         assert!(
             self.time_limit.is_some() || self.max_steps.is_some(),
             "a search budget must set a time limit, a step limit, or both"
         );
+    }
+}
+
+/// Coordination state shared by every restart of a parallel portfolio:
+/// an aggregate step counter and the best-known violation count (the
+/// portfolio's *bound*, mirroring how the two-step scheme of §6 feeds a
+/// heuristic bound into IBB).
+///
+/// Cloning shares the underlying atomics.
+#[derive(Debug, Clone)]
+pub struct SharedSearchState {
+    steps: Arc<AtomicU64>,
+    /// Best-known violations across all restarts; `u32::MAX` = none yet.
+    bound: Arc<AtomicU32>,
+}
+
+impl SharedSearchState {
+    /// Fresh state with no published bound.
+    pub fn new() -> Self {
+        SharedSearchState {
+            steps: Arc::new(AtomicU64::new(0)),
+            bound: Arc::new(AtomicU32::new(u32::MAX)),
+        }
+    }
+
+    /// Total steps consumed so far across every attached restart.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// The best-known violation count published by any restart, if any.
+    pub fn bound_violations(&self) -> Option<usize> {
+        match self.bound.load(Ordering::Relaxed) {
+            u32::MAX => None,
+            v => Some(v as usize),
+        }
+    }
+
+    /// Lowers the shared bound to `violations` if it improves on it.
+    pub fn publish(&self, violations: usize) {
+        let v = u32::try_from(violations).unwrap_or(u32::MAX - 1);
+        self.bound.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// `true` once a zero-violation (similarity 1) solution was published:
+    /// nothing can improve on it, so cooperating restarts may stop.
+    pub fn optimum_reached(&self) -> bool {
+        self.bound.load(Ordering::Relaxed) == 0
+    }
+
+    #[inline]
+    fn add_step(&self) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for SharedSearchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything an anytime search needs to know about *when to stop*: the
+/// per-run [`SearchBudget`], an optional absolute deadline overriding the
+/// budget's relative time limit, and optional portfolio coordination.
+#[derive(Debug, Clone)]
+pub struct SearchContext {
+    budget: SearchBudget,
+    deadline: Option<Instant>,
+    shared: Option<SharedSearchState>,
+    cutoff: bool,
+}
+
+impl SearchContext {
+    /// A standalone (single-threaded) run of `budget`: the deadline is
+    /// measured from the moment the search starts.
+    pub fn local(budget: SearchBudget) -> Self {
+        budget.validate();
+        SearchContext {
+            budget,
+            deadline: None,
+            shared: None,
+            cutoff: false,
+        }
+    }
+
+    /// Replaces the budget's relative time limit with an absolute deadline
+    /// (shared by every restart of a portfolio).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches portfolio coordination state. With `cutoff` set, the run
+    /// additionally stops as soon as the shared bound reaches zero
+    /// violations (a similarity-1 certificate another restart published —
+    /// the only *sound* cross-restart cutoff for heuristics, since nothing
+    /// can beat an exact solution). Cutoff trades bit-reproducibility of
+    /// secondary results for wall-clock, so portfolios enable it only for
+    /// time-limited budgets unless told otherwise (see
+    /// [`crate::CutoffPolicy`]).
+    pub fn with_shared(mut self, shared: SharedSearchState, cutoff: bool) -> Self {
+        self.shared = Some(shared);
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// The per-run budget.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
     }
 }
 
@@ -65,27 +211,44 @@ pub(crate) struct BudgetClock {
     deadline: Option<Instant>,
     max_steps: Option<u64>,
     steps: u64,
+    shared: Option<SharedSearchState>,
+    cutoff: bool,
 }
 
 impl BudgetClock {
     pub(crate) fn start(budget: &SearchBudget) -> Self {
-        budget.validate();
+        Self::from_context(&SearchContext::local(*budget))
+    }
+
+    pub(crate) fn from_context(ctx: &SearchContext) -> Self {
         let start = Instant::now();
+        let deadline = ctx
+            .deadline
+            .or_else(|| ctx.budget.time_limit.map(|d| start + d));
+        assert!(
+            deadline.is_some() || ctx.budget.max_steps.is_some(),
+            "a search budget must set a time limit, a step limit, or both"
+        );
         BudgetClock {
             start,
-            deadline: budget.time_limit.map(|d| start + d),
-            max_steps: budget.max_steps,
+            deadline,
+            max_steps: ctx.budget.max_steps,
             steps: 0,
+            shared: ctx.shared.clone(),
+            cutoff: ctx.cutoff,
         }
     }
 
-    /// Records one step.
+    /// Records one step (locally and in the shared aggregate).
     #[inline]
     pub(crate) fn step(&mut self) {
         self.steps += 1;
+        if let Some(shared) = &self.shared {
+            shared.add_step();
+        }
     }
 
-    /// Steps recorded so far.
+    /// Steps recorded so far by this run.
     #[inline]
     pub(crate) fn steps(&self) -> u64 {
         self.steps
@@ -95,6 +258,15 @@ impl BudgetClock {
     #[inline]
     pub(crate) fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+
+    /// Publishes an improved violation count to the portfolio bound
+    /// (no-op for standalone runs).
+    #[inline]
+    pub(crate) fn publish_bound(&self, violations: usize) {
+        if let Some(shared) = &self.shared {
+            shared.publish(violations);
+        }
     }
 
     /// Fraction of the budget consumed, in `[0, 1]`: the maximum of the
@@ -108,7 +280,7 @@ impl BudgetClock {
             }
         }
         if let Some(deadline) = self.deadline {
-            let total = deadline - self.start;
+            let total = deadline.saturating_duration_since(self.start);
             if !total.is_zero() {
                 fraction = fraction.max(self.start.elapsed().as_secs_f64() / total.as_secs_f64());
             }
@@ -116,7 +288,9 @@ impl BudgetClock {
         fraction.min(1.0)
     }
 
-    /// Returns `true` once either limit is reached.
+    /// Returns `true` once either limit is reached — or, for cooperating
+    /// portfolio restarts with cutoff enabled, once any restart has
+    /// published a similarity-1 solution.
     #[inline]
     pub(crate) fn exhausted(&self) -> bool {
         if let Some(max) = self.max_steps {
@@ -127,6 +301,13 @@ impl BudgetClock {
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 return true;
+            }
+        }
+        if self.cutoff {
+            if let Some(shared) = &self.shared {
+                if shared.optimum_reached() {
+                    return true;
+                }
             }
         }
         false
@@ -159,8 +340,7 @@ mod tests {
 
     #[test]
     fn combined_budget_stops_at_first_limit() {
-        let budget =
-            SearchBudget::time_and_iterations(Duration::from_secs(3600), 1);
+        let budget = SearchBudget::time_and_iterations(Duration::from_secs(3600), 1);
         let mut clock = BudgetClock::start(&budget);
         clock.step();
         assert!(clock.exhausted());
@@ -192,5 +372,77 @@ mod tests {
     fn seconds_constructor() {
         let b = SearchBudget::seconds(1.5);
         assert_eq!(b.time_limit, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn split_divides_steps_exactly() {
+        let shares = SearchBudget::iterations(10).split(4);
+        let steps: Vec<u64> = shares.iter().map(|b| b.max_steps.unwrap()).collect();
+        assert_eq!(steps, vec![3, 3, 2, 2]);
+        assert_eq!(steps.iter().sum::<u64>(), 10);
+
+        let shares = SearchBudget::iterations(3).split(4);
+        let steps: Vec<u64> = shares.iter().map(|b| b.max_steps.unwrap()).collect();
+        assert_eq!(steps, vec![1, 1, 1, 0]);
+
+        let timed = SearchBudget::seconds(2.0).split(3);
+        assert!(timed
+            .iter()
+            .all(|b| b.time_limit == Some(Duration::from_secs(2))));
+        assert!(timed.iter().all(|b| b.max_steps.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero restarts")]
+    fn split_zero_panics() {
+        let _ = SearchBudget::iterations(1).split(0);
+    }
+
+    #[test]
+    fn shared_state_aggregates_and_bounds() {
+        let shared = SharedSearchState::new();
+        assert_eq!(shared.bound_violations(), None);
+        assert!(!shared.optimum_reached());
+
+        let ctx =
+            SearchContext::local(SearchBudget::iterations(5)).with_shared(shared.clone(), false);
+        let mut a = BudgetClock::from_context(&ctx);
+        let mut b = BudgetClock::from_context(&ctx);
+        a.step();
+        a.step();
+        b.step();
+        assert_eq!(shared.steps(), 3);
+        assert_eq!(a.steps(), 2);
+
+        a.publish_bound(7);
+        b.publish_bound(9); // worse: ignored
+        assert_eq!(shared.bound_violations(), Some(7));
+        b.publish_bound(0);
+        assert!(shared.optimum_reached());
+    }
+
+    #[test]
+    fn cutoff_stops_cooperating_clocks() {
+        let shared = SharedSearchState::new();
+        let ctx = SearchContext::local(SearchBudget::iterations(1_000_000))
+            .with_shared(shared.clone(), true);
+        let clock = BudgetClock::from_context(&ctx);
+        assert!(!clock.exhausted());
+        shared.publish(0);
+        assert!(clock.exhausted(), "similarity-1 certificate stops the run");
+
+        // Without cutoff the same certificate does not stop the run.
+        let ctx =
+            SearchContext::local(SearchBudget::iterations(1_000_000)).with_shared(shared, false);
+        let clock = BudgetClock::from_context(&ctx);
+        assert!(!clock.exhausted());
+    }
+
+    #[test]
+    fn absolute_deadline_is_respected() {
+        let ctx = SearchContext::local(SearchBudget::seconds(3600.0))
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        let clock = BudgetClock::from_context(&ctx);
+        assert!(clock.exhausted(), "deadline already passed");
     }
 }

@@ -45,10 +45,7 @@ fn collect(
     if node.is_leaf() {
         for entry in node.entries() {
             let mbr = entry.mbr();
-            let count = windows
-                .iter()
-                .filter(|(pred, w)| pred.eval(mbr, w))
-                .count() as u32;
+            let count = windows.iter().filter(|(pred, w)| pred.eval(mbr, w)).count() as u32;
             if count >= min_count {
                 out.push((*entry.value().expect("leaf entry") as usize, count));
             }

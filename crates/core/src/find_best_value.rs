@@ -86,10 +86,7 @@ fn descend(
     for (i, entry) in node.entries().enumerate() {
         let mbr = entry.mbr();
         let count = if node.is_leaf() {
-            windows
-                .iter()
-                .filter(|(pred, w)| pred.eval(mbr, w))
-                .count() as u32
+            windows.iter().filter(|(pred, w)| pred.eval(mbr, w)).count() as u32
         } else {
             windows
                 .iter()
@@ -103,17 +100,13 @@ fn descend(
     scored.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
 
     let best_count = |best: &Option<BestValue>| best.as_ref().map_or(0, |b| b.satisfied);
-    let best_effective = |best: &Option<BestValue>| {
-        best.as_ref().map_or(0.0, |b| b.effective)
-    };
+    let best_effective = |best: &Option<BestValue>| best.as_ref().map_or(0.0, |b| b.effective);
 
     if node.is_leaf() {
         for (count, i) in scored {
             let object = *node.entry(i).value().expect("leaf entry") as usize;
             let effective = match penalties {
-                Some((table, lambda)) => {
-                    count as f64 - lambda * table.get(var, object) as f64
-                }
+                Some((table, lambda)) => count as f64 - lambda * table.get(var, object) as f64,
                 None => count as f64,
             };
             let better = match best {
@@ -184,10 +177,7 @@ mod tests {
         let mut best: Option<BestValue> = None;
         for obj in 0..instance.cardinality(var) {
             let r = instance.rect(var, obj);
-            let count = windows
-                .iter()
-                .filter(|(pred, w)| pred.eval(&r, w))
-                .count() as u32;
+            let count = windows.iter().filter(|(pred, w)| pred.eval(&r, w)).count() as u32;
             if count == 0 {
                 continue;
             }
@@ -269,9 +259,9 @@ mod tests {
         let left = vec![Rect::new(0.0, 0.0, 0.3, 0.3)];
         let right = vec![Rect::new(0.5, 0.5, 0.8, 0.8)];
         let middle = vec![
-            Rect::new(0.0, 0.0, 0.1, 0.1),   // hits left only
+            Rect::new(0.0, 0.0, 0.1, 0.1),     // hits left only
             Rect::new(0.25, 0.25, 0.55, 0.55), // hits both
-            Rect::new(0.6, 0.6, 0.7, 0.7),   // hits right only
+            Rect::new(0.6, 0.6, 0.7, 0.7),     // hits right only
         ];
         let graph = QueryGraphBuilder::new(3)
             .edge(1, 0)
@@ -291,10 +281,7 @@ mod tests {
         // Two identical objects both satisfying one window; penalising the
         // first must make the second win.
         let d0 = vec![Rect::new(0.0, 0.0, 1.0, 1.0)];
-        let d1 = vec![
-            Rect::new(0.2, 0.2, 0.4, 0.4),
-            Rect::new(0.2, 0.2, 0.4, 0.4),
-        ];
+        let d1 = vec![Rect::new(0.2, 0.2, 0.4, 0.4), Rect::new(0.2, 0.2, 0.4, 0.4)];
         let inst = Instance::new(QueryGraph::chain(2), vec![d0, d1]).unwrap();
         let sol = Solution::new(vec![0, 0]);
         let mut table = PenaltyTable::new();

@@ -9,7 +9,7 @@
 //! the graph (and, with sufficient accumulated penalties, permitting
 //! downhill moves in raw violations).
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::find_best_value::find_best_value;
 use crate::ils::{finish, offer};
 use crate::instance::Instance;
@@ -70,7 +70,6 @@ impl GilsConfig {
     }
 }
 
-
 /// Guided indexed local search.
 #[derive(Debug, Clone, Default)]
 pub struct Gils {
@@ -86,13 +85,20 @@ impl Gils {
     /// Runs GILS until the budget is exhausted. One budget step = one
     /// `find best value` call.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        self.search(instance, &SearchContext::local(*budget), rng)
+    }
+
+    /// Runs GILS under an explicit [`SearchContext`] — the entry point
+    /// used by [`crate::ParallelPortfolio`] to share deadlines and bounds
+    /// across restarts.
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         let graph = instance.graph();
         let edges = graph.edge_count();
         let lambda = self
             .config
             .lambda
             .unwrap_or_else(|| GilsConfig::paper_lambda(instance.problem_size_bits()));
-        let mut clock = BudgetClock::start(budget);
+        let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
         let mut incumbent: Option<Incumbent> = None;
         let mut penalties = PenaltyTable::new();

@@ -271,7 +271,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn planted_instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize) -> (Instance, Solution) {
+    fn planted_instance(
+        seed: u64,
+        shape: QueryShape,
+        n: usize,
+        cardinality: usize,
+    ) -> (Instance, Solution) {
         let mut rng = StdRng::seed_from_u64(seed);
         let d = hard_region_density(shape, n, cardinality, 1.0);
         let mut datasets: Vec<Dataset> = (0..n)
@@ -338,7 +343,8 @@ mod tests {
         // Seed with a near-perfect solution: one variable knocked off.
         let mut near = planted.clone();
         near.set(0, (planted.get(0) + 1) % inst.cardinality(0));
-        let seeded = Ibb::new(IbbConfig::with_initial(near)).run(&inst, &SearchBudget::seconds(30.0));
+        let seeded =
+            Ibb::new(IbbConfig::with_initial(near)).run(&inst, &SearchBudget::seconds(30.0));
         assert!(seeded.is_exact());
         assert!(
             seeded.stats.steps <= unseeded.stats.steps,
@@ -356,7 +362,10 @@ mod tests {
             stop_at_exact: false,
         })
         .run(&inst, &SearchBudget::iterations(50));
-        assert!(!outcome.proven_optimal, "a 50-step run cannot exhaust this space");
+        assert!(
+            !outcome.proven_optimal,
+            "a 50-step run cannot exhaust this space"
+        );
     }
 
     #[test]
@@ -371,8 +380,7 @@ mod tests {
         for a in 0..15 {
             for b in 0..15 {
                 for c in 0..15 {
-                    best_brute =
-                        best_brute.min(inst.violations(&Solution::new(vec![a, b, c])));
+                    best_brute = best_brute.min(inst.violations(&Solution::new(vec![a, b, c])));
                 }
             }
         }

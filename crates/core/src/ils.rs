@@ -7,7 +7,7 @@
 //! solution is a local maximum and the search restarts from a fresh random
 //! seed, keeping the best solution seen, until the budget is exhausted.
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::find_best_value::find_best_value;
 use crate::instance::Instance;
 use crate::result::{Incumbent, RunOutcome, RunStats};
@@ -36,9 +36,16 @@ impl Ils {
     /// Runs ILS until the budget is exhausted. One budget step = one
     /// `find best value` call.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        self.search(instance, &SearchContext::local(*budget), rng)
+    }
+
+    /// Runs ILS under an explicit [`SearchContext`] — the entry point used
+    /// by [`crate::ParallelPortfolio`] to share deadlines and bounds
+    /// across restarts.
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         let graph = instance.graph();
         let edges = graph.edge_count();
-        let mut clock = BudgetClock::start(budget);
+        let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
         let mut incumbent: Option<Incumbent> = None;
 
@@ -46,14 +53,7 @@ impl Ils {
             stats.restarts += 1;
             let mut sol = instance.random_solution(rng);
             let mut cs = instance.evaluate(&sol);
-            offer(
-                &mut incumbent,
-                &sol,
-                &cs,
-                edges,
-                &clock,
-                &mut stats,
-            );
+            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
 
             // Hill-climb to a local maximum.
             loop {
@@ -159,6 +159,7 @@ pub(crate) fn offer(
                 clock.elapsed(),
                 clock.steps(),
             ));
+            clock.publish_bound(cs.total_violations());
         }
         Some(inc) => {
             if inc.offer(
@@ -169,6 +170,7 @@ pub(crate) fn offer(
                 clock.steps(),
             ) {
                 stats.improvements += 1;
+                clock.publish_bound(cs.total_violations());
             }
         }
     }

@@ -17,11 +17,7 @@ pub(crate) struct IndexedDataset {
 
 impl IndexedDataset {
     fn build(rects: Vec<Rect>, params: RTreeParams) -> Self {
-        let items: Vec<(Rect, u32)> = rects
-            .iter()
-            .copied()
-            .zip(0u32..)
-            .collect();
+        let items: Vec<(Rect, u32)> = rects.iter().copied().zip(0u32..).collect();
         let tree = RTree::bulk_load_with_params(params, items);
         IndexedDataset { rects, tree }
     }
@@ -205,8 +201,7 @@ impl Instance {
 
     /// Similarity of `sol` (`1 − violations / edges`).
     pub fn similarity(&self, sol: &Solution) -> f64 {
-        self.graph
-            .similarity_of_violations(self.violations(sol))
+        self.graph.similarity_of_violations(self.violations(sol))
     }
 }
 

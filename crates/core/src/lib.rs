@@ -41,23 +41,26 @@ mod naive;
 mod order;
 mod pairwise;
 mod pjm;
+mod portfolio;
 mod result;
 mod sea;
 mod st;
 mod two_step;
 mod wr;
 
-pub use budget::SearchBudget;
+pub use budget::{SearchBudget, SearchContext, SharedSearchState};
 pub use find_best_value::{find_best_value, BestValue};
 pub use gils::{Gils, GilsConfig};
 pub use ibb::{Ibb, IbbConfig};
 pub use ils::{Ils, IlsConfig};
 pub use instance::{Instance, InstanceError};
-pub use naive::{
-    NaiveGa, NaiveGaConfig, NaiveLocalSearch, SaConfig, SimulatedAnnealing,
-};
+pub use naive::{NaiveGa, NaiveGaConfig, NaiveLocalSearch, SaConfig, SimulatedAnnealing};
 pub use pairwise::PairwiseJoin;
 pub use pjm::{Pjm, PjmOrder};
+pub use portfolio::{
+    derive_seed, AnytimeSearch, CutoffPolicy, ParallelPortfolio, PortfolioConfig, PortfolioOutcome,
+    RestartOutcome,
+};
 pub use result::{RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
 pub use sea::{Sea, SeaConfig};
 pub use st::SynchronousTraversal;

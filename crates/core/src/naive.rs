@@ -14,7 +14,7 @@
 //! * [`SimulatedAnnealing`] — the classic temperature-scheduled random walk
 //!   from \[PMK+99\].
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::ils::{finish, offer};
 use crate::instance::Instance;
 use crate::result::{Incumbent, RunOutcome, RunStats};
@@ -45,9 +45,14 @@ impl NaiveLocalSearch {
 
     /// Runs the baseline. One budget step = one re-instantiation attempt.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        self.search(instance, &SearchContext::local(*budget), rng)
+    }
+
+    /// Runs the baseline under an explicit [`SearchContext`].
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         let graph = instance.graph();
         let edges = graph.edge_count();
-        let mut clock = BudgetClock::start(budget);
+        let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
         let mut incumbent: Option<Incumbent> = None;
 
@@ -77,9 +82,7 @@ impl NaiveLocalSearch {
                         let sat = graph
                             .neighbors(v)
                             .iter()
-                            .filter(|&&(u, pred)| {
-                                pred.eval(&r, &instance.rect(u, sol.get(u)))
-                            })
+                            .filter(|&&(u, pred)| pred.eval(&r, &instance.rect(u, sol.get(u))))
                             .count() as u32;
                         if best.is_none_or(|(bs, _)| sat > bs) {
                             best = Some((sat, obj));
@@ -147,11 +150,16 @@ impl NaiveGa {
 
     /// Runs the baseline. One budget step = one generation.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        self.search(instance, &SearchContext::local(*budget), rng)
+    }
+
+    /// Runs the baseline under an explicit [`SearchContext`].
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         let graph = instance.graph();
         let n = instance.n_vars();
         let edges = graph.edge_count();
         let p = self.config.population;
-        let mut clock = BudgetClock::start(budget);
+        let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
 
         let mut pop: Vec<(Solution, ConflictState)> = (0..p)
@@ -174,8 +182,13 @@ impl NaiveGa {
             stats.restarts += 1;
 
             for (sol, cs) in &pop {
-                if incumbent.offer(sol, cs.total_violations(), edges, clock.elapsed(), clock.steps())
-                {
+                if incumbent.offer(
+                    sol,
+                    cs.total_violations(),
+                    edges,
+                    clock.elapsed(),
+                    clock.steps(),
+                ) {
                     stats.improvements += 1;
                 }
             }
@@ -226,7 +239,13 @@ impl NaiveGa {
         }
 
         for (sol, cs) in &pop {
-            if incumbent.offer(sol, cs.total_violations(), edges, clock.elapsed(), clock.steps()) {
+            if incumbent.offer(
+                sol,
+                cs.total_violations(),
+                edges,
+                clock.elapsed(),
+                clock.steps(),
+            ) {
                 stats.improvements += 1;
             }
         }
@@ -282,10 +301,15 @@ impl SimulatedAnnealing {
 
     /// Runs the baseline. One budget step = one proposed move.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        self.search(instance, &SearchContext::local(*budget), rng)
+    }
+
+    /// Runs the baseline under an explicit [`SearchContext`].
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         let graph = instance.graph();
         let edges = graph.edge_count();
         let n = instance.n_vars();
-        let mut clock = BudgetClock::start(budget);
+        let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
 
         let mut sol = instance.random_solution(rng);
@@ -303,8 +327,8 @@ impl SimulatedAnnealing {
             let before = cs.total_violations() as f64;
             cs.reassign(graph, &mut sol, v, obj, instance.rect_of());
             let delta = cs.total_violations() as f64 - before;
-            let accept = delta <= 0.0
-                || rng.random_range(0.0..1.0) < (-delta / temperature.max(1e-9)).exp();
+            let accept =
+                delta <= 0.0 || rng.random_range(0.0..1.0) < (-delta / temperature.max(1e-9)).exp();
             if accept {
                 offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
                 if cs.total_violations() == 0 {

@@ -69,10 +69,7 @@ mod tests {
             .unwrap();
         let o = connectivity_order(&g);
         for k in 1..o.len() {
-            let connected = g
-                .neighbors(o[k])
-                .iter()
-                .any(|&(u, _)| o[..k].contains(&u));
+            let connected = g.neighbors(o[k]).iter().any(|&(u, _)| o[..k].contains(&u));
             assert!(connected, "variable {} at position {k} is isolated", o[k]);
         }
     }

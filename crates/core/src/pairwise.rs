@@ -97,10 +97,9 @@ fn join_rec(a: Cursor<'_>, b: Cursor<'_>, out: &mut PairwiseJoin) {
                     for eb in nb.entries() {
                         if ea.mbr().intersects(eb.mbr()) {
                             match (ea.child(), eb.child()) {
-                                (None, None) => out.pairs.push((
-                                    *ea.value().expect("leaf"),
-                                    *eb.value().expect("leaf"),
-                                )),
+                                (None, None) => out
+                                    .pairs
+                                    .push((*ea.value().expect("leaf"), *eb.value().expect("leaf"))),
                                 _ => {
                                     out.node_accesses += 2;
                                     join_rec(cursor_of(ea), cursor_of(eb), out);

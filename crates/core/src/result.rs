@@ -62,17 +62,13 @@ impl TopSolutions {
         if self.k == 0 {
             return false;
         }
-        if self.entries.len() == self.k
-            && violations >= self.entries.last().expect("non-empty").1
-        {
+        if self.entries.len() == self.k && violations >= self.entries.last().expect("non-empty").1 {
             return false;
         }
         if self.entries.iter().any(|(s, _)| s == sol) {
             return false;
         }
-        let pos = self
-            .entries
-            .partition_point(|(_, v)| *v <= violations);
+        let pos = self.entries.partition_point(|(_, v)| *v <= violations);
         self.entries.insert(pos, (sol.clone(), violations));
         self.entries.truncate(self.k);
         true
@@ -219,7 +215,10 @@ mod tests {
         let mut top = TopSolutions::new(3);
         assert!(top.insert(&Solution::new(vec![1]), 5));
         assert!(top.insert(&Solution::new(vec![2]), 3));
-        assert!(!top.insert(&Solution::new(vec![2]), 3), "duplicate rejected");
+        assert!(
+            !top.insert(&Solution::new(vec![2]), 3),
+            "duplicate rejected"
+        );
         assert!(top.insert(&Solution::new(vec![3]), 4));
         assert_eq!(top.len(), 3);
         // Full: worse candidates bounce, better ones evict the worst.

@@ -18,7 +18,7 @@
 //!   [`find_best_value`], exactly like one ILS move ("mutation can only
 //!   have positive results").
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::find_best_value::find_best_value;
 use crate::instance::Instance;
 use crate::result::{Incumbent, RunOutcome, RunStats};
@@ -151,11 +151,18 @@ impl Sea {
     /// Runs SEA until the budget is exhausted. One budget step = one
     /// generation.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, rng: &mut StdRng) -> RunOutcome {
+        self.search(instance, &SearchContext::local(*budget), rng)
+    }
+
+    /// Runs SEA under an explicit [`SearchContext`] — the entry point used
+    /// by [`crate::ParallelPortfolio`] to share deadlines and bounds
+    /// across restarts.
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         let graph = instance.graph();
         let n = instance.n_vars();
         let edges = graph.edge_count();
         let p = self.config.population;
-        let mut clock = BudgetClock::start(budget);
+        let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
 
         // Initial population: random, or the first p ILS local maxima
@@ -193,6 +200,7 @@ impl Sea {
                 clock.steps(),
             )
         };
+        clock.publish_bound(incumbent.best_violations);
 
         let mut generation: u64 = 0;
         let mut last_improvement_gen: u64 = 0;
@@ -220,7 +228,9 @@ impl Sea {
                 };
                 let mut seeds = seeds.into_iter();
                 for ind in pop.iter_mut() {
-                    ind.sol = seeds.next().unwrap_or_else(|| instance.random_solution(rng));
+                    ind.sol = seeds
+                        .next()
+                        .unwrap_or_else(|| instance.random_solution(rng));
                     ind.cs = instance.evaluate(&ind.sol);
                 }
                 last_improvement_gen = generation;
@@ -247,6 +257,7 @@ impl Sea {
                 ) {
                     stats.improvements += 1;
                     last_improvement_gen = generation;
+                    clock.publish_bound(incumbent.best_violations);
                 }
             }
             if incumbent.best_violations == 0 {
@@ -338,6 +349,7 @@ impl Sea {
                 clock.steps(),
             ) {
                 stats.improvements += 1;
+                clock.publish_bound(incumbent.best_violations);
             }
         }
 
@@ -361,11 +373,7 @@ impl Sea {
 /// by violations (asc); the set `X` then grows by repeatedly adding the
 /// variable satisfying the most conditions towards members of `X`, ties
 /// resolved by the initial order. Returns a keep-mask.
-fn greedy_keep_set(
-    graph: &mwsj_query::QueryGraph,
-    cs: &ConflictState,
-    c: usize,
-) -> Vec<bool> {
+fn greedy_keep_set(graph: &mwsj_query::QueryGraph, cs: &ConflictState, c: usize) -> Vec<bool> {
     let n = graph.n_vars();
     let c = c.min(n);
     // Initial order.
@@ -397,10 +405,7 @@ fn greedy_keep_set(
                 .neighbors(v)
                 .iter()
                 .filter(|&&(u, _)| {
-                    keep[u]
-                        && !cs.is_edge_violated(
-                            graph.edge_index(v, u).expect("neighbor edge"),
-                        )
+                    keep[u] && !cs.is_edge_violated(graph.edge_index(v, u).expect("neighbor edge"))
                 })
                 .count() as u32;
             let candidate = (sat_to_x, rank[v], v);
@@ -523,8 +528,11 @@ mod tests {
     fn sea_trace_is_monotone() {
         let inst = hard_instance(86, QueryShape::Chain, 6, 400);
         let mut rng = StdRng::seed_from_u64(87);
-        let outcome =
-            Sea::new(SeaConfig::default_for(&inst)).run(&inst, &SearchBudget::iterations(40), &mut rng);
+        let outcome = Sea::new(SeaConfig::default_for(&inst)).run(
+            &inst,
+            &SearchBudget::iterations(40),
+            &mut rng,
+        );
         for w in outcome.trace.windows(2) {
             assert!(w[0].similarity < w[1].similarity);
         }

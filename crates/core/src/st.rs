@@ -54,7 +54,12 @@ impl SynchronousTraversal {
     /// # Panics
     /// Panics if the query uses a predicate other than
     /// [`Predicate::Intersects`].
-    pub fn run(&self, instance: &Instance, budget: &SearchBudget, limit: usize) -> ExactJoinOutcome {
+    pub fn run(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        limit: usize,
+    ) -> ExactJoinOutcome {
         assert!(
             instance
                 .graph()
@@ -249,7 +254,8 @@ mod tests {
         let capped = SynchronousTraversal::new().run(&inst, &SearchBudget::seconds(30.0), 3);
         assert_eq!(capped.solutions.len(), 3);
         assert!(!capped.complete);
-        let starved = SynchronousTraversal::new().run(&inst, &SearchBudget::iterations(2), usize::MAX);
+        let starved =
+            SynchronousTraversal::new().run(&inst, &SearchBudget::iterations(2), usize::MAX);
         assert!(!starved.complete);
     }
 

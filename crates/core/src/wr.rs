@@ -39,7 +39,12 @@ impl WindowReduction {
     }
 
     /// Enumerates up to `limit` exact solutions within `budget`.
-    pub fn run(&self, instance: &Instance, budget: &SearchBudget, limit: usize) -> ExactJoinOutcome {
+    pub fn run(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        limit: usize,
+    ) -> ExactJoinOutcome {
         let graph = instance.graph();
         let order = connectivity_order(graph);
         let mut position = vec![0usize; order.len()];
@@ -144,7 +149,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize, density: f64) -> (Instance, Vec<Dataset>) {
+    fn instance(
+        seed: u64,
+        shape: QueryShape,
+        n: usize,
+        cardinality: usize,
+        density: f64,
+    ) -> (Instance, Vec<Dataset>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let datasets: Vec<Dataset> = (0..n)
             .map(|_| Dataset::uniform(cardinality, density, &mut rng))

@@ -3,7 +3,8 @@
 //! instances.
 
 use mwsj_core::{
-    find_best_value, Ibb, IbbConfig, Ils, IlsConfig, Instance, SearchBudget, WindowReduction,
+    find_best_value, Ibb, IbbConfig, Ils, IlsConfig, Instance, ParallelPortfolio, Pjm,
+    PortfolioConfig, SearchBudget, SynchronousTraversal, WindowReduction,
 };
 use mwsj_geom::Rect;
 use mwsj_query::{QueryGraph, Solution};
@@ -148,5 +149,48 @@ proptest! {
             .run(&inst, &SearchBudget::iterations(300), &mut rng);
         prop_assert!(outcome.best_violations >= optimum);
         prop_assert_eq!(inst.violations(&outcome.best), outcome.best_violations);
+    }
+
+    /// The three exact baselines (window reduction, synchronous traversal,
+    /// pairwise join method) enumerate identical solution sets on every
+    /// random instance.
+    #[test]
+    fn exact_baselines_agree((inst, _) in arb_instance()) {
+        let budget = SearchBudget::seconds(120.0);
+        let sets: Vec<Vec<Solution>> = [
+            WindowReduction::new().run(&inst, &budget, usize::MAX),
+            SynchronousTraversal::new().run(&inst, &budget, usize::MAX),
+            Pjm::default().run(&inst, &budget, usize::MAX),
+        ]
+        .into_iter()
+        .map(|outcome| {
+            prop_assert!(outcome.complete);
+            let mut sols = outcome.solutions;
+            sols.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+            Ok(sols)
+        })
+        .collect::<Result<_, _>>()?;
+        prop_assert_eq!(&sets[0], &sets[1]);
+        prop_assert_eq!(&sets[0], &sets[2]);
+    }
+
+    /// The parallel portfolio respects the optimum and is thread-count
+    /// independent on arbitrary instances, not just handcrafted ones.
+    #[test]
+    fn portfolio_is_thread_count_independent((inst, seed) in arb_instance()) {
+        let optimum = brute_optimum(&inst);
+        let budget = SearchBudget::iterations(200);
+        let run = |threads: usize| {
+            ParallelPortfolio::new(Ils::new(IlsConfig::default()), PortfolioConfig::new(3, threads))
+                .run(&inst, &budget, seed)
+        };
+        let a = run(1);
+        let b = run(3);
+        prop_assert!(a.merged.best_violations >= optimum);
+        prop_assert_eq!(&a.merged.best, &b.merged.best);
+        prop_assert_eq!(a.merged.best_violations, b.merged.best_violations);
+        prop_assert_eq!(&a.merged.top_solutions, &b.merged.top_solutions);
+        prop_assert_eq!(a.merged.stats.steps, b.merged.stats.steps);
+        prop_assert_eq!(inst.violations(&a.merged.best), a.merged.best_violations);
     }
 }

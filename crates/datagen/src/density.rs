@@ -99,7 +99,9 @@ pub fn hard_region_density(shape: QueryShape, n: usize, cardinality: usize, targ
     let big_n = cardinality as f64;
     let inv = 1.0 / (n as f64 - 1.0);
     match shape {
-        QueryShape::Chain | QueryShape::Star => (target / (big_n * 4f64.powi(n as i32 - 1))).powf(inv),
+        QueryShape::Chain | QueryShape::Star => {
+            (target / (big_n * 4f64.powi(n as i32 - 1))).powf(inv)
+        }
         QueryShape::Clique => (target / (big_n * (n as f64).powi(2))).powf(inv),
         QueryShape::Cycle => {
             // Solve N^n (4d/N)^n = target for d.

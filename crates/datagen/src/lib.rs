@@ -29,10 +29,10 @@ pub mod selectivity;
 mod workload;
 
 pub use dataset::{Dataset, DatasetSpec, Distribution};
-pub use io::CsvError;
 pub use density::{
     expected_solutions, extent_for_density, hard_region_density, hard_region_density_graph,
     QueryShape,
 };
+pub use io::CsvError;
 pub use planted::{count_exact_solutions, plant_solution};
 pub use workload::{Workload, WorkloadSpec};

@@ -72,11 +72,7 @@ pub fn clique_solutions(graph: &QueryGraph, cards: &[usize], extents: &[f64]) ->
 /// pairwise factor `(|rᵢ|+|rⱼ|)²`, a clique block on `k` variables the
 /// \[PMT99\] factor `(Σᵢ Πⱼ≠ᵢ |rⱼ|)²`. Returns `None` when some block is
 /// neither (e.g. a bare cycle), where no exact formula is known.
-pub fn decomposed_solutions(
-    graph: &QueryGraph,
-    cards: &[usize],
-    extents: &[f64],
-) -> Option<f64> {
+pub fn decomposed_solutions(graph: &QueryGraph, cards: &[usize], extents: &[f64]) -> Option<f64> {
     assert_eq!(cards.len(), graph.n_vars());
     assert_eq!(extents.len(), graph.n_vars());
     let tuples: f64 = cards.iter().map(|&c| c as f64).product();
@@ -192,7 +188,10 @@ mod tests {
         // Manual: N⁴ · (3·|r|²)² · (2|r|)².
         let r: f64 = 0.1;
         let manual = 100f64.powi(4) * (3.0 * r * r).powi(2) * (2.0 * r).powi(2);
-        assert!((dec / manual - 1.0).abs() < 1e-12, "dec {dec} manual {manual}");
+        assert!(
+            (dec / manual - 1.0).abs() < 1e-12,
+            "dec {dec} manual {manual}"
+        );
     }
 
     #[test]
@@ -220,8 +219,7 @@ mod tests {
         let ds: Vec<Dataset> = (0..4).map(|_| Dataset::uniform(n, d, &mut rng)).collect();
         let hits = crate::count_exact_solutions(&ds, &graph, u64::MAX);
         let r = crate::extent_for_density(n, d);
-        let expected =
-            decomposed_solutions(&graph, &[n; 4], &[r; 4]).unwrap();
+        let expected = decomposed_solutions(&graph, &[n; 4], &[r; 4]).unwrap();
         let ratio = hits as f64 / expected;
         assert!(
             (0.5..2.0).contains(&ratio),

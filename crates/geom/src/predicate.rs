@@ -99,10 +99,7 @@ impl Predicate {
     /// Returns `true` if the predicate is symmetric (`transpose == self`).
     #[inline]
     pub fn is_symmetric(&self) -> bool {
-        matches!(
-            self,
-            Predicate::Intersects | Predicate::WithinDistance(_)
-        )
+        matches!(self, Predicate::Intersects | Predicate::WithinDistance(_))
     }
 }
 

@@ -217,8 +217,7 @@ impl Rect {
     /// Smallest rectangle covering all rectangles in `iter`
     /// ([`Rect::EMPTY`] if the iterator is empty).
     pub fn union_all<'a, I: IntoIterator<Item = &'a Rect>>(iter: I) -> Rect {
-        iter.into_iter()
-            .fold(Rect::EMPTY, |acc, r| acc.union(r))
+        iter.into_iter().fold(Rect::EMPTY, |acc, r| acc.union(r))
     }
 }
 
@@ -339,7 +338,11 @@ mod tests {
 
     #[test]
     fn union_all_covers_everything() {
-        let rects = vec![r(0.0, 0.0, 1.0, 1.0), r(5.0, 5.0, 6.0, 6.0), r(-1.0, 2.0, 0.0, 3.0)];
+        let rects = vec![
+            r(0.0, 0.0, 1.0, 1.0),
+            r(5.0, 5.0, 6.0, 6.0),
+            r(-1.0, 2.0, 0.0, 3.0),
+        ];
         let u = Rect::union_all(&rects);
         for rect in &rects {
             assert!(u.contains(rect));

@@ -84,8 +84,7 @@ impl QueryGraph {
                             // p is an articulation point (or the root):
                             // everything above the tree edge (p, u) is one
                             // block.
-                            let tree_edge =
-                                self.edge_index(p, u).expect("tree edge exists");
+                            let tree_edge = self.edge_index(p, u).expect("tree edge exists");
                             let mut block_edges = Vec::new();
                             while let Some(e) = edge_stack.pop() {
                                 block_edges.push(e);
@@ -182,7 +181,10 @@ mod tests {
             .unwrap();
         let blocks = g.blocks();
         assert_eq!(blocks.len(), 3);
-        let cliques = blocks.iter().filter(|b| b.is_clique() && !b.is_bridge()).count();
+        let cliques = blocks
+            .iter()
+            .filter(|b| b.is_clique() && !b.is_bridge())
+            .count();
         let bridges = blocks.iter().filter(|b| b.is_bridge()).count();
         assert_eq!(cliques, 2);
         assert_eq!(bridges, 1);

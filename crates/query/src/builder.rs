@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn builder_happy_path() {
-        let g = QueryGraphBuilder::new(3).edge(0, 1).edge(1, 2).build().unwrap();
+        let g = QueryGraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .build()
+            .unwrap();
         assert_eq!(g.edge_count(), 2);
     }
 

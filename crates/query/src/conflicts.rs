@@ -148,10 +148,10 @@ mod tests {
     fn worst_variable_matches_paper_example() {
         // Rect layout engineered to violate exactly Q14, Q23, Q34.
         let data = vec![
-            vec![Rect::new(0.0, 0.0, 1.0, 1.0)],   // v1
-            vec![Rect::new(0.5, 0.5, 1.5, 1.5)],   // v2 (meets v1)
-            vec![Rect::new(5.0, 5.0, 6.0, 6.0)],   // v3 (meets nothing yet)
-            vec![Rect::new(9.0, 9.0, 9.9, 9.9)],   // v4 (meets nothing)
+            vec![Rect::new(0.0, 0.0, 1.0, 1.0)], // v1
+            vec![Rect::new(0.5, 0.5, 1.5, 1.5)], // v2 (meets v1)
+            vec![Rect::new(5.0, 5.0, 6.0, 6.0)], // v3 (meets nothing yet)
+            vec![Rect::new(9.0, 9.0, 9.9, 9.9)], // v4 (meets nothing)
         ];
         // Edges: (0,1), (0,3), (1,2), (2,3) — i.e. Q12, Q14, Q23, Q34.
         let g = crate::QueryGraphBuilder::new(4)

@@ -58,10 +58,11 @@ impl<T: PartialEq> RTree<T> {
     ) -> bool {
         if self.node(node_id).is_leaf() {
             let node = self.node_mut(node_id);
-            if let Some(pos) = node.entries.iter().position(|e| {
-                e.mbr == *mbr
-                    && matches!(&e.payload, Payload::Data(v) if v == value)
-            }) {
+            if let Some(pos) = node
+                .entries
+                .iter()
+                .position(|e| e.mbr == *mbr && matches!(&e.payload, Payload::Data(v) if v == value))
+            {
                 node.entries.swap_remove(pos);
                 return true;
             }

@@ -49,9 +49,8 @@ impl<T> RTree<T> {
         loop {
             let level = self.node(cur).level as usize;
             if self.node(cur).entries.len() > self.params.max_entries {
-                let can_reinsert = cur != self.root
-                    && self.params.reinsert_count > 0
-                    && !reinserted[level];
+                let can_reinsert =
+                    cur != self.root && self.params.reinsert_count > 0 && !reinserted[level];
                 if can_reinsert {
                     reinserted[level] = true;
                     self.forced_reinsert(cur, pending);
@@ -108,8 +107,7 @@ impl<T> RTree<T> {
                 let mut delta = 0.0;
                 for (j, other) in entries.iter().enumerate() {
                     if i != j {
-                        delta += enlarged.overlap_area(&other.mbr)
-                            - e.mbr.overlap_area(&other.mbr);
+                        delta += enlarged.overlap_area(&other.mbr) - e.mbr.overlap_area(&other.mbr);
                     }
                 }
                 delta

@@ -56,10 +56,7 @@ where
 
 impl<T> RTree<T> {
     /// All entries whose MBR intersects `window` (the classic window query).
-    pub fn window<'a>(
-        &'a self,
-        window: &'a Rect,
-    ) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
+    pub fn window<'a>(&'a self, window: &'a Rect) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
         QueryIter {
             tree: self,
             stack: vec![(self.root, 0)],
@@ -183,8 +180,7 @@ mod tests {
             Predicate::WithinDistance(0.1),
         ];
         for p in preds {
-            let mut got: Vec<usize> =
-                tree.query_predicate(p, &window).map(|(_, v)| *v).collect();
+            let mut got: Vec<usize> = tree.query_predicate(p, &window).map(|(_, v)| *v).collect();
             got.sort_unstable();
             let expected: Vec<usize> = rects
                 .iter()

@@ -27,7 +27,11 @@ pub(crate) fn rstar_split<T>(
     // Pick the split axis by minimum total margin.
     let margin_x = axis_margin_sum(&mut entries, Axis::X, min_entries);
     let margin_y = axis_margin_sum(&mut entries, Axis::Y, min_entries);
-    let axis = if margin_x <= margin_y { Axis::X } else { Axis::Y };
+    let axis = if margin_x <= margin_y {
+        Axis::X
+    } else {
+        Axis::Y
+    };
 
     // Pick the distribution on that axis: min overlap, ties min area.
     let mut best: Option<(f64, f64, SortBy, usize)> = None;
@@ -150,7 +154,12 @@ mod tests {
             rects.push(Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 0.1));
         }
         for i in 0..4 {
-            rects.push(Rect::new(10.0 + i as f64 * 0.1, 0.0, 10.0 + i as f64 * 0.1 + 0.05, 0.1));
+            rects.push(Rect::new(
+                10.0 + i as f64 * 0.1,
+                0.0,
+                10.0 + i as f64 * 0.1 + 0.05,
+                0.1,
+            ));
         }
         let (l, r) = rstar_split(data_entries(&rects), 3);
         let lbb = Rect::union_all(l.iter().map(|e| &e.mbr));

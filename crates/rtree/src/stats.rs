@@ -102,7 +102,11 @@ mod tests {
         let tree = RTree::bulk_load_with_params(RTreeParams::new(16), random_items(5_000, 32));
         // Even distribution guarantees at least 50% fill; STR typically
         // achieves much more.
-        assert!(tree.stats().avg_fill >= 0.5, "fill {}", tree.stats().avg_fill);
+        assert!(
+            tree.stats().avg_fill >= 0.5,
+            "fill {}",
+            tree.stats().avg_fill
+        );
     }
 
     #[test]

@@ -35,11 +35,8 @@ fn main() {
     let instance =
         Instance::new(graph, vec![warehouses, bays, depots, terminals]).expect("valid instance");
 
-    let outcome = Ils::new(IlsConfig::default()).run(
-        &instance,
-        &SearchBudget::seconds(1.0),
-        &mut rng,
-    );
+    let outcome =
+        Ils::new(IlsConfig::default()).run(&instance, &SearchBudget::seconds(1.0), &mut rng);
 
     println!(
         "best match: similarity {:.3} ({} of 3 conditions violated)",

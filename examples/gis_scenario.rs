@@ -40,7 +40,10 @@ fn main() {
 
     // Density in the hard region for this (cyclic) graph.
     let density = mwsj::datagen::hard_region_density_graph(&graph, cardinality, 1.0);
-    println!("query: 5 layers, {} join conditions, density {density:.4}", graph.edge_count());
+    println!(
+        "query: 5 layers, {} join conditions, density {density:.4}",
+        graph.edge_count()
+    );
 
     let datasets: Vec<Dataset> = (0..5)
         .map(|layer| {

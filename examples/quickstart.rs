@@ -32,11 +32,8 @@ fn main() {
     let instance = Instance::new(graph, datasets).expect("valid instance");
 
     // Anytime retrieval: the best (possibly approximate) solution in 500 ms.
-    let outcome = Ils::new(IlsConfig::default()).run(
-        &instance,
-        &SearchBudget::seconds(0.5),
-        &mut rng,
-    );
+    let outcome =
+        Ils::new(IlsConfig::default()).run(&instance, &SearchBudget::seconds(0.5), &mut rng);
 
     println!(
         "best solution {} — similarity {:.3} ({} of {} join conditions violated)",
@@ -53,6 +50,11 @@ fn main() {
         outcome.stats.elapsed,
     );
     for v in 0..n_vars {
-        println!("  v{} <- object {} at {}", v + 1, outcome.best.get(v), instance.rect(v, outcome.best.get(v)));
+        println!(
+            "  v{} <- object {} at {}",
+            v + 1,
+            outcome.best.get(v),
+            instance.rect(v, outcome.best.get(v))
+        );
     }
 }

@@ -22,11 +22,8 @@ fn main() {
         .collect();
     let instance = Instance::new(QueryGraph::cycle(n_vars), datasets).expect("valid instance");
 
-    let outcome = Gils::new(GilsConfig::default()).run(
-        &instance,
-        &SearchBudget::seconds(1.0),
-        &mut rng,
-    );
+    let outcome =
+        Gils::new(GilsConfig::default()).run(&instance, &SearchBudget::seconds(1.0), &mut rng);
 
     println!(
         "top {} distinct solutions after {:?} ({} index node accesses):",

@@ -38,11 +38,8 @@ fn main() {
     let instance = Instance::self_join(graph, layout).expect("valid instance");
 
     // GILS: single-seed guided search with penalty memory.
-    let outcome = Gils::new(GilsConfig::default()).run(
-        &instance,
-        &SearchBudget::seconds(1.5),
-        &mut rng,
-    );
+    let outcome =
+        Gils::new(GilsConfig::default()).run(&instance, &SearchBudget::seconds(1.5), &mut rng);
 
     println!(
         "best staircase similarity {:.3} ({} violations) after {} maxima",

@@ -46,15 +46,16 @@ pub use mwsj_rtree as rtree;
 /// Convenient glob-import surface: `use mwsj::prelude::*;`.
 pub mod prelude {
     pub use mwsj_core::{
-        find_best_value, BestValue, ExactJoinOutcome, Gils, GilsConfig, Ibb, IbbConfig, Ils,
-        IlsConfig, Instance, InstanceError, NaiveGa, NaiveGaConfig, NaiveLocalSearch,
-        PairwiseJoin, Pjm, PjmOrder, RunOutcome, RunStats, SaConfig, SearchBudget, Sea, SeaConfig,
-        SimulatedAnnealing, SynchronousTraversal, TopSolutions, TracePoint, TwoStep, TwoStepConfig,
-        TwoStepOutcome, WindowReduction,
+        derive_seed, find_best_value, AnytimeSearch, BestValue, CutoffPolicy, ExactJoinOutcome,
+        Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, InstanceError, NaiveGa,
+        NaiveGaConfig, NaiveLocalSearch, PairwiseJoin, ParallelPortfolio, Pjm, PjmOrder,
+        PortfolioConfig, PortfolioOutcome, RestartOutcome, RunOutcome, RunStats, SaConfig, Sea,
+        SeaConfig, SearchBudget, SearchContext, SharedSearchState, SimulatedAnnealing,
+        SynchronousTraversal, TopSolutions, TracePoint, TwoStep, TwoStepConfig, TwoStepOutcome,
+        WindowReduction,
     };
     pub use mwsj_datagen::{
-        hard_region_density, Dataset, DatasetSpec, Distribution, QueryShape, Workload,
-        WorkloadSpec,
+        hard_region_density, Dataset, DatasetSpec, Distribution, QueryShape, Workload, WorkloadSpec,
     };
     pub use mwsj_geom::{Interval, Point, Predicate, Rect};
     pub use mwsj_query::{QueryGraph, Solution, VarId};

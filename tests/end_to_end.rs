@@ -102,9 +102,7 @@ fn two_step_retrieves_planted_optimum() {
     let n = 4;
     let shape = QueryShape::Clique;
     let d = mwsj::datagen::hard_region_density(shape, n, 200, 1.0);
-    let mut datasets: Vec<Dataset> = (0..n)
-        .map(|_| Dataset::uniform(200, d, &mut rng))
-        .collect();
+    let mut datasets: Vec<Dataset> = (0..n).map(|_| Dataset::uniform(200, d, &mut rng)).collect();
     let graph = shape.graph(n);
     let planted = plant_solution(&mut datasets, &graph, &mut rng);
     let inst = Instance::new(graph, datasets).unwrap();
@@ -142,9 +140,7 @@ fn planted_solution_is_found_by_exact_join() {
     let mut rng = StdRng::seed_from_u64(210);
     let shape = QueryShape::Clique;
     let d = mwsj::datagen::hard_region_density(shape, 4, 150, 1.0) / 10.0;
-    let mut datasets: Vec<Dataset> = (0..4)
-        .map(|_| Dataset::uniform(150, d, &mut rng))
-        .collect();
+    let mut datasets: Vec<Dataset> = (0..4).map(|_| Dataset::uniform(150, d, &mut rng)).collect();
     let graph = shape.graph(4);
     let planted = plant_solution(&mut datasets, &graph, &mut rng);
     let inst = Instance::new(graph, datasets).unwrap();

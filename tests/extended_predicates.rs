@@ -67,7 +67,11 @@ fn heuristics_run_with_mixed_predicates() {
         assert_eq!(inst.violations(&outcome.best), outcome.best_violations);
         // ...and clearly better than chance: containment of a random small
         // rect in a random big one is rare, so random similarity ≈ 1/3.
-        assert!(outcome.best_similarity >= 2.0 / 3.0 - 1e-9, "{}", outcome.best_similarity);
+        assert!(
+            outcome.best_similarity >= 2.0 / 3.0 - 1e-9,
+            "{}",
+            outcome.best_similarity
+        );
     }
 }
 

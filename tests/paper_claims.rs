@@ -103,11 +103,8 @@ fn seeded_ibb_prunes_search() {
     assert!(plain.is_exact());
 
     // Seed with a good heuristic solution.
-    let heuristic = Ils::new(IlsConfig::default()).run(
-        &inst,
-        &SearchBudget::iterations(400),
-        &mut rng,
-    );
+    let heuristic =
+        Ils::new(IlsConfig::default()).run(&inst, &SearchBudget::iterations(400), &mut rng);
     let seeded = Ibb::new(IbbConfig::with_initial(heuristic.best.clone()))
         .run(&inst, &SearchBudget::seconds(120.0));
     assert!(seeded.is_exact());

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`]) as a plain wall-clock harness: each benchmark runs a
+//! warm-up pass plus `sample_size` timed samples and prints
+//! `bench: <id> ... mean <t> (min <t>, max <t>) x<samples>` to stdout.
+//! There is no statistical analysis, plotting, or baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream API parity; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// How much setup output `iter_batched` pre-builds per timed batch.
+/// This harness times one routine call per batch regardless, so the
+/// variants only exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream would batch many per allocation.
+    SmallInput,
+    /// Large setup output; upstream would batch few per allocation.
+    LargeInput,
+    /// Setup output per iteration.
+    PerIteration,
+}
+
+/// Times the closure handed to it; one `Bencher` per sample.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    /// Times `routine` on fresh values built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    // Warm-up pass (untimed in the report).
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut warm);
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        if b.iterations > 0 {
+            times.push(b.elapsed / b.iterations as u32);
+        }
+    }
+    if times.is_empty() {
+        println!("bench: {id} ... no iterations recorded");
+        return;
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = *times.iter().min().expect("non-empty");
+    let max = *times.iter().max().expect("non-empty");
+    println!(
+        "bench: {id} ... mean {mean:?} (min {min:?}, max {max:?}) x{}",
+        times.len()
+    );
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("ils", 500).to_string(), "ils/500");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

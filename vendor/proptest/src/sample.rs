@@ -1,0 +1,41 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is unknown at generation time:
+/// carries raw entropy that [`Index::index`] scales onto `0..len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps raw entropy bits.
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Maps the stored entropy onto `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_in_bounds_and_spread() {
+        let idx = Index::from_raw(u64::MAX);
+        assert_eq!(idx.index(10), 9);
+        assert_eq!(Index::from_raw(0).index(10), 0);
+        assert_eq!(Index::from_raw(u64::MAX / 2 + 1).index(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_len_panics() {
+        Index::from_raw(7).index(0);
+    }
+}
