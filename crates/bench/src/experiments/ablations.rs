@@ -11,14 +11,20 @@
 //! printed `10⁻¹⁰·s` setting.
 
 use crate::experiments::build_instance;
-use crate::{mean, write_csv, Algo, Scale, Table};
-use mwsj_core::{Gils, GilsConfig, SearchBudget};
+use crate::{mean, write_csv, Algo, Recorder, Scale, Table};
+use mwsj_core::{Gils, GilsConfig, SearchBudget, SearchContext};
 use mwsj_datagen::QueryShape;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Runs all ablation studies; rows are `(study, shape, algorithm, similarity)`.
 pub fn run(scale: Scale) -> Table {
+    run_recorded(scale, &Recorder::disabled())
+}
+
+/// Like [`run`], additionally streaming per-run events and metrics through
+/// `rec`.
+pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
     let n = match scale {
         Scale::Smoke => 5,
         _ => 15,
@@ -35,7 +41,7 @@ pub fn run(scale: Scale) -> Table {
         for algo in [Algo::Ils, Algo::NaiveLs, Algo::Sa] {
             let sims: Vec<f64> = (0..reps)
                 .map(|rep| {
-                    algo.run(&instance, &budget, 6000 + rep as u64)
+                    rec.run(algo, &instance, &budget, 6000 + rep as u64)
                         .best_similarity
                 })
                 .collect();
@@ -56,7 +62,7 @@ pub fn run(scale: Scale) -> Table {
         for algo in [Algo::Sea, Algo::NaiveGa] {
             let sims: Vec<f64> = (0..reps)
                 .map(|rep| {
-                    algo.run(&instance, &budget, 7000 + rep as u64)
+                    rec.run(algo, &instance, &budget, 7000 + rep as u64)
                         .best_similarity
                 })
                 .collect();
@@ -78,10 +84,13 @@ pub fn run(scale: Scale) -> Table {
                     .map(|rep| {
                         let mut cfg = SeaConfig::default_for(&instance);
                         cfg.seed_with_ils = seeded;
-                        let mut rng = StdRng::seed_from_u64(7500 + rep as u64);
-                        Sea::new(cfg)
-                            .run(&instance, &budget, &mut rng)
-                            .best_similarity
+                        let seed = 7500 + rep as u64;
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        rec.start(label, &instance, &budget, seed);
+                        let ctx = SearchContext::local(budget).with_obs(rec.obs().clone());
+                        let outcome = Sea::new(cfg).search(&instance, &ctx, &mut rng);
+                        rec.end(&outcome);
+                        outcome.best_similarity
                     })
                     .collect();
                 table.row(vec![
@@ -106,10 +115,14 @@ pub fn run(scale: Scale) -> Table {
         ] {
             let sims: Vec<f64> = (0..reps)
                 .map(|rep| {
-                    let mut rng = StdRng::seed_from_u64(8000 + rep as u64);
-                    Gils::new(GilsConfig::with_lambda(lambda))
-                        .run(&instance, &budget, &mut rng)
-                        .best_similarity
+                    let seed = 8000 + rep as u64;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    rec.start(&format!("GILS λ={label}"), &instance, &budget, seed);
+                    let ctx = SearchContext::local(budget).with_obs(rec.obs().clone());
+                    let outcome = Gils::new(GilsConfig::with_lambda(lambda))
+                        .search(&instance, &ctx, &mut rng);
+                    rec.end(&outcome);
+                    outcome.best_similarity
                 })
                 .collect();
             table.row(vec![
@@ -127,8 +140,12 @@ pub fn run(scale: Scale) -> Table {
 /// Runs, prints and persists the ablation studies.
 pub fn main(scale: Scale) {
     println!("Ablation studies (scale: {})", scale.name());
-    let table = run(scale);
+    let rec = Recorder::create("ablations");
+    let table = run_recorded(scale, &rec);
     println!("{}", table.render());
     let path = write_csv("ablations.csv", &table.to_csv()).expect("write results");
     println!("CSV written to {}", path.display());
+    if let Some(metrics) = rec.finish() {
+        println!("metrics JSONL written to {}", metrics.display());
+    }
 }

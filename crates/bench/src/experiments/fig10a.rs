@@ -7,13 +7,19 @@
 //! here it is a table column.
 
 use crate::experiments::build_instance;
-use crate::{mean, write_csv, Algo, Scale, Table};
+use crate::{mean, write_csv, Algo, Recorder, Scale, Table};
 use mwsj_core::SearchBudget;
 use mwsj_datagen::QueryShape;
 
 /// Runs the experiment and returns the result table
 /// (`shape, n, density, ILS, GILS, SEA`).
 pub fn run(scale: Scale) -> Table {
+    run_recorded(scale, &Recorder::disabled())
+}
+
+/// Like [`run`], additionally streaming per-run events and metrics through
+/// `rec`.
+pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
     let mut table = Table::new(vec!["shape", "n", "density", "ILS", "GILS", "SEA"]);
     for shape in [QueryShape::Chain, QueryShape::Clique] {
         for &n in &scale.query_sizes() {
@@ -34,7 +40,7 @@ pub fn run(scale: Scale) -> Table {
             for algo in Algo::PAPER {
                 let sims: Vec<f64> = (0..scale.repetitions())
                     .map(|rep| {
-                        algo.run(&instance, &budget, 1000 + rep as u64)
+                        rec.run(algo, &instance, &budget, 1000 + rep as u64)
                             .best_similarity
                     })
                     .collect();
@@ -56,8 +62,12 @@ pub fn main(scale: Scale) {
         scale.repetitions(),
         scale.time_factor()
     );
-    let table = run(scale);
+    let rec = Recorder::create("fig10a");
+    let table = run_recorded(scale, &rec);
     println!("{}", table.render());
     let path = write_csv("fig10a.csv", &table.to_csv()).expect("write results");
     println!("CSV written to {}", path.display());
+    if let Some(metrics) = rec.finish() {
+        println!("metrics JSONL written to {}", metrics.display());
+    }
 }

@@ -8,7 +8,7 @@
 //! GILS converge before 5/10 seconds; SEA needs longer but ends higher").
 
 use crate::experiments::build_instance;
-use crate::{mean, write_csv, Algo, Scale, Table};
+use crate::{mean, write_csv, Algo, Recorder, Scale, Table};
 use mwsj_core::SearchBudget;
 use mwsj_datagen::QueryShape;
 use std::time::Duration;
@@ -19,6 +19,12 @@ const GRID: usize = 20;
 /// Runs the experiment for one shape; returns `(time, ILS, GILS, SEA)`
 /// rows.
 pub fn run_shape(scale: Scale, shape: QueryShape) -> Table {
+    run_shape_recorded(scale, shape, &Recorder::disabled())
+}
+
+/// Like [`run_shape`], additionally streaming per-run events and metrics
+/// through `rec`.
+pub fn run_shape_recorded(scale: Scale, shape: QueryShape, rec: &Recorder) -> Table {
     let n = match scale {
         Scale::Smoke => 5,
         _ => 15,
@@ -38,7 +44,7 @@ pub fn run_shape(scale: Scale, shape: QueryShape) -> Table {
     let mut curves: Vec<Vec<f64>> = Vec::new();
     for algo in Algo::PAPER {
         let outcomes: Vec<_> = (0..scale.repetitions())
-            .map(|rep| algo.run(&instance, &budget, 2000 + rep as u64))
+            .map(|rep| rec.run(algo, &instance, &budget, 2000 + rep as u64))
             .collect();
         let curve: Vec<f64> = (1..=GRID)
             .map(|g| {
@@ -75,10 +81,14 @@ pub fn main(scale: Scale) {
             shape.name(),
             scale.name()
         );
-        let table = run_shape(scale, shape);
+        let rec = Recorder::create(&format!("fig10b_{}", shape.name()));
+        let table = run_shape_recorded(scale, shape, &rec);
         println!("{}", table.render());
         let name = format!("fig10b_{}.csv", shape.name());
         let path = write_csv(&name, &table.to_csv()).expect("write results");
         println!("CSV written to {}", path.display());
+        if let Some(metrics) = rec.finish() {
+            println!("metrics JSONL written to {}", metrics.display());
+        }
     }
 }

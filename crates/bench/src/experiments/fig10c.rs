@@ -7,13 +7,19 @@
 //! of the search space.
 
 use crate::experiments::build_instance;
-use crate::{mean, write_csv, Algo, Scale, Table};
+use crate::{mean, write_csv, Algo, Recorder, Scale, Table};
 use mwsj_core::SearchBudget;
 use mwsj_datagen::QueryShape;
 
 /// Runs the experiment for one shape; rows are
 /// `(expected_solutions, density, ILS, GILS, SEA)`.
 pub fn run_shape(scale: Scale, shape: QueryShape) -> Table {
+    run_shape_recorded(scale, shape, &Recorder::disabled())
+}
+
+/// Like [`run_shape`], additionally streaming per-run events and metrics
+/// through `rec`.
+pub fn run_shape_recorded(scale: Scale, shape: QueryShape, rec: &Recorder) -> Table {
     let n = match scale {
         Scale::Smoke => 5,
         _ => 15,
@@ -38,7 +44,7 @@ pub fn run_shape(scale: Scale, shape: QueryShape) -> Table {
         for algo in Algo::PAPER {
             let sims: Vec<f64> = (0..scale.repetitions())
                 .map(|rep| {
-                    algo.run(&instance, &budget, 3000 + rep as u64)
+                    rec.run(algo, &instance, &budget, 3000 + rep as u64)
                         .best_similarity
                 })
                 .collect();
@@ -58,10 +64,14 @@ pub fn main(scale: Scale) {
             shape.name(),
             scale.name()
         );
-        let table = run_shape(scale, shape);
+        let rec = Recorder::create(&format!("fig10c_{}", shape.name()));
+        let table = run_shape_recorded(scale, shape, &rec);
         println!("{}", table.render());
         let name = format!("fig10c_{}.csv", shape.name());
         let path = write_csv(&name, &table.to_csv()).expect("write results");
         println!("CSV written to {}", path.display());
+        if let Some(metrics) = rec.finish() {
+            println!("metrics JSONL written to {}", metrics.display());
+        }
     }
 }

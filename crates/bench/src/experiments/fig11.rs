@@ -9,7 +9,7 @@
 //! the reproduced result.
 
 use crate::experiments::build_instance;
-use crate::{mean, write_csv, Algo, Scale, Table};
+use crate::{mean, write_csv, Algo, Recorder, Scale, Table};
 use mwsj_core::{Ibb, IbbConfig, SearchBudget, TwoStep, TwoStepConfig};
 use mwsj_datagen::QueryShape;
 use rand::rngs::StdRng;
@@ -35,6 +35,12 @@ fn settings(scale: Scale) -> (Vec<usize>, usize, Duration, usize) {
 /// `(n, IBB_seconds, ILS+IBB_seconds, SEA+IBB_seconds)` where a leading
 /// `>` marks a timeout.
 pub fn run(scale: Scale) -> Table {
+    run_recorded(scale, &Recorder::disabled())
+}
+
+/// Like [`run`], additionally streaming per-run events and metrics through
+/// `rec`.
+pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
     let (sizes, cardinality, ibb_cap, reps) = settings(scale);
     let mut table = Table::new(vec!["n", "IBB", "ILS+IBB", "SEA+IBB"]);
     for &n in &sizes {
@@ -50,7 +56,9 @@ pub fn run(scale: Scale) -> Table {
 
         // --- Plain IBB (deterministic: one run). ---
         let ibb_budget = SearchBudget::time(ibb_cap);
-        let outcome = Ibb::new(IbbConfig::new()).run(&instance, &ibb_budget);
+        rec.start("IBB", &instance, &ibb_budget, 0);
+        let outcome = Ibb::new(IbbConfig::new()).run_with_obs(&instance, &ibb_budget, rec.obs());
+        rec.end(&outcome);
         let ibb_cell = if outcome.is_exact() {
             format!("{:.2}", outcome.stats.elapsed.as_secs_f64())
         } else {
@@ -79,10 +87,23 @@ pub fn run(scale: Scale) -> Table {
                         heuristic_budget,
                     ),
                 };
-                let mut rng = StdRng::seed_from_u64(4000 + rep as u64);
+                let seed = 4000 + rep as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let total_budget = SearchBudget::time(ibb_cap);
+                rec.start(
+                    &format!("{}+IBB", algo.name()),
+                    &instance,
+                    &total_budget,
+                    seed,
+                );
                 let start = std::time::Instant::now();
-                let outcome =
-                    TwoStep::new(config).run(&instance, &SearchBudget::time(ibb_cap), &mut rng);
+                let outcome = TwoStep::new(config).run_with_obs(
+                    &instance,
+                    &total_budget,
+                    &mut rng,
+                    rec.obs(),
+                );
+                rec.end(&outcome.best);
                 let elapsed = start.elapsed();
                 if outcome.best.is_exact() {
                     times.push(elapsed.as_secs_f64());
@@ -116,8 +137,12 @@ pub fn main(scale: Scale) {
         reps,
         scale.name()
     );
-    let table = run(scale);
+    let rec = Recorder::create("fig11");
+    let table = run_recorded(scale, &rec);
     println!("{}", table.render());
     let path = write_csv("fig11.csv", &table.to_csv()).expect("write results");
     println!("CSV written to {}", path.display());
+    if let Some(metrics) = rec.finish() {
+        println!("metrics JSONL written to {}", metrics.display());
+    }
 }

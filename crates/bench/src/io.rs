@@ -89,6 +89,14 @@ pub fn write_csv(name: &str, content: &str) -> std::io::Result<std::path::PathBu
     Ok(path)
 }
 
+/// Resolves (and creates) `results/<name>`, for writers that stream to the
+/// file themselves (e.g. the JSONL metrics recorder).
+pub(crate) fn results_file(name: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    Ok(dir.join(name))
+}
+
 fn results_dir() -> std::path::PathBuf {
     // Prefer the workspace root (where Cargo.toml with [workspace] lives).
     let mut dir = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());

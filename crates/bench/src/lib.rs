@@ -22,15 +22,17 @@
 
 pub mod experiments;
 mod io;
+mod record;
 mod scale;
 
 pub use io::{write_csv, Table};
+pub use record::Recorder;
 pub use scale::Scale;
 
 use mwsj_core::Instance;
 use mwsj_core::{
     Gils, GilsConfig, Ils, IlsConfig, NaiveGa, NaiveGaConfig, NaiveLocalSearch, ParallelPortfolio,
-    PortfolioConfig, PortfolioOutcome, RunOutcome, Sea, SeaConfig, SearchBudget,
+    PortfolioConfig, PortfolioOutcome, RunOutcome, Sea, SeaConfig, SearchBudget, SearchContext,
     SimulatedAnnealing,
 };
 use rand::rngs::StdRng;
@@ -72,13 +74,19 @@ impl Algo {
     /// Runs the algorithm on `instance` with a per-run RNG seed.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget, seed: u64) -> RunOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
+        self.search(instance, &SearchContext::local(*budget), &mut rng)
+    }
+
+    /// Runs the algorithm under an explicit [`SearchContext`] (budget plus
+    /// observability handle).
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
         match self {
-            Algo::Ils => Ils::new(IlsConfig::default()).run(instance, budget, &mut rng),
-            Algo::Gils => Gils::new(GilsConfig::default()).run(instance, budget, &mut rng),
-            Algo::Sea => Sea::new(SeaConfig::default_for(instance)).run(instance, budget, &mut rng),
-            Algo::NaiveLs => NaiveLocalSearch::default().run(instance, budget, &mut rng),
-            Algo::NaiveGa => NaiveGa::new(NaiveGaConfig::default()).run(instance, budget, &mut rng),
-            Algo::Sa => SimulatedAnnealing::default().run(instance, budget, &mut rng),
+            Algo::Ils => Ils::new(IlsConfig::default()).search(instance, ctx, rng),
+            Algo::Gils => Gils::new(GilsConfig::default()).search(instance, ctx, rng),
+            Algo::Sea => Sea::new(SeaConfig::default_for(instance)).search(instance, ctx, rng),
+            Algo::NaiveLs => NaiveLocalSearch::default().search(instance, ctx, rng),
+            Algo::NaiveGa => NaiveGa::new(NaiveGaConfig::default()).search(instance, ctx, rng),
+            Algo::Sa => SimulatedAnnealing::default().search(instance, ctx, rng),
         }
     }
 

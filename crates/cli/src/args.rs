@@ -3,12 +3,15 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parsed command line: subcommand, `--key value` options (repeatable)
-/// and `--flag` switches.
+/// A parsed command line: subcommand, one optional positional argument,
+/// `--key value` options (repeatable) and `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: Option<String>,
+    /// The positional argument after the subcommand, if any (e.g. the
+    /// file in `mwsj report run.jsonl`).
+    pub arg: Option<String>,
     options: HashMap<String, Vec<String>>,
     flags: Vec<String>,
 }
@@ -70,6 +73,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "vars",
     "threads",
     "restarts",
+    "metrics-out",
+    "trace-out",
 ];
 
 impl Args {
@@ -102,6 +107,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(item);
+            } else if args.arg.is_none() {
+                args.arg = Some(item);
             } else {
                 return Err(ArgError::UnexpectedArgument(item));
             }
@@ -196,9 +203,16 @@ mod tests {
     }
 
     #[test]
-    fn unexpected_positional_is_an_error() {
+    fn single_positional_is_captured() {
+        let a = parse("report run.jsonl").unwrap();
+        assert_eq!(a.command.as_deref(), Some("report"));
+        assert_eq!(a.arg.as_deref(), Some("run.jsonl"));
+    }
+
+    #[test]
+    fn second_positional_is_an_error() {
         assert_eq!(
-            parse("solve extra").unwrap_err(),
+            parse("report run.jsonl extra").unwrap_err(),
             ArgError::UnexpectedArgument("extra".into())
         );
     }

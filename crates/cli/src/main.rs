@@ -7,25 +7,33 @@
 //!               [--algo ils|gils|sea|sea-hybrid|ibb|two-step] [--seconds 2] [--iterations N]
 //!               [--seed 42] [--top 5] [--restarts K] [--threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
+//! mwsj report   run.jsonl
 //! mwsj hard-density --shape chain|clique|star|cycle --vars 5 --n 100000 [--target 1]
 //! ```
 //!
 //! Datasets are CSV files of `min_x,min_y,max_x,max_y` rows (see
-//! `mwsj-datagen`); `generate` produces them synthetically.
+//! `mwsj-datagen`); `generate` produces them synthetically. `solve` and
+//! `join` accept `--metrics-out FILE` (structured JSONL run events, see
+//! `DESIGN.md` "Observability") and `solve` additionally `--trace-out
+//! FILE` (the convergence trace as `trace_point` lines); `report`
+//! validates and summarises such a file.
 
 mod args;
 mod query_spec;
 
 use args::Args;
+use mwsj_core::obs::{schema, Json};
 use mwsj_core::{
-    AnytimeSearch, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, ParallelPortfolio,
-    Pjm, PortfolioConfig, RunOutcome, Sea, SeaConfig, SearchBudget, SynchronousTraversal, TwoStep,
-    TwoStepConfig, WindowReduction,
+    AnytimeSearch, EventSink, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance,
+    JsonlSink, ObsHandle, ParallelPortfolio, Pjm, PortfolioConfig, RunEvent, RunOutcome, Sea,
+    SeaConfig, SearchBudget, SearchContext, SynchronousTraversal, TwoStep, TwoStepConfig,
+    WindowReduction,
 };
 use mwsj_datagen::{Dataset, DatasetSpec, Distribution, QueryShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -40,6 +48,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args),
         Some("solve") => cmd_solve(&args),
         Some("join") => cmd_join(&args),
+        Some("report") => cmd_report(&args),
         Some("hard-density") => cmd_hard_density(&args),
         Some("help") | None => {
             print!("{}", HELP);
@@ -66,7 +75,11 @@ USAGE:
              [--seconds S | --iterations I] [--seed S] [--top K]
              [--restarts K] [--threads T]   parallel portfolio of K seeded restarts
                                             (heuristics only; T=0 -> all cores)
+             [--metrics-out FILE]           structured JSONL run events + metrics
+             [--trace-out FILE]             convergence trace as JSONL trace points
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
+            [--metrics-out FILE]
+  mwsj report FILE                          validate + summarise a metrics JSONL file
   mwsj hard-density --shape chain|clique|star|cycle --vars N --n CARD [--target SOL]
 
 QUERY SPECS:
@@ -183,6 +196,28 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
 
     let algo = args.value("algo").unwrap_or("ils");
     let portfolio = restarts > 1;
+
+    let metrics_path = args.value("metrics-out").map(str::to_string);
+    let trace_path = args.value("trace-out").map(str::to_string);
+    let obs = match &metrics_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            ObsHandle::enabled().with_sink(Arc::new(sink))
+        }
+        None => ObsHandle::disabled(),
+    };
+    obs.emit(RunEvent::RunStart {
+        algo: algo.to_string(),
+        n_vars: n_vars as u64,
+        edges: instance.graph().edge_count() as u64,
+        restarts: restarts as u64,
+        threads: threads as u64,
+        seed,
+        budget_steps: budget.max_steps,
+        budget_secs: budget.time_limit.map(|d| d.as_secs_f64()),
+    });
+    let ctx = SearchContext::local(budget).with_obs(obs.clone());
+
     let outcome: RunOutcome = match algo {
         "ils" if portfolio => run_portfolio(
             Ils::new(IlsConfig::default()),
@@ -191,6 +226,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             seed,
             restarts,
             threads,
+            &obs,
         ),
         "gils" if portfolio => run_portfolio(
             Gils::new(GilsConfig::default()),
@@ -199,6 +235,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             seed,
             restarts,
             threads,
+            &obs,
         ),
         "sea" if portfolio => run_portfolio(
             Sea::new(SeaConfig::default_for(&instance)),
@@ -207,6 +244,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             seed,
             restarts,
             threads,
+            &obs,
         ),
         "sea-hybrid" if portfolio => run_portfolio(
             Sea::new(SeaConfig::default_for(&instance).with_ils_seeding()),
@@ -215,26 +253,59 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             seed,
             restarts,
             threads,
+            &obs,
         ),
-        "ils" => Ils::new(IlsConfig::default()).run(&instance, &budget, &mut rng),
-        "gils" => Gils::new(GilsConfig::default()).run(&instance, &budget, &mut rng),
-        "sea" => Sea::new(SeaConfig::default_for(&instance)).run(&instance, &budget, &mut rng),
+        "ils" => Ils::new(IlsConfig::default()).search(&instance, &ctx, &mut rng),
+        "gils" => Gils::new(GilsConfig::default()).search(&instance, &ctx, &mut rng),
+        "sea" => Sea::new(SeaConfig::default_for(&instance)).search(&instance, &ctx, &mut rng),
         "sea-hybrid" => Sea::new(SeaConfig::default_for(&instance).with_ils_seeding())
-            .run(&instance, &budget, &mut rng),
+            .search(&instance, &ctx, &mut rng),
         "ibb" | "two-step" if portfolio => {
             return Err(format!(
                 "--restarts applies to the anytime heuristics, not '{algo}'"
             ))
         }
-        "ibb" => Ibb::new(IbbConfig::new()).run(&instance, &budget),
+        "ibb" => Ibb::new(IbbConfig::new()).run_with_obs(&instance, &budget, &obs),
         "two-step" => {
             let heuristic_budget = SearchBudget::seconds(0.5);
             let two = TwoStep::new(TwoStepConfig::Ils(IlsConfig::default(), heuristic_budget));
-            let out = two.run(&instance, &budget, &mut rng);
+            let out = two.run_with_obs(&instance, &budget, &mut rng, &obs);
             out.best
         }
         other => return Err(format!("unknown algorithm '{other}'")),
     };
+
+    if !portfolio {
+        // Portfolio runs emit their seed-order merged snapshots inside
+        // `run_portfolio`; single runs freeze the handle's own registry.
+        obs.emit(RunEvent::Metrics {
+            snapshot: obs.metrics.snapshot(),
+        });
+        obs.emit(RunEvent::Phases {
+            phases: obs.timer.snapshot(),
+        });
+    }
+    obs.emit(RunEvent::RunEnd {
+        best_violations: outcome.best_violations as u64,
+        best_similarity: outcome.best_similarity,
+        steps: outcome.stats.steps,
+        node_accesses: outcome.stats.node_accesses,
+        local_maxima: outcome.stats.local_maxima,
+        improvements: outcome.stats.improvements,
+        restarts: outcome.stats.restarts,
+        elapsed_secs: outcome.stats.elapsed.as_secs_f64(),
+        proven_optimal: outcome.proven_optimal,
+    });
+    if let Some(path) = &trace_path {
+        let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+        for p in &outcome.trace {
+            sink.emit(&RunEvent::TracePoint {
+                step: p.step,
+                similarity: p.similarity,
+                elapsed_secs: p.elapsed.as_secs_f64(),
+            });
+        }
+    }
 
     println!(
         "best solution: {} (similarity {:.3}, {} of {} conditions violated{})",
@@ -264,9 +335,16 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             println!("  {:>2}. {} ({} violations)", rank + 1, sol, violations);
         }
     }
+    if let Some(path) = &metrics_path {
+        println!("wrote run events to {path} (inspect with 'mwsj report {path}')");
+    }
+    if let Some(path) = &trace_path {
+        println!("wrote {} trace points to {path}", outcome.trace.len());
+    }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)] // thin CLI plumbing over PortfolioConfig
 fn run_portfolio<A: AnytimeSearch>(
     algo: A,
     instance: &Instance,
@@ -274,9 +352,16 @@ fn run_portfolio<A: AnytimeSearch>(
     master_seed: u64,
     restarts: usize,
     threads: usize,
+    obs: &ObsHandle,
 ) -> RunOutcome {
     let portfolio = ParallelPortfolio::new(algo, PortfolioConfig::new(restarts, threads));
-    let outcome = portfolio.run(instance, budget, master_seed);
+    let outcome = portfolio.run_with_obs(instance, budget, master_seed, obs);
+    obs.emit(RunEvent::Metrics {
+        snapshot: outcome.metrics.clone(),
+    });
+    obs.emit(RunEvent::Phases {
+        phases: outcome.phases.clone(),
+    });
     println!(
         "portfolio: {} restarts on {} thread{} (per-restart best: {})",
         outcome.restarts.len(),
@@ -308,12 +393,52 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     let algo = args.value("algo").unwrap_or("wr");
+    let metrics_path = args.value("metrics-out").map(str::to_string);
+    let obs = match &metrics_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            ObsHandle::enabled().with_sink(Arc::new(sink))
+        }
+        None => ObsHandle::disabled(),
+    };
+    obs.emit(RunEvent::RunStart {
+        algo: algo.to_string(),
+        n_vars: n_vars as u64,
+        edges: instance.graph().edge_count() as u64,
+        restarts: 1,
+        threads: 1,
+        seed: 0, // exact joins are deterministic; no RNG is involved
+        budget_steps: budget.max_steps,
+        budget_secs: budget.time_limit.map(|d| d.as_secs_f64()),
+    });
     let outcome = match algo {
-        "wr" => WindowReduction::new().run(&instance, &budget, limit),
-        "st" => SynchronousTraversal::new().run(&instance, &budget, limit),
-        "pjm" => Pjm::default().run(&instance, &budget, limit),
+        "wr" => WindowReduction::new().run_with_obs(&instance, &budget, limit, &obs),
+        "st" => SynchronousTraversal::new().run_with_obs(&instance, &budget, limit, &obs),
+        "pjm" => Pjm::default().run_with_obs(&instance, &budget, limit, &obs),
         other => return Err(format!("unknown exact algorithm '{other}'")),
     };
+    obs.emit(RunEvent::Metrics {
+        snapshot: obs.metrics.snapshot(),
+    });
+    obs.emit(RunEvent::Phases {
+        phases: obs.timer.snapshot(),
+    });
+    let found = !outcome.solutions.is_empty();
+    obs.emit(RunEvent::RunEnd {
+        best_violations: if found {
+            0
+        } else {
+            instance.graph().edge_count() as u64
+        },
+        best_similarity: if found { 1.0 } else { 0.0 },
+        steps: outcome.stats.steps,
+        node_accesses: outcome.stats.node_accesses,
+        local_maxima: outcome.stats.local_maxima,
+        improvements: outcome.stats.improvements,
+        restarts: outcome.stats.restarts,
+        elapsed_secs: outcome.stats.elapsed.as_secs_f64(),
+        proven_optimal: outcome.complete,
+    });
 
     println!(
         "{} exact solutions{} in {:?} ({} node accesses)",
@@ -324,6 +449,129 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     );
     for sol in outcome.solutions.iter().take(limit) {
         println!("  {sol}");
+    }
+    if let Some(path) = &metrics_path {
+        println!("wrote run events to {path} (inspect with 'mwsj report {path}')");
+    }
+    Ok(())
+}
+
+/// Validates a metrics JSONL file against the documented schema and
+/// renders a human-readable summary of its contents.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .arg
+        .as_deref()
+        .ok_or("usage: mwsj report FILE (a --metrics-out JSONL file)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events =
+        schema::validate_jsonl(&text).map_err(|(line, e)| format!("{path}:{line}: {e}"))?;
+    println!("{path}: {events} events, schema OK");
+
+    let mut improvements = 0usize;
+    let mut restarts_seen = 0usize;
+    let mut budget_exhausted = 0usize;
+    let mut cutoffs = 0usize;
+    let mut trace_points = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let ev = Json::parse(line).map_err(|e| format!("{path}: {e}"))?;
+        match ev.get("event").and_then(Json::as_str) {
+            Some("run_start") => {
+                let algo = ev.get("algo").and_then(Json::as_str).unwrap_or("?");
+                let n_vars = ev.get("n_vars").and_then(Json::as_u64).unwrap_or(0);
+                let edges = ev.get("edges").and_then(Json::as_u64).unwrap_or(0);
+                let seed = ev.get("seed").and_then(Json::as_u64).unwrap_or(0);
+                let restarts = ev.get("restarts").and_then(Json::as_u64).unwrap_or(1);
+                print!("run: {algo} on {n_vars} variables / {edges} edges, seed {seed}");
+                if restarts > 1 {
+                    print!(", {restarts} portfolio restarts");
+                }
+                if let Some(steps) = ev.get("budget_steps").and_then(Json::as_u64) {
+                    print!(", budget {steps} steps");
+                }
+                if let Some(secs) = ev.get("budget_secs").and_then(Json::as_f64) {
+                    print!(", budget {secs}s");
+                }
+                println!();
+            }
+            Some("improvement") => improvements += 1,
+            Some("restart_end") => restarts_seen += 1,
+            Some("budget_exhausted") => budget_exhausted += 1,
+            Some("cutoff_fired") => cutoffs += 1,
+            Some("trace_point") => trace_points += 1,
+            Some("metrics") => {
+                if let Some(counters) = ev.get("counters").and_then(Json::as_object) {
+                    println!("counters:");
+                    for (name, value) in counters {
+                        println!("  {name:<24} {}", value.as_u64().unwrap_or(0));
+                    }
+                }
+                if let Some(histograms) = ev.get("histograms").and_then(Json::as_object) {
+                    for (name, h) in histograms {
+                        let count = h.get("count").and_then(Json::as_u64).unwrap_or(0);
+                        let min = h.get("min").and_then(Json::as_u64).unwrap_or(0);
+                        let max = h.get("max").and_then(Json::as_u64).unwrap_or(0);
+                        println!("histogram {name}: {count} samples in [{min}, {max}]");
+                    }
+                }
+            }
+            Some("phases") => {
+                if let Some(phases) = ev.get("phases").and_then(Json::as_array) {
+                    if !phases.is_empty() {
+                        println!("phases:");
+                    }
+                    for p in phases {
+                        let path = p.get("path").and_then(Json::as_str).unwrap_or("?");
+                        let calls = p.get("calls").and_then(Json::as_u64).unwrap_or(0);
+                        let steps = p.get("steps").and_then(Json::as_u64).unwrap_or(0);
+                        let wall = p.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0);
+                        println!("  {path:<28} {calls:>6} calls {steps:>10} steps {wall:>9.4}s");
+                    }
+                }
+            }
+            Some("run_end") => {
+                let violations = ev
+                    .get("best_violations")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                let similarity = ev
+                    .get("best_similarity")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let steps = ev.get("steps").and_then(Json::as_u64).unwrap_or(0);
+                let accesses = ev.get("node_accesses").and_then(Json::as_u64).unwrap_or(0);
+                let secs = ev.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0);
+                let optimal = ev
+                    .get("proven_optimal")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                println!(
+                    "result: similarity {similarity:.3} ({violations} violations{}), \
+                     {steps} steps, {accesses} node accesses, {secs:.3}s",
+                    if optimal { ", proven optimal" } else { "" }
+                );
+            }
+            _ => {}
+        }
+    }
+    let mut lifecycle = Vec::new();
+    if improvements > 0 {
+        lifecycle.push(format!("{improvements} improvements"));
+    }
+    if restarts_seen > 0 {
+        lifecycle.push(format!("{restarts_seen} restarts finished"));
+    }
+    if budget_exhausted > 0 {
+        lifecycle.push(format!("{budget_exhausted} budget exhaustions"));
+    }
+    if cutoffs > 0 {
+        lifecycle.push(format!("{cutoffs} cutoff firings"));
+    }
+    if trace_points > 0 {
+        lifecycle.push(format!("{trace_points} trace points"));
+    }
+    if !lifecycle.is_empty() {
+        println!("events: {}", lifecycle.join(", "));
     }
     Ok(())
 }

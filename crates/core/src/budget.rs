@@ -15,6 +15,7 @@
 //! deterministically** across restarts, and a [`SharedSearchState`]
 //! aggregates steps and the best-known violation count across threads.
 
+use mwsj_obs::{ObsHandle, RunEvent};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -162,6 +163,7 @@ pub struct SearchContext {
     deadline: Option<Instant>,
     shared: Option<SharedSearchState>,
     cutoff: bool,
+    obs: ObsHandle,
 }
 
 impl SearchContext {
@@ -174,6 +176,7 @@ impl SearchContext {
             deadline: None,
             shared: None,
             cutoff: false,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -198,6 +201,20 @@ impl SearchContext {
         self
     }
 
+    /// Attaches an observability handle: the run flushes its counters into
+    /// the handle's metrics registry, attributes steps to the handle's
+    /// phase timer, and emits improvement / stop-reason events to its sink.
+    /// Defaults to a fully disabled handle.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
     /// The per-run budget.
     pub fn budget(&self) -> &SearchBudget {
         &self.budget
@@ -213,9 +230,11 @@ pub(crate) struct BudgetClock {
     steps: u64,
     shared: Option<SharedSearchState>,
     cutoff: bool,
+    obs: ObsHandle,
 }
 
 impl BudgetClock {
+    #[cfg(test)]
     pub(crate) fn start(budget: &SearchBudget) -> Self {
         Self::from_context(&SearchContext::local(*budget))
     }
@@ -236,15 +255,56 @@ impl BudgetClock {
             steps: 0,
             shared: ctx.shared.clone(),
             cutoff: ctx.cutoff,
+            obs: ctx.obs.clone(),
         }
     }
 
-    /// Records one step (locally and in the shared aggregate).
+    /// Records one step (locally, in the shared aggregate, and against the
+    /// innermost open phase span).
     #[inline]
     pub(crate) fn step(&mut self) {
         self.steps += 1;
         if let Some(shared) = &self.shared {
             shared.add_step();
+        }
+        self.obs.timer.add_steps(1);
+    }
+
+    /// The observability handle this run reports through.
+    #[inline]
+    pub(crate) fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Emits the stop-reason event for a finished run: `budget_exhausted`
+    /// when either limit was hit, `cutoff_fired` when a cooperating restart
+    /// stopped on another restart's similarity-1 certificate. Runs that end
+    /// for algorithmic reasons (exact solution found, space exhausted) emit
+    /// neither. Called once at finish time so the hot `exhausted()` check
+    /// stays branch-free.
+    pub(crate) fn emit_stop_reason(&self) {
+        if !self.obs.has_sink() {
+            return;
+        }
+        let steps_out = self.max_steps.is_some_and(|max| self.steps >= max);
+        let time_out = self.deadline.is_some_and(|d| Instant::now() >= d);
+        let cut = self.cutoff
+            && self
+                .shared
+                .as_ref()
+                .is_some_and(|shared| shared.optimum_reached());
+        if steps_out || time_out {
+            self.obs.emit(RunEvent::BudgetExhausted {
+                restart: self.obs.restart(),
+                steps: self.steps,
+                elapsed_secs: self.elapsed().as_secs_f64(),
+            });
+        } else if cut {
+            self.obs.emit(RunEvent::CutoffFired {
+                restart: self.obs.restart(),
+                steps: self.steps,
+                elapsed_secs: self.elapsed().as_secs_f64(),
+            });
         }
     }
 

@@ -99,6 +99,7 @@ impl Gils {
             .lambda
             .unwrap_or_else(|| GilsConfig::paper_lambda(instance.problem_size_bits()));
         let mut clock = BudgetClock::from_context(ctx);
+        let _phase = clock.obs().timer.span("gils");
         let mut stats = RunStats::default();
         let mut incumbent: Option<Incumbent> = None;
         let mut penalties = PenaltyTable::new();

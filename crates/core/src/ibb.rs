@@ -14,12 +14,13 @@
 //! with a high-similarity heuristic solution prunes the vast low-quality
 //! part of the search space up front (paper Fig. 11).
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::candidates::candidates_with_counts;
 use crate::instance::Instance;
 use crate::order::connectivity_order;
 use crate::result::{RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
 use mwsj_geom::{Predicate, Rect};
+use mwsj_obs::ObsHandle;
 use mwsj_query::{Solution, VarId};
 
 /// Configuration of [`Ibb`].
@@ -94,6 +95,17 @@ impl Ibb {
     /// (or an exact solution was found), i.e. whether the answer is the
     /// global best.
     pub fn run(&self, instance: &Instance, budget: &SearchBudget) -> RunOutcome {
+        self.run_with_obs(instance, budget, &ObsHandle::disabled())
+    }
+
+    /// Runs IBB and reports counters, phase timings ("ibb") and improvement
+    /// / stop-reason events through `obs`.
+    pub fn run_with_obs(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        obs: &ObsHandle,
+    ) -> RunOutcome {
         let graph = instance.graph();
         let edges = graph.edge_count();
         let order = connectivity_order(graph);
@@ -108,11 +120,14 @@ impl Ibb {
             None => (None, edges + 1),
         };
 
+        let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+        let clock = BudgetClock::from_context(&ctx);
+        let _phase = clock.obs().timer.span("ibb");
         let mut state = SearchState {
             instance,
             order,
             position,
-            clock: BudgetClock::start(budget),
+            clock,
             stats: RunStats::default(),
             best,
             best_violations,
@@ -137,6 +152,8 @@ impl Ibb {
         let mut stats = state.stats;
         stats.elapsed = state.clock.elapsed();
         stats.steps = state.clock.steps();
+        crate::observe::flush_stats(state.clock.obs(), &stats);
+        state.clock.emit_stop_reason();
 
         // If nothing beat the (absent) incumbent within the budget, fall
         // back to the initial solution or an arbitrary assignment.
@@ -186,6 +203,7 @@ fn descend(
             step: state.clock.steps(),
             similarity: 1.0 - violations_so_far as f64 / graph.edge_count() as f64,
         });
+        crate::observe::emit_improvement(&state.clock, violations_so_far, graph.edge_count());
         return violations_so_far == 0 && state.stop_at_exact;
     }
 

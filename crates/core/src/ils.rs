@@ -46,6 +46,7 @@ impl Ils {
         let graph = instance.graph();
         let edges = graph.edge_count();
         let mut clock = BudgetClock::from_context(ctx);
+        let _phase = clock.obs().timer.span("ils");
         let mut stats = RunStats::default();
         let mut incumbent: Option<Incumbent> = None;
 
@@ -160,6 +161,7 @@ pub(crate) fn offer(
                 clock.steps(),
             ));
             clock.publish_bound(cs.total_violations());
+            crate::observe::emit_improvement(clock, cs.total_violations(), edges);
         }
         Some(inc) => {
             if inc.offer(
@@ -171,6 +173,7 @@ pub(crate) fn offer(
             ) {
                 stats.improvements += 1;
                 clock.publish_bound(cs.total_violations());
+                crate::observe::emit_improvement(clock, cs.total_violations(), edges);
             }
         }
     }
@@ -195,6 +198,8 @@ pub(crate) fn finish(
     stats.elapsed = clock.elapsed();
     stats.steps = clock.steps();
     stats.improvements = incumbent.improvements;
+    crate::observe::flush_stats(clock.obs(), &stats);
+    clock.emit_stop_reason();
     RunOutcome {
         best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
         best: incumbent.best,

@@ -38,6 +38,7 @@ mod ibb;
 mod ils;
 mod instance;
 mod naive;
+mod observe;
 mod order;
 mod pairwise;
 mod pjm;
@@ -55,6 +56,7 @@ pub use ibb::{Ibb, IbbConfig};
 pub use ils::{Ils, IlsConfig};
 pub use instance::{Instance, InstanceError};
 pub use naive::{NaiveGa, NaiveGaConfig, NaiveLocalSearch, SaConfig, SimulatedAnnealing};
+pub use observe::metric;
 pub use pairwise::PairwiseJoin;
 pub use pjm::{Pjm, PjmOrder};
 pub use portfolio::{
@@ -66,3 +68,11 @@ pub use sea::{Sea, SeaConfig};
 pub use st::SynchronousTraversal;
 pub use two_step::{TwoStep, TwoStepConfig, TwoStepOutcome};
 pub use wr::{ExactJoinOutcome, WindowReduction};
+
+// Observability building blocks, re-exported so downstream crates can wire
+// search runs to sinks without depending on `mwsj-obs` directly.
+pub use mwsj_obs as obs;
+pub use mwsj_obs::{
+    merge_phase_snapshots, EventSink, JsonlSink, MetricsRegistry, MetricsSnapshot, ObsHandle,
+    PhaseSnapshot, PhaseTimer, RunEvent, VecSink,
+};

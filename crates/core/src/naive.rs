@@ -53,6 +53,7 @@ impl NaiveLocalSearch {
         let graph = instance.graph();
         let edges = graph.edge_count();
         let mut clock = BudgetClock::from_context(ctx);
+        let _phase = clock.obs().timer.span("naive-ls");
         let mut stats = RunStats::default();
         let mut incumbent: Option<Incumbent> = None;
 
@@ -160,6 +161,7 @@ impl NaiveGa {
         let edges = graph.edge_count();
         let p = self.config.population;
         let mut clock = BudgetClock::from_context(ctx);
+        let _phase = clock.obs().timer.span("naive-ga");
         let mut stats = RunStats::default();
 
         let mut pop: Vec<(Solution, ConflictState)> = (0..p)
@@ -190,6 +192,7 @@ impl NaiveGa {
                     clock.steps(),
                 ) {
                     stats.improvements += 1;
+                    crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
                 }
             }
             if incumbent.best_violations == 0 {
@@ -247,11 +250,14 @@ impl NaiveGa {
                 clock.steps(),
             ) {
                 stats.improvements += 1;
+                crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
             }
         }
         stats.elapsed = clock.elapsed();
         stats.steps = clock.steps();
         stats.improvements = incumbent.improvements;
+        crate::observe::flush_stats(clock.obs(), &stats);
+        clock.emit_stop_reason();
         RunOutcome {
             best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
             best: incumbent.best,
@@ -310,6 +316,7 @@ impl SimulatedAnnealing {
         let edges = graph.edge_count();
         let n = instance.n_vars();
         let mut clock = BudgetClock::from_context(ctx);
+        let _phase = clock.obs().timer.span("sa");
         let mut stats = RunStats::default();
 
         let mut sol = instance.random_solution(rng);

@@ -1,0 +1,58 @@
+//! Glue between the search layer and `mwsj-obs`.
+//!
+//! The hot loops keep their plain `u64` counters in [`RunStats`] — an
+//! enabled-or-not check per `find best value` call would be pure overhead —
+//! and flush them into the metrics registry **once per run** when the run
+//! finishes. Event emission (incumbent improvements, stop reasons) happens
+//! at the same already-cold points, so a disabled [`ObsHandle`] costs one
+//! branch per run, not per step.
+
+use crate::budget::BudgetClock;
+use crate::result::RunStats;
+use mwsj_obs::{ObsHandle, RunEvent};
+
+/// Canonical metric names every search algorithm reports under.
+pub mod metric {
+    /// Counter: algorithm steps consumed (budget units).
+    pub const STEPS: &str = "search.steps";
+    /// Counter: ILS restarts / SEA generations.
+    pub const RESTARTS: &str = "search.restarts";
+    /// Counter: local maxima reached.
+    pub const LOCAL_MAXIMA: &str = "search.local_maxima";
+    /// Counter: R*-tree nodes visited by index-driven traversals.
+    pub const NODE_ACCESSES: &str = "search.node_accesses";
+    /// Counter: incumbent improvements.
+    pub const IMPROVEMENTS: &str = "search.improvements";
+    /// Histogram: steps per run (one record per finished run).
+    pub const STEPS_PER_RUN: &str = "search.steps_per_run";
+}
+
+/// Flushes a finished run's counters into the registry (no-op when the
+/// registry is disabled).
+pub(crate) fn flush_stats(obs: &ObsHandle, stats: &RunStats) {
+    if !obs.metrics.is_enabled() {
+        return;
+    }
+    let m = &obs.metrics;
+    m.counter(metric::STEPS).add(stats.steps);
+    m.counter(metric::RESTARTS).add(stats.restarts);
+    m.counter(metric::LOCAL_MAXIMA).add(stats.local_maxima);
+    m.counter(metric::NODE_ACCESSES).add(stats.node_accesses);
+    m.counter(metric::IMPROVEMENTS).add(stats.improvements);
+    m.histogram(metric::STEPS_PER_RUN).record(stats.steps);
+}
+
+/// Emits an incumbent-improvement event (no-op without a sink).
+pub(crate) fn emit_improvement(clock: &BudgetClock, violations: usize, edges: usize) {
+    let obs = clock.obs();
+    if !obs.has_sink() {
+        return;
+    }
+    obs.emit(RunEvent::Improvement {
+        restart: obs.restart(),
+        step: clock.steps(),
+        violations: violations as u64,
+        similarity: 1.0 - violations as f64 / edges as f64,
+        elapsed_secs: clock.elapsed().as_secs_f64(),
+    });
+}

@@ -9,7 +9,7 @@
 //! memory blow-up on high-selectivity queries, and the reason it cannot be
 //! adapted to approximate retrieval (intermediate pairs must intersect).
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::candidates::candidates_with_counts;
 use crate::instance::Instance;
 use crate::order::connectivity_order;
@@ -17,7 +17,9 @@ use crate::pairwise::PairwiseJoin;
 use crate::result::RunStats;
 use crate::wr::ExactJoinOutcome;
 use mwsj_geom::{Predicate, Rect};
+use mwsj_obs::ObsHandle;
 use mwsj_query::Solution;
+use mwsj_rtree::AccessCounter;
 
 /// Join-order strategy for [`Pjm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,10 +84,24 @@ impl Pjm {
         budget: &SearchBudget,
         limit: usize,
     ) -> ExactJoinOutcome {
+        self.run_with_obs(instance, budget, limit, &ObsHandle::disabled())
+    }
+
+    /// Like [`Pjm::run`], additionally reporting counters and phase timings
+    /// ("pjm") through `obs`.
+    pub fn run_with_obs(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        limit: usize,
+        obs: &ObsHandle,
+    ) -> ExactJoinOutcome {
         let graph = instance.graph();
         let n = graph.n_vars();
         let order = self.join_order(instance);
-        let mut clock = BudgetClock::start(budget);
+        let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+        let mut clock = BudgetClock::from_context(&ctx);
+        let _phase = clock.obs().timer.span("pjm");
         let mut stats = RunStats::default();
         let mut truncated = false;
 
@@ -122,17 +138,19 @@ impl Pjm {
             }
             Some(pred) => {
                 // Generic predicate: index-nested-loop over v0.
+                let counter = AccessCounter::new();
                 let mut out = Vec::new();
                 for a in 0..instance.cardinality(v0) {
                     let w = instance.rect(v0, a);
                     for (_, b) in instance
                         .tree(v1)
-                        .query_predicate(pred.transpose(), &w)
+                        .query_predicate_counted(pred.transpose(), &w, &counter)
                         .map(|(r, v)| (r, *v as usize))
                     {
                         out.push(vec![a, b]);
                     }
                 }
+                stats.node_accesses += counter.get();
                 out
             }
         };
@@ -198,6 +216,8 @@ impl Pjm {
 
         stats.elapsed = clock.elapsed();
         stats.steps = clock.steps();
+        crate::observe::flush_stats(clock.obs(), &stats);
+        clock.emit_stop_reason();
         ExactJoinOutcome {
             solutions,
             stats,

@@ -43,6 +43,7 @@ use crate::instance::Instance;
 use crate::naive::{NaiveGa, NaiveLocalSearch, SimulatedAnnealing};
 use crate::result::{RunOutcome, RunStats, TopSolutions, TracePoint};
 use crate::sea::Sea;
+use mwsj_obs::{merge_phase_snapshots, MetricsSnapshot, ObsHandle, PhaseSnapshot, RunEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -162,6 +163,11 @@ pub struct RestartOutcome {
     pub seed: u64,
     /// The restart's own search outcome.
     pub outcome: RunOutcome,
+    /// Snapshot of the restart's private metrics registry (empty when the
+    /// portfolio ran without observability).
+    pub metrics: MetricsSnapshot,
+    /// Snapshot of the restart's phase timings (empty when disabled).
+    pub phases: Vec<PhaseSnapshot>,
 }
 
 /// The merged result of a portfolio run.
@@ -181,6 +187,14 @@ pub struct PortfolioOutcome {
     /// [`crate::IbbConfig`] to mirror the two-step scheme with a
     /// parallel first step.
     pub bound_violations: Option<usize>,
+    /// Seed-ordered merge of the per-restart metrics snapshots: counters
+    /// sum, gauges take the maximum, histograms add bucket-wise. Under a
+    /// step budget this is bit-identical across thread counts, exactly
+    /// like the solution-valued outputs (see the module docs).
+    pub metrics: MetricsSnapshot,
+    /// Merge of the per-restart phase timings (wall-clock fields are
+    /// measured and exempt from the determinism guarantee).
+    pub phases: Vec<PhaseSnapshot>,
 }
 
 /// Derives the RNG seed of restart `index` from the portfolio's master
@@ -233,6 +247,22 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         budget: &SearchBudget,
         master_seed: u64,
     ) -> PortfolioOutcome {
+        self.run_with_obs(instance, budget, master_seed, &ObsHandle::disabled())
+    }
+
+    /// Like [`ParallelPortfolio::run`], additionally reporting through
+    /// `obs`: every restart gets a private registry and timer (mirroring
+    /// `obs`'s enabledness) via [`ObsHandle::for_restart`], restart
+    /// lifecycle events go to the shared sink, and the per-restart
+    /// snapshots are merged seed-ordered into [`PortfolioOutcome::metrics`]
+    /// / [`PortfolioOutcome::phases`].
+    pub fn run_with_obs(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        master_seed: u64,
+        obs: &ObsHandle,
+    ) -> PortfolioOutcome {
         let start = Instant::now();
         let k = self.config.restarts;
         let shares = budget.split(k);
@@ -254,6 +284,7 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
                         cutoff,
                         master_seed,
                         i,
+                        obs,
                     )
                 })
                 .collect()
@@ -275,6 +306,7 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
                             cutoff,
                             master_seed,
                             i,
+                            obs,
                         );
                         collected.lock().expect("collector poisoned").push(result);
                     });
@@ -289,11 +321,23 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         let mut merged =
             merge_outcomes(&outcomes, instance.graph().edge_count(), self.config.top_k);
         merged.stats.elapsed = start.elapsed();
+
+        // Seed-ordered reduction of the per-restart snapshots: the fold
+        // visits restarts in index order, so the merged values are
+        // independent of which thread ran which restart.
+        let mut metrics = MetricsSnapshot::default();
+        for restart in &outcomes {
+            metrics.merge(&restart.metrics);
+        }
+        let phases = merge_phase_snapshots(outcomes.iter().map(|r| r.phases.clone()));
+
         PortfolioOutcome {
             merged,
             restarts: outcomes,
             threads_used,
             bound_violations: shared.bound_violations(),
+            metrics,
+            phases,
         }
     }
 
@@ -307,17 +351,36 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         cutoff: bool,
         master_seed: u64,
         index: usize,
+        obs: &ObsHandle,
     ) -> RestartOutcome {
         let seed = derive_seed(master_seed, index);
-        let mut ctx = SearchContext::local(*share).with_shared(shared.clone(), cutoff);
+        let robs = obs.for_restart(index as u64);
+        robs.emit(RunEvent::RestartStart {
+            restart: index as u64,
+            seed,
+        });
+        let mut ctx = SearchContext::local(*share)
+            .with_shared(shared.clone(), cutoff)
+            .with_obs(robs.clone());
         if let Some(deadline) = deadline {
             ctx = ctx.with_deadline(deadline);
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = self.algo.search(instance, &ctx, &mut rng);
+        let outcome = {
+            let _span = robs.timer.span(&format!("restart[{index}]"));
+            self.algo.search(instance, &ctx, &mut rng)
+        };
+        robs.emit(RunEvent::RestartEnd {
+            restart: index as u64,
+            best_violations: outcome.best_violations as u64,
+            steps: outcome.stats.steps,
+            elapsed_secs: outcome.stats.elapsed.as_secs_f64(),
+        });
         RestartOutcome {
             index,
             seed,
+            metrics: robs.metrics.snapshot(),
+            phases: robs.timer.snapshot(),
             outcome,
         }
     }
@@ -459,6 +522,55 @@ mod tests {
         assert_same_results(&sequential, &parallel);
         // Repeat runs are bit-identical too.
         assert_same_results(&parallel, &run(4));
+    }
+
+    #[test]
+    fn portfolio_metrics_are_bit_identical_across_thread_counts() {
+        let inst = hard_instance(90, QueryShape::Chain, 4, 300);
+        let budget = SearchBudget::iterations(2_000);
+        let run =
+            |threads: usize| {
+                ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(4, threads))
+                    .run_with_obs(&inst, &budget, 1234, &ObsHandle::enabled())
+            };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential.threads_used, 1);
+        assert_eq!(parallel.threads_used, 4);
+        assert_eq!(sequential.metrics, parallel.metrics);
+        for (a, b) in sequential.restarts.iter().zip(&parallel.restarts) {
+            assert_eq!(a.metrics, b.metrics, "restart {} metrics differ", a.index);
+        }
+        // Phase paths, call counts and step attribution are deterministic;
+        // wall-clock is measured and exempt.
+        let shape = |phases: &[PhaseSnapshot]| -> Vec<(String, u64, u64)> {
+            phases
+                .iter()
+                .map(|p| (p.path.clone(), p.calls, p.steps))
+                .collect()
+        };
+        assert_eq!(shape(&sequential.phases), shape(&parallel.phases));
+        // The merged counters agree with the merged RunStats.
+        assert_eq!(
+            sequential.metrics.counter(crate::observe::metric::STEPS),
+            Some(sequential.merged.stats.steps)
+        );
+        assert!(sequential
+            .metrics
+            .counter(crate::observe::metric::NODE_ACCESSES)
+            .is_some_and(|n| n > 0));
+    }
+
+    #[test]
+    fn disabled_obs_leaves_snapshots_empty() {
+        let inst = hard_instance(95, QueryShape::Chain, 3, 150);
+        let outcome = ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(2, 2)).run(
+            &inst,
+            &SearchBudget::iterations(200),
+            3,
+        );
+        assert_eq!(outcome.metrics, MetricsSnapshot::default());
+        assert!(outcome.phases.is_empty());
     }
 
     #[test]

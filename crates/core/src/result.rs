@@ -133,7 +133,11 @@ impl RunOutcome {
 
     /// Best similarity known at `t` according to the trace (step function),
     /// used to resample convergence curves onto a common time grid.
-    pub fn similarity_at(&self, t: Duration) -> f64 {
+    ///
+    /// Edge cases: an empty trace yields `0.0` (nothing was known at any
+    /// time); a `t` before the first trace point also yields `0.0`; a `t`
+    /// exactly on a trace point's timestamp includes that point.
+    pub fn best_similarity_at(&self, t: Duration) -> f64 {
         let mut sim = 0.0;
         for p in &self.trace {
             if p.elapsed <= t {
@@ -143,6 +147,12 @@ impl RunOutcome {
             }
         }
         sim
+    }
+
+    /// Alias of [`RunOutcome::best_similarity_at`], kept for existing
+    /// callers.
+    pub fn similarity_at(&self, t: Duration) -> f64 {
+        self.best_similarity_at(t)
     }
 }
 
@@ -298,6 +308,68 @@ mod tests {
         assert_eq!(outcome.similarity_at(Duration::from_secs(1)), 0.2);
         assert_eq!(outcome.similarity_at(Duration::from_secs(2)), 0.7);
         assert_eq!(outcome.similarity_at(Duration::from_secs(99)), 1.0);
+    }
+
+    fn outcome_with_trace(trace: Vec<TracePoint>) -> RunOutcome {
+        RunOutcome {
+            best: Solution::new(vec![0]),
+            best_violations: 0,
+            best_similarity: 1.0,
+            stats: RunStats::default(),
+            proven_optimal: false,
+            top_solutions: vec![],
+            trace,
+        }
+    }
+
+    #[test]
+    fn best_similarity_at_empty_trace_is_zero() {
+        let outcome = outcome_with_trace(vec![]);
+        assert_eq!(outcome.best_similarity_at(Duration::ZERO), 0.0);
+        assert_eq!(outcome.best_similarity_at(Duration::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn best_similarity_at_before_first_point_is_zero() {
+        let outcome = outcome_with_trace(vec![TracePoint {
+            elapsed: Duration::from_millis(500),
+            step: 3,
+            similarity: 0.4,
+        }]);
+        assert_eq!(outcome.best_similarity_at(Duration::from_millis(499)), 0.0);
+        // Exact-boundary timestamps include the point.
+        assert_eq!(outcome.best_similarity_at(Duration::from_millis(500)), 0.4);
+        assert_eq!(outcome.best_similarity_at(Duration::from_millis(501)), 0.4);
+    }
+
+    #[test]
+    fn best_similarity_at_exact_boundaries_take_the_later_value() {
+        let outcome = outcome_with_trace(vec![
+            TracePoint {
+                elapsed: Duration::from_secs(1),
+                step: 1,
+                similarity: 0.25,
+            },
+            TracePoint {
+                elapsed: Duration::from_secs(1),
+                step: 2,
+                similarity: 0.5,
+            },
+            TracePoint {
+                elapsed: Duration::from_secs(3),
+                step: 9,
+                similarity: 0.75,
+            },
+        ]);
+        // Two points share a timestamp: the later (better) one wins at the
+        // boundary, matching "best similarity known at t".
+        assert_eq!(outcome.best_similarity_at(Duration::from_secs(1)), 0.5);
+        assert_eq!(outcome.best_similarity_at(Duration::from_secs(3)), 0.75);
+        assert_eq!(
+            outcome.similarity_at(Duration::from_secs(3)),
+            outcome.best_similarity_at(Duration::from_secs(3)),
+            "alias agrees"
+        );
     }
 
     #[test]

@@ -165,30 +165,36 @@ impl Sea {
         let mut clock = BudgetClock::from_context(ctx);
         let mut stats = RunStats::default();
 
+        let _phase = clock.obs().timer.span("sea");
+
         // Initial population: random, or the first p ILS local maxima
         // (the hybrid initialisation of the paper's Discussion).
-        let mut pop: Vec<Individual> = if self.config.seed_with_ils {
-            crate::ils::collect_local_maxima(
-                instance,
-                p,
-                20 * p as u64,
-                rng,
-                &mut stats.node_accesses,
-            )
-            .into_iter()
-            .map(|sol| {
+        let mut pop: Vec<Individual> = {
+            let _seed_phase = clock.obs().timer.span("seed");
+            let mut pop: Vec<Individual> = if self.config.seed_with_ils {
+                crate::ils::collect_local_maxima(
+                    instance,
+                    p,
+                    20 * p as u64,
+                    rng,
+                    &mut stats.node_accesses,
+                )
+                .into_iter()
+                .map(|sol| {
+                    let cs = instance.evaluate(&sol);
+                    Individual { sol, cs }
+                })
+                .collect()
+            } else {
+                Vec::new()
+            };
+            while pop.len() < p {
+                let sol = instance.random_solution(rng);
                 let cs = instance.evaluate(&sol);
-                Individual { sol, cs }
-            })
-            .collect()
-        } else {
-            Vec::new()
+                pop.push(Individual { sol, cs });
+            }
+            pop
         };
-        while pop.len() < p {
-            let sol = instance.random_solution(rng);
-            let cs = instance.evaluate(&sol);
-            pop.push(Individual { sol, cs });
-        }
 
         let mut incumbent = {
             let seed = &pop[0];
@@ -201,7 +207,9 @@ impl Sea {
             )
         };
         clock.publish_bound(incumbent.best_violations);
+        crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
 
+        let _evolve_phase = clock.obs().timer.span("evolve");
         let mut generation: u64 = 0;
         let mut last_improvement_gen: u64 = 0;
         'generations: while !clock.exhausted() {
@@ -258,6 +266,7 @@ impl Sea {
                     stats.improvements += 1;
                     last_improvement_gen = generation;
                     clock.publish_bound(incumbent.best_violations);
+                    crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
                 }
             }
             if incumbent.best_violations == 0 {
@@ -350,12 +359,15 @@ impl Sea {
             ) {
                 stats.improvements += 1;
                 clock.publish_bound(incumbent.best_violations);
+                crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
             }
         }
 
         stats.elapsed = clock.elapsed();
         stats.steps = clock.steps();
         stats.improvements = incumbent.improvements;
+        crate::observe::flush_stats(clock.obs(), &stats);
+        clock.emit_stop_reason();
         RunOutcome {
             best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
             best: incumbent.best,

@@ -11,11 +11,12 @@
 //! Restricted to *overlap* queries: MBR-level intersection of two subtree
 //! MBRs is the correct (complete) filter for the intersect predicate.
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::instance::Instance;
 use crate::result::RunStats;
 use crate::wr::ExactJoinOutcome;
 use mwsj_geom::{Predicate, Rect};
+use mwsj_obs::ObsHandle;
 use mwsj_query::Solution;
 use mwsj_rtree::NodeRef;
 
@@ -60,6 +61,22 @@ impl SynchronousTraversal {
         budget: &SearchBudget,
         limit: usize,
     ) -> ExactJoinOutcome {
+        self.run_with_obs(instance, budget, limit, &ObsHandle::disabled())
+    }
+
+    /// Like [`SynchronousTraversal::run`], additionally reporting counters
+    /// and phase timings ("st") through `obs`.
+    ///
+    /// # Panics
+    /// Panics if the query uses a predicate other than
+    /// [`Predicate::Intersects`].
+    pub fn run_with_obs(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        limit: usize,
+        obs: &ObsHandle,
+    ) -> ExactJoinOutcome {
         assert!(
             instance
                 .graph()
@@ -68,9 +85,12 @@ impl SynchronousTraversal {
                 .all(|e| e.pred == Predicate::Intersects),
             "synchronous traversal supports overlap queries only"
         );
+        let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+        let clock = BudgetClock::from_context(&ctx);
+        let _phase = clock.obs().timer.span("st");
         let mut state = StState {
             instance,
-            clock: BudgetClock::start(budget),
+            clock,
             stats: RunStats::default(),
             solutions: Vec::new(),
             limit,
@@ -84,6 +104,8 @@ impl SynchronousTraversal {
         let mut stats = state.stats;
         stats.elapsed = state.clock.elapsed();
         stats.steps = state.clock.steps();
+        crate::observe::flush_stats(state.clock.obs(), &stats);
+        state.clock.emit_stop_reason();
         let complete = !state.truncated && state.solutions.len() < state.limit;
         ExactJoinOutcome {
             solutions: state.solutions,

@@ -8,13 +8,14 @@
 //! of magnitude, and that for small queries the heuristic alone often
 //! already finds the exact solution, skipping systematic search entirely.
 
-use crate::budget::SearchBudget;
+use crate::budget::{SearchBudget, SearchContext};
 use crate::ibb::{Ibb, IbbConfig};
 use crate::ils::Ils;
 use crate::instance::Instance;
-use crate::result::RunOutcome;
+use crate::result::{RunOutcome, RunStats};
 use crate::sea::{Sea, SeaConfig};
 use crate::{GilsConfig, IlsConfig};
+use mwsj_obs::ObsHandle;
 use rand::rngs::StdRng;
 
 /// Which heuristic runs in step one.
@@ -44,6 +45,22 @@ impl TwoStepOutcome {
     /// Returns `true` if step two ran.
     pub fn ran_systematic(&self) -> bool {
         self.systematic.is_some()
+    }
+
+    /// Aggregate counters across both steps: elapsed times add up, and all
+    /// count-style fields (steps, node accesses, …) are summed. Useful for
+    /// accounting the total index work of the pipeline.
+    pub fn total_stats(&self) -> RunStats {
+        let mut total = self.heuristic.stats.clone();
+        if let Some(sys) = &self.systematic {
+            total.elapsed += sys.stats.elapsed;
+            total.steps += sys.stats.steps;
+            total.restarts += sys.stats.restarts;
+            total.local_maxima += sys.stats.local_maxima;
+            total.node_accesses += sys.stats.node_accesses;
+            total.improvements += sys.stats.improvements;
+        }
+        total
     }
 }
 
@@ -83,12 +100,36 @@ impl TwoStep {
         ibb_budget: &SearchBudget,
         rng: &mut StdRng,
     ) -> TwoStepOutcome {
-        let heuristic = match &self.config {
-            TwoStepConfig::Ils(cfg, budget) => Ils::new(cfg.clone()).run(instance, budget, rng),
-            TwoStepConfig::Gils(cfg, budget) => {
-                crate::Gils::new(cfg.clone()).run(instance, budget, rng)
+        self.run_with_obs(instance, ibb_budget, rng, &ObsHandle::disabled())
+    }
+
+    /// Like [`TwoStep::run`], additionally reporting both steps through
+    /// `obs`: the heuristic under a "heuristic" phase span, IBB under
+    /// "systematic", with counters, improvement events and stop reasons for
+    /// each step.
+    pub fn run_with_obs(
+        &self,
+        instance: &Instance,
+        ibb_budget: &SearchBudget,
+        rng: &mut StdRng,
+        obs: &ObsHandle,
+    ) -> TwoStepOutcome {
+        let heuristic = {
+            let _phase = obs.timer.span("heuristic");
+            match &self.config {
+                TwoStepConfig::Ils(cfg, budget) => {
+                    let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+                    Ils::new(cfg.clone()).search(instance, &ctx, rng)
+                }
+                TwoStepConfig::Gils(cfg, budget) => {
+                    let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+                    crate::Gils::new(cfg.clone()).search(instance, &ctx, rng)
+                }
+                TwoStepConfig::Sea(cfg, budget) => {
+                    let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+                    Sea::new(cfg.clone()).search(instance, &ctx, rng)
+                }
             }
-            TwoStepConfig::Sea(cfg, budget) => Sea::new(cfg.clone()).run(instance, budget, rng),
         };
 
         if heuristic.is_exact() {
@@ -105,7 +146,10 @@ impl TwoStep {
         }
 
         let ibb = Ibb::new(IbbConfig::with_initial(heuristic.best.clone()));
-        let systematic = ibb.run(instance, ibb_budget);
+        let systematic = {
+            let _phase = obs.timer.span("systematic");
+            ibb.run_with_obs(instance, ibb_budget, obs)
+        };
 
         let best = if systematic.best_violations <= heuristic.best_violations {
             systematic.clone()

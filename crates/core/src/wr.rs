@@ -8,12 +8,13 @@
 //! solutions; it cannot return approximate matches (which is precisely the
 //! limitation the paper's heuristics address).
 
-use crate::budget::{BudgetClock, SearchBudget};
+use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::candidates::candidates_with_counts;
 use crate::instance::Instance;
 use crate::order::connectivity_order;
 use crate::result::RunStats;
 use mwsj_geom::{Predicate, Rect};
+use mwsj_obs::ObsHandle;
 use mwsj_query::Solution;
 
 /// Result of an exact-join enumeration (WR, ST or PJM).
@@ -45,17 +46,32 @@ impl WindowReduction {
         budget: &SearchBudget,
         limit: usize,
     ) -> ExactJoinOutcome {
+        self.run_with_obs(instance, budget, limit, &ObsHandle::disabled())
+    }
+
+    /// Like [`WindowReduction::run`], additionally reporting counters and
+    /// phase timings ("wr") through `obs`.
+    pub fn run_with_obs(
+        &self,
+        instance: &Instance,
+        budget: &SearchBudget,
+        limit: usize,
+        obs: &ObsHandle,
+    ) -> ExactJoinOutcome {
         let graph = instance.graph();
         let order = connectivity_order(graph);
         let mut position = vec![0usize; order.len()];
         for (k, &v) in order.iter().enumerate() {
             position[v] = k;
         }
+        let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+        let clock = BudgetClock::from_context(&ctx);
+        let _phase = clock.obs().timer.span("wr");
         let mut state = WrState {
             instance,
             order,
             position,
-            clock: BudgetClock::start(budget),
+            clock,
             stats: RunStats::default(),
             solutions: Vec::new(),
             limit,
@@ -66,6 +82,8 @@ impl WindowReduction {
         let mut stats = state.stats;
         stats.elapsed = state.clock.elapsed();
         stats.steps = state.clock.steps();
+        crate::observe::flush_stats(state.clock.obs(), &stats);
+        state.clock.emit_stop_reason();
         let complete = !state.truncated && state.solutions.len() < state.limit;
         ExactJoinOutcome {
             solutions: state.solutions,

@@ -174,6 +174,30 @@ proptest! {
         prop_assert_eq!(&sets[0], &sets[2]);
     }
 
+    /// Heuristic convergence traces are monotone: similarity never
+    /// decreases, and steps/elapsed never go backwards. Resampling via
+    /// `best_similarity_at` agrees with the raw trace at its endpoints.
+    #[test]
+    fn heuristic_traces_are_monotone((inst, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        for outcome in [
+            Ils::new(IlsConfig::default()).run(&inst, &SearchBudget::iterations(250), &mut rng),
+            mwsj_core::Gils::default().run(&inst, &SearchBudget::iterations(250), &mut rng),
+        ] {
+            prop_assert!(!outcome.trace.is_empty());
+            for w in outcome.trace.windows(2) {
+                prop_assert!(w[1].similarity >= w[0].similarity);
+                prop_assert!(w[1].step >= w[0].step);
+                prop_assert!(w[1].elapsed >= w[0].elapsed);
+            }
+            let last = outcome.trace.last().unwrap();
+            prop_assert_eq!(
+                outcome.best_similarity_at(last.elapsed),
+                outcome.best_similarity
+            );
+        }
+    }
+
     /// The parallel portfolio respects the optimum and is thread-count
     /// independent on arbitrary instances, not just handcrafted ones.
     #[test]

@@ -1,0 +1,39 @@
+//! `mwsj-schema-check`: validates JSONL run-event files against the
+//! schema documented in `DESIGN.md` ("Observability").
+//!
+//! Usage: `mwsj-schema-check <file.jsonl>...`
+//!
+//! Exits non-zero if any file fails to parse or violates the schema; CI
+//! uses this to gate the metrics artifacts produced by `mwsj solve
+//! --metrics-out`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: mwsj-schema-check <file.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+            }
+            Ok(text) => match mwsj_obs::schema::validate_jsonl(&text) {
+                Ok(events) => println!("{path}: OK ({events} events)"),
+                Err((line, err)) => {
+                    eprintln!("{path}:{line}: {err}");
+                    ok = false;
+                }
+            },
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,602 @@
+//! Structured run events and JSONL sinks.
+//!
+//! Every event serialises to one JSON object per line with a
+//! discriminating `"event"` field; the full schema is documented in
+//! `DESIGN.md` ("Observability") and machine-checked by [`crate::schema`].
+//! Producers emit through the object-safe [`EventSink`] trait so the same
+//! instrumentation can stream to a file ([`JsonlSink`]) or be captured
+//! in-memory for tests ([`VecSink`]).
+
+use crate::json::{escape, fmt_f64};
+use crate::registry::MetricsSnapshot;
+use crate::timer::PhaseSnapshot;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One structured run event.
+///
+/// `restart` fields are `Some` when the event was produced inside a
+/// portfolio restart (carrying the restart's seed-order index) and `None`
+/// for standalone runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// A run (one CLI `solve`/`join` invocation or one bench run) begins.
+    RunStart {
+        /// Algorithm name (e.g. `"ILS"`, `"SEA"`, `"WR"`).
+        algo: String,
+        /// Number of query variables.
+        n_vars: u64,
+        /// Number of join edges.
+        edges: u64,
+        /// Portfolio restarts requested (1 for single runs).
+        restarts: u64,
+        /// Worker threads requested (0 = auto).
+        threads: u64,
+        /// Master RNG seed.
+        seed: u64,
+        /// Step budget, when one was set.
+        budget_steps: Option<u64>,
+        /// Time budget in seconds, when one was set.
+        budget_secs: Option<f64>,
+    },
+    /// A portfolio restart begins.
+    RestartStart {
+        /// Seed-order index of the restart.
+        restart: u64,
+        /// Derived RNG seed of the restart.
+        seed: u64,
+    },
+    /// The incumbent best solution improved.
+    Improvement {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed when the improvement happened.
+        step: u64,
+        /// Violations of the new incumbent.
+        violations: u64,
+        /// Similarity of the new incumbent.
+        similarity: f64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
+    /// A portfolio restart finished.
+    RestartEnd {
+        /// Seed-order index of the restart.
+        restart: u64,
+        /// Violations of the restart's best solution.
+        best_violations: u64,
+        /// Steps the restart consumed.
+        steps: u64,
+        /// Seconds the restart ran.
+        elapsed_secs: f64,
+    },
+    /// The step or time budget ran out.
+    BudgetExhausted {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed at exhaustion.
+        steps: u64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
+    /// The portfolio cutoff stopped this run because a sibling restart
+    /// already reached an exact solution.
+    CutoffFired {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed when the cutoff fired.
+        steps: u64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
+    /// One convergence-trace point (used by `--trace-out`).
+    TracePoint {
+        /// Steps consumed at this point.
+        step: u64,
+        /// Best similarity at this point.
+        similarity: f64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
+    /// Frozen metrics of the run (or the merged portfolio metrics).
+    Metrics {
+        /// The snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// Frozen phase-timer aggregates of the run.
+    Phases {
+        /// Per-phase aggregates, sorted by path.
+        phases: Vec<PhaseSnapshot>,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Violations of the best solution found.
+        best_violations: u64,
+        /// Similarity of the best solution found.
+        best_similarity: f64,
+        /// Total steps consumed.
+        steps: u64,
+        /// Total R*-tree node accesses.
+        node_accesses: u64,
+        /// Local maxima reached.
+        local_maxima: u64,
+        /// Incumbent improvements.
+        improvements: u64,
+        /// Restarts (portfolio restarts, or ILS internal restarts for a
+        /// single run).
+        restarts: u64,
+        /// Total wall-clock seconds.
+        elapsed_secs: f64,
+        /// Whether the result was proven optimal.
+        proven_optimal: bool,
+    },
+}
+
+impl RunEvent {
+    /// The value of the discriminating `"event"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunEvent::RunStart { .. } => "run_start",
+            RunEvent::RestartStart { .. } => "restart_start",
+            RunEvent::Improvement { .. } => "improvement",
+            RunEvent::RestartEnd { .. } => "restart_end",
+            RunEvent::BudgetExhausted { .. } => "budget_exhausted",
+            RunEvent::CutoffFired { .. } => "cutoff_fired",
+            RunEvent::TracePoint { .. } => "trace_point",
+            RunEvent::Metrics { .. } => "metrics",
+            RunEvent::Phases { .. } => "phases",
+            RunEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Serialises the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObj::new(self.kind());
+        match self {
+            RunEvent::RunStart {
+                algo,
+                n_vars,
+                edges,
+                restarts,
+                threads,
+                seed,
+                budget_steps,
+                budget_secs,
+            } => {
+                obj.str("algo", algo);
+                obj.u64("n_vars", *n_vars);
+                obj.u64("edges", *edges);
+                obj.u64("restarts", *restarts);
+                obj.u64("threads", *threads);
+                obj.u64("seed", *seed);
+                if let Some(steps) = budget_steps {
+                    obj.u64("budget_steps", *steps);
+                }
+                if let Some(secs) = budget_secs {
+                    obj.f64("budget_secs", *secs);
+                }
+            }
+            RunEvent::RestartStart { restart, seed } => {
+                obj.u64("restart", *restart);
+                obj.u64("seed", *seed);
+            }
+            RunEvent::Improvement {
+                restart,
+                step,
+                violations,
+                similarity,
+                elapsed_secs,
+            } => {
+                if let Some(r) = restart {
+                    obj.u64("restart", *r);
+                }
+                obj.u64("step", *step);
+                obj.u64("violations", *violations);
+                obj.f64("similarity", *similarity);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::RestartEnd {
+                restart,
+                best_violations,
+                steps,
+                elapsed_secs,
+            } => {
+                obj.u64("restart", *restart);
+                obj.u64("best_violations", *best_violations);
+                obj.u64("steps", *steps);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::BudgetExhausted {
+                restart,
+                steps,
+                elapsed_secs,
+            }
+            | RunEvent::CutoffFired {
+                restart,
+                steps,
+                elapsed_secs,
+            } => {
+                if let Some(r) = restart {
+                    obj.u64("restart", *r);
+                }
+                obj.u64("steps", *steps);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::TracePoint {
+                step,
+                similarity,
+                elapsed_secs,
+            } => {
+                obj.u64("step", *step);
+                obj.f64("similarity", *similarity);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::Metrics { snapshot } => {
+                obj.raw("counters", &counters_json(&snapshot.counters));
+                obj.raw("gauges", &gauges_json(&snapshot.gauges));
+                obj.raw("histograms", &histograms_json(&snapshot.histograms));
+            }
+            RunEvent::Phases { phases } => {
+                obj.raw("phases", &phases_json(phases));
+            }
+            RunEvent::RunEnd {
+                best_violations,
+                best_similarity,
+                steps,
+                node_accesses,
+                local_maxima,
+                improvements,
+                restarts,
+                elapsed_secs,
+                proven_optimal,
+            } => {
+                obj.u64("best_violations", *best_violations);
+                obj.f64("best_similarity", *best_similarity);
+                obj.u64("steps", *steps);
+                obj.u64("node_accesses", *node_accesses);
+                obj.u64("local_maxima", *local_maxima);
+                obj.u64("improvements", *improvements);
+                obj.u64("restarts", *restarts);
+                obj.f64("elapsed_secs", *elapsed_secs);
+                obj.bool("proven_optimal", *proven_optimal);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// Tiny builder for one flat JSON object line.
+struct JsonObj {
+    out: String,
+}
+
+impl JsonObj {
+    fn new(kind: &str) -> Self {
+        JsonObj {
+            out: format!("{{\"event\":{}", escape(kind)),
+        }
+    }
+    fn key(&mut self, key: &str) {
+        self.out.push(',');
+        self.out.push_str(&escape(key));
+        self.out.push(':');
+    }
+    fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push_str(&escape(value));
+    }
+    fn u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+    fn f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.out.push_str(&fmt_f64(value));
+    }
+    fn bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+    fn raw(&mut self, key: &str, json: &str) {
+        self.key(key);
+        self.out.push_str(json);
+    }
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+fn counters_json(counters: &[(String, u64)]) -> String {
+    let body: Vec<String> = counters
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", escape(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn gauges_json(gauges: &[(String, f64)]) -> String {
+    let body: Vec<String> = gauges
+        .iter()
+        .map(|(k, v)| format!("{}:{}", escape(k), fmt_f64(*v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn histograms_json(histograms: &[(String, crate::HistogramSnapshot)]) -> String {
+    let body: Vec<String> = histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(b, n)| format!("[{b},{n}]"))
+                .collect();
+            format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(",")
+            )
+        })
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn phases_json(phases: &[PhaseSnapshot]) -> String {
+    let body: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"path\":{},\"calls\":{},\"steps\":{},\"wall_secs\":{}}}",
+                escape(&p.path),
+                p.calls,
+                p.steps,
+                fmt_f64(p.wall.as_secs_f64())
+            )
+        })
+        .collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Receives run events. Implementations must tolerate concurrent emitters
+/// (portfolio restarts run on worker threads).
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &RunEvent);
+}
+
+/// Streams events to a writer as JSON Lines. I/O errors are swallowed
+/// (observability must never fail the search).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Creates a sink writing to `writer`.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(writer),
+        }
+    }
+
+    /// Creates (truncating) the file at `path` and streams events to it.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("sink mutex").flush();
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &RunEvent) {
+        let line = event.to_json();
+        let mut out = self.out.lock().expect("sink mutex");
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Captures events in memory (for tests and the bench harness).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<RunEvent>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// A copy of the captured events, in emission order.
+    pub fn events(&self) -> Vec<RunEvent> {
+        self.events.lock().expect("sink mutex").clone()
+    }
+
+    /// Drains the captured events.
+    pub fn take(&self) -> Vec<RunEvent> {
+        std::mem::take(&mut *self.events.lock().expect("sink mutex"))
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&self, event: &RunEvent) {
+        self.events.lock().expect("sink mutex").push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::registry::MetricsRegistry;
+    use std::time::Duration;
+
+    #[test]
+    fn every_event_serialises_to_parseable_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("search.steps").add(3);
+        reg.gauge("g").set(0.5);
+        reg.histogram("h").record(4);
+        let events = vec![
+            RunEvent::RunStart {
+                algo: "ILS".into(),
+                n_vars: 5,
+                edges: 4,
+                restarts: 4,
+                threads: 1,
+                seed: 42,
+                budget_steps: Some(1000),
+                budget_secs: None,
+            },
+            RunEvent::RestartStart {
+                restart: 0,
+                seed: 7,
+            },
+            RunEvent::Improvement {
+                restart: Some(0),
+                step: 12,
+                violations: 2,
+                similarity: 0.5,
+                elapsed_secs: 0.001,
+            },
+            RunEvent::RestartEnd {
+                restart: 0,
+                best_violations: 2,
+                steps: 250,
+                elapsed_secs: 0.1,
+            },
+            RunEvent::BudgetExhausted {
+                restart: None,
+                steps: 1000,
+                elapsed_secs: 0.2,
+            },
+            RunEvent::CutoffFired {
+                restart: Some(3),
+                steps: 40,
+                elapsed_secs: 0.05,
+            },
+            RunEvent::TracePoint {
+                step: 10,
+                similarity: 0.75,
+                elapsed_secs: 0.01,
+            },
+            RunEvent::Metrics {
+                snapshot: reg.snapshot(),
+            },
+            RunEvent::Phases {
+                phases: vec![PhaseSnapshot {
+                    path: "solve > restart[0]".into(),
+                    calls: 1,
+                    steps: 5,
+                    wall: Duration::from_millis(2),
+                }],
+            },
+            RunEvent::RunEnd {
+                best_violations: 0,
+                best_similarity: 1.0,
+                steps: 1000,
+                node_accesses: 345,
+                local_maxima: 3,
+                improvements: 4,
+                restarts: 4,
+                elapsed_secs: 0.2,
+                proven_optimal: false,
+            },
+        ];
+        for event in &events {
+            let line = event.to_json();
+            let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed.get("event").unwrap().as_str(), Some(event.kind()));
+        }
+    }
+
+    #[test]
+    fn metrics_event_embeds_snapshot_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("steps").add(17);
+        reg.histogram("h").record(5);
+        let line = RunEvent::Metrics {
+            snapshot: reg.snapshot(),
+        }
+        .to_json();
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("steps")
+                .unwrap()
+                .as_u64(),
+            Some(17)
+        );
+        let h = parsed.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("mwsj-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sink-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&RunEvent::TracePoint {
+                step: 1,
+                similarity: 0.5,
+                elapsed_secs: 0.0,
+            });
+            sink.emit(&RunEvent::TracePoint {
+                step: 2,
+                similarity: 0.6,
+                elapsed_secs: 0.1,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn vec_sink_captures_in_order() {
+        let sink = VecSink::new();
+        sink.emit(&RunEvent::RestartStart {
+            restart: 0,
+            seed: 1,
+        });
+        sink.emit(&RunEvent::RestartStart {
+            restart: 1,
+            seed: 2,
+        });
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(sink.events().is_empty());
+        assert_eq!(events[0].kind(), "restart_start");
+    }
+}

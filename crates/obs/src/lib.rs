@@ -1,0 +1,47 @@
+//! Dependency-free observability layer for the multiway-spatial-join
+//! workspace.
+//!
+//! The paper's whole evaluation (Figs. 10a–c, 11 of *Papadias &
+//! Arkoumanis, EDBT 2002*) is instrumentation: similarity-over-time
+//! convergence, node accesses and step counts. This crate centralises that
+//! bookkeeping behind three cooperating pieces:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and log₂-bucketed
+//!   histograms. A registry handle is either *enabled* (backed by shared
+//!   atomic cells) or *disabled* (every operation is a single `Option`
+//!   check), so instrumented code pays near-zero cost when observability
+//!   is off.
+//! * [`PhaseTimer`] — hierarchical wall-clock spans (`solve > restart[3]
+//!   > find_best_value`) with per-phase call counts and step attribution.
+//!   Disabled timers never call [`std::time::Instant::now`].
+//! * [`RunEvent`] / [`EventSink`] — a structured run-event stream (run
+//!   start/end, incumbent improvements, restart lifecycle, budget
+//!   exhaustion, cutoff firings) serialised as JSON Lines. The schema is
+//!   documented in `DESIGN.md` and validated by [`schema::validate_line`]
+//!   (also available as the `mwsj-schema-check` binary).
+//!
+//! [`ObsHandle`] bundles the three for threading through search contexts.
+//!
+//! **Determinism contract.** Metric *values* flushed by the search layer
+//! are pure counters of algorithmic work (steps, node accesses, …) and are
+//! bit-identical across thread counts under a step budget; wall-clock
+//! lives only in timers and events, which are exempt. See
+//! [`MetricsSnapshot::merge`] for the portfolio reduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod handle;
+pub mod json;
+pub mod registry;
+pub mod schema;
+pub mod timer;
+
+pub use events::{EventSink, JsonlSink, RunEvent, VecSink};
+pub use handle::ObsHandle;
+pub use json::Json;
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use timer::{merge_phase_snapshots, PhaseSnapshot, PhaseSpan, PhaseTimer};

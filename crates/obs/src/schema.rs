@@ -1,0 +1,348 @@
+//! Validation of JSONL run-event files against the documented schema.
+//!
+//! The authoritative prose schema lives in `DESIGN.md` ("Observability");
+//! this module is its executable form, used by tests, CI (via the
+//! `mwsj-schema-check` binary) and `mwsj report`. Validation is
+//! deliberately *open*: unknown extra fields are allowed (forward
+//! compatibility), but the `event` discriminator must be known and every
+//! required field must be present with the right JSON type.
+
+use crate::json::{Json, JsonError};
+use std::fmt;
+
+/// Expected JSON type of a schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldType {
+    U64,
+    F64,
+    Str,
+    Bool,
+    Obj,
+    Arr,
+}
+
+impl FieldType {
+    fn check(self, value: &Json) -> bool {
+        match self {
+            FieldType::U64 => value.as_u64().is_some(),
+            FieldType::F64 => value.as_f64().is_some(),
+            FieldType::Str => value.as_str().is_some(),
+            FieldType::Bool => value.as_bool().is_some(),
+            FieldType::Obj => value.as_object().is_some(),
+            FieldType::Arr => value.as_array().is_some(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FieldType::U64 => "non-negative integer",
+            FieldType::F64 => "number",
+            FieldType::Str => "string",
+            FieldType::Bool => "boolean",
+            FieldType::Obj => "object",
+            FieldType::Arr => "array",
+        }
+    }
+}
+
+/// Required fields per event kind (optional fields are not listed; they
+/// are type-checked only when present via `OPTIONAL`).
+const REQUIRED: &[(&str, &[(&str, FieldType)])] = &[
+    (
+        "run_start",
+        &[
+            ("algo", FieldType::Str),
+            ("n_vars", FieldType::U64),
+            ("edges", FieldType::U64),
+            ("restarts", FieldType::U64),
+            ("threads", FieldType::U64),
+            ("seed", FieldType::U64),
+        ],
+    ),
+    (
+        "restart_start",
+        &[("restart", FieldType::U64), ("seed", FieldType::U64)],
+    ),
+    (
+        "improvement",
+        &[
+            ("step", FieldType::U64),
+            ("violations", FieldType::U64),
+            ("similarity", FieldType::F64),
+            ("elapsed_secs", FieldType::F64),
+        ],
+    ),
+    (
+        "restart_end",
+        &[
+            ("restart", FieldType::U64),
+            ("best_violations", FieldType::U64),
+            ("steps", FieldType::U64),
+            ("elapsed_secs", FieldType::F64),
+        ],
+    ),
+    (
+        "budget_exhausted",
+        &[("steps", FieldType::U64), ("elapsed_secs", FieldType::F64)],
+    ),
+    (
+        "cutoff_fired",
+        &[("steps", FieldType::U64), ("elapsed_secs", FieldType::F64)],
+    ),
+    (
+        "trace_point",
+        &[
+            ("step", FieldType::U64),
+            ("similarity", FieldType::F64),
+            ("elapsed_secs", FieldType::F64),
+        ],
+    ),
+    (
+        "metrics",
+        &[
+            ("counters", FieldType::Obj),
+            ("gauges", FieldType::Obj),
+            ("histograms", FieldType::Obj),
+        ],
+    ),
+    ("phases", &[("phases", FieldType::Arr)]),
+    (
+        "run_end",
+        &[
+            ("best_violations", FieldType::U64),
+            ("best_similarity", FieldType::F64),
+            ("steps", FieldType::U64),
+            ("node_accesses", FieldType::U64),
+            ("local_maxima", FieldType::U64),
+            ("improvements", FieldType::U64),
+            ("restarts", FieldType::U64),
+            ("elapsed_secs", FieldType::F64),
+            ("proven_optimal", FieldType::Bool),
+        ],
+    ),
+];
+
+/// Optional fields, type-checked only when present.
+const OPTIONAL: &[(&str, &[(&str, FieldType)])] = &[
+    (
+        "run_start",
+        &[
+            ("budget_steps", FieldType::U64),
+            ("budget_secs", FieldType::F64),
+        ],
+    ),
+    ("improvement", &[("restart", FieldType::U64)]),
+    ("budget_exhausted", &[("restart", FieldType::U64)]),
+    ("cutoff_fired", &[("restart", FieldType::U64)]),
+];
+
+/// A schema violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The line is not valid JSON.
+    Json(JsonError),
+    /// The line is valid JSON but not an object.
+    NotAnObject,
+    /// The object has no `"event"` string field.
+    MissingEventField,
+    /// The `"event"` value names no known event kind.
+    UnknownEvent(String),
+    /// A required field is missing.
+    MissingField {
+        /// The event kind.
+        event: String,
+        /// The missing field.
+        field: String,
+    },
+    /// A field is present with the wrong JSON type.
+    WrongType {
+        /// The event kind.
+        event: String,
+        /// The offending field.
+        field: String,
+        /// The expected type, human-readable.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Json(e) => write!(f, "{e}"),
+            SchemaError::NotAnObject => write!(f, "line is not a JSON object"),
+            SchemaError::MissingEventField => write!(f, "missing \"event\" string field"),
+            SchemaError::UnknownEvent(kind) => write!(f, "unknown event kind {kind:?}"),
+            SchemaError::MissingField { event, field } => {
+                write!(f, "event {event:?} missing required field {field:?}")
+            }
+            SchemaError::WrongType {
+                event,
+                field,
+                expected,
+            } => write!(f, "event {event:?} field {field:?} must be a {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Validates one JSONL line; returns the event kind on success.
+pub fn validate_line(line: &str) -> Result<&'static str, SchemaError> {
+    let value = Json::parse(line).map_err(SchemaError::Json)?;
+    if value.as_object().is_none() {
+        return Err(SchemaError::NotAnObject);
+    }
+    let kind = value
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or(SchemaError::MissingEventField)?;
+    let (kind, required) = REQUIRED
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(k, req)| (*k, *req))
+        .ok_or_else(|| SchemaError::UnknownEvent(kind.to_string()))?;
+    for (field, ty) in required {
+        match value.get(field) {
+            None => {
+                return Err(SchemaError::MissingField {
+                    event: kind.to_string(),
+                    field: field.to_string(),
+                })
+            }
+            Some(v) if !ty.check(v) => {
+                return Err(SchemaError::WrongType {
+                    event: kind.to_string(),
+                    field: field.to_string(),
+                    expected: ty.name(),
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    if let Some((_, optional)) = OPTIONAL.iter().find(|(k, _)| *k == kind) {
+        for (field, ty) in *optional {
+            if let Some(v) = value.get(field) {
+                if !ty.check(v) {
+                    return Err(SchemaError::WrongType {
+                        event: kind.to_string(),
+                        field: field.to_string(),
+                        expected: ty.name(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(kind)
+}
+
+/// Validates a whole JSONL document (empty lines are ignored); returns the
+/// number of events on success, or the 1-based line number of the first
+/// failure.
+pub fn validate_jsonl(text: &str) -> Result<usize, (usize, SchemaError)> {
+    let mut events = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| (i + 1, e))?;
+        events += 1;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RunEvent;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn emitted_events_validate() {
+        let events = vec![
+            RunEvent::RunStart {
+                algo: "GILS".into(),
+                n_vars: 4,
+                edges: 3,
+                restarts: 1,
+                threads: 0,
+                seed: 1,
+                budget_steps: None,
+                budget_secs: Some(2.0),
+            },
+            RunEvent::Improvement {
+                restart: None,
+                step: 5,
+                violations: 1,
+                similarity: 0.66,
+                elapsed_secs: 0.01,
+            },
+            RunEvent::Metrics {
+                snapshot: MetricsRegistry::new().snapshot(),
+            },
+            RunEvent::Phases { phases: vec![] },
+            RunEvent::RunEnd {
+                best_violations: 1,
+                best_similarity: 0.66,
+                steps: 100,
+                node_accesses: 42,
+                local_maxima: 2,
+                improvements: 1,
+                restarts: 3,
+                elapsed_secs: 0.1,
+                proven_optimal: false,
+            },
+        ];
+        for event in &events {
+            assert_eq!(validate_line(&event.to_json()), Ok(event.kind()));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_event() {
+        let err = validate_line(r#"{"event":"nope"}"#).unwrap_err();
+        assert_eq!(err, SchemaError::UnknownEvent("nope".into()));
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_fields() {
+        let err = validate_line(r#"{"event":"restart_start","restart":0}"#).unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::MissingField {
+                event: "restart_start".into(),
+                field: "seed".into()
+            }
+        );
+        let err = validate_line(r#"{"event":"restart_start","restart":0,"seed":-1}"#).unwrap_err();
+        assert!(matches!(err, SchemaError::WrongType { .. }));
+        // Optional field with the wrong type is still an error.
+        let err = validate_line(
+            r#"{"event":"improvement","step":1,"violations":0,"similarity":1,"elapsed_secs":0,"restart":"x"}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::WrongType { .. }));
+    }
+
+    #[test]
+    fn rejects_non_json_and_non_objects() {
+        assert!(matches!(
+            validate_line("not json"),
+            Err(SchemaError::Json(_))
+        ));
+        assert_eq!(validate_line("[1,2]"), Err(SchemaError::NotAnObject));
+        assert_eq!(validate_line("{}"), Err(SchemaError::MissingEventField));
+    }
+
+    #[test]
+    fn validate_jsonl_counts_events_and_reports_line_numbers() {
+        let good = "{\"event\":\"phases\",\"phases\":[]}\n\n{\"event\":\"phases\",\"phases\":[]}\n";
+        assert_eq!(validate_jsonl(good), Ok(2));
+        let bad = "{\"event\":\"phases\",\"phases\":[]}\nbroken\n";
+        assert_eq!(validate_jsonl(bad).unwrap_err().0, 2);
+    }
+
+    #[test]
+    fn unknown_extra_fields_are_allowed() {
+        assert!(validate_line(r#"{"event":"phases","phases":[],"extra":1}"#).is_ok());
+    }
+}

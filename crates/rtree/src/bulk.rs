@@ -20,6 +20,24 @@ impl<T> RTree<T> {
 
     /// Builds a tree over `items` using STR packing.
     pub fn bulk_load_with_params(params: RTreeParams, items: Vec<(Rect, T)>) -> Self {
+        Self::bulk_load_impl(params, items, None)
+    }
+
+    /// [`RTree::bulk_load_with_params`] with node accesses recorded into
+    /// `counter`: one access per node written during packing.
+    pub fn bulk_load_with_params_counted(
+        params: RTreeParams,
+        items: Vec<(Rect, T)>,
+        counter: &crate::AccessCounter,
+    ) -> Self {
+        Self::bulk_load_impl(params, items, Some(counter))
+    }
+
+    fn bulk_load_impl(
+        params: RTreeParams,
+        items: Vec<(Rect, T)>,
+        counter: Option<&crate::AccessCounter>,
+    ) -> Self {
         let mut tree = RTree::with_params(params);
         if items.is_empty() {
             return tree;
@@ -43,6 +61,9 @@ impl<T> RTree<T> {
                 tree.node_mut(root).entries = current;
                 tree.root = root;
                 tree.height = level + 1;
+                if let Some(c) = counter {
+                    c.inc();
+                }
                 return tree;
             }
             let groups = str_partition(current, params.max_entries);
@@ -52,6 +73,9 @@ impl<T> RTree<T> {
                 tree.node_mut(id).entries = group;
                 let mbr = tree.node(id).mbr();
                 parents.push(Entry::child(mbr, id));
+                if let Some(c) = counter {
+                    c.inc();
+                }
             }
             current = parents;
             level += 1;
@@ -190,6 +214,18 @@ mod tests {
         let tree = RTree::bulk_load_with_params(RTreeParams::new(m), random_items(m + 1, 5));
         assert_eq!(tree.height(), 2);
         tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn counted_bulk_load_records_one_access_per_node() {
+        use crate::AccessCounter;
+        let counter = AccessCounter::new();
+        let tree = RTree::bulk_load_with_params_counted(
+            RTreeParams::new(8),
+            random_items(2_000, 7),
+            &counter,
+        );
+        assert_eq!(counter.get(), tree.node_count() as u64);
     }
 
     #[test]

@@ -8,6 +8,17 @@ use mwsj_geom::Rect;
 impl<T> RTree<T> {
     /// Inserts a rectangle with its payload.
     pub fn insert(&mut self, mbr: Rect, value: T) {
+        self.insert_impl(mbr, value, None);
+    }
+
+    /// [`RTree::insert`] with node accesses recorded into `counter`: one
+    /// access per node visited on each insertion descent (the unwind
+    /// re-touches the same nodes and is not counted again).
+    pub fn insert_counted(&mut self, mbr: Rect, value: T, counter: &crate::AccessCounter) {
+        self.insert_impl(mbr, value, Some(counter));
+    }
+
+    fn insert_impl(&mut self, mbr: Rect, value: T, counter: Option<&crate::AccessCounter>) {
         debug_assert!(mbr.is_finite(), "inserted MBR must be finite");
         self.len += 1;
         // Pending (entry, target_level) queue: forced reinsertion evicts
@@ -20,7 +31,7 @@ impl<T> RTree<T> {
             if reinserted.len() <= self.height as usize {
                 reinserted.resize(self.height as usize + 1, false);
             }
-            self.insert_one(entry, level, &mut reinserted, &mut pending);
+            self.insert_one(entry, level, &mut reinserted, &mut pending, counter);
         }
     }
 
@@ -31,16 +42,23 @@ impl<T> RTree<T> {
         target_level: u32,
         reinserted: &mut [bool],
         pending: &mut Vec<(Entry<T>, u32)>,
+        counter: Option<&crate::AccessCounter>,
     ) {
         // Descend, recording the path as (parent, child-slot) pairs.
         let mbr = entry.mbr;
         let mut path: Vec<(NodeId, usize)> = Vec::with_capacity(self.height as usize);
         let mut cur = self.root;
+        if let Some(c) = counter {
+            c.inc();
+        }
         while self.node(cur).level > target_level {
             let slot = self.choose_subtree(cur, &mbr);
             let child = self.node(cur).entries[slot].child_id();
             path.push((cur, slot));
             cur = child;
+            if let Some(c) = counter {
+                c.inc();
+            }
         }
         self.node_mut(cur).entries.push(entry);
 
@@ -213,6 +231,30 @@ mod tests {
         }
         tree.check_invariants().unwrap();
         assert_eq!(tree.len(), 1000);
+    }
+
+    #[test]
+    fn counted_insert_records_descent_accesses() {
+        use crate::AccessCounter;
+        let counter = AccessCounter::new();
+        let mut tree: RTree<usize> = RTree::with_params(crate::RTreeParams::new(8));
+        for i in 0..300usize {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            tree.insert_counted(Rect::new(x, y, x + 0.8, y + 0.8), i, &counter);
+        }
+        tree.check_invariants().unwrap();
+        // Every insert descends at least to a leaf (>= 1 node per insert).
+        assert!(counter.get() >= 300);
+        // Counting must not change the resulting structure.
+        let mut plain: RTree<usize> = RTree::with_params(crate::RTreeParams::new(8));
+        for i in 0..300usize {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            plain.insert(Rect::new(x, y, x + 0.8, y + 0.8), i);
+        }
+        assert_eq!(tree.node_count(), plain.node_count());
+        assert_eq!(tree.height(), plain.height());
     }
 
     #[test]

@@ -55,6 +55,27 @@ impl<T> RTree<T> {
     /// ascending distance order. Returns fewer than `k` results if the tree
     /// holds fewer entries.
     pub fn nearest_neighbors(&self, point: &Point, k: usize) -> Vec<Neighbor<'_, T>> {
+        self.knn_impl(point, k, None)
+    }
+
+    /// [`RTree::nearest_neighbors`] with node accesses recorded into
+    /// `counter` (one access per node whose entries are expanded from the
+    /// best-first heap).
+    pub fn nearest_neighbors_counted(
+        &self,
+        point: &Point,
+        k: usize,
+        counter: &crate::AccessCounter,
+    ) -> Vec<Neighbor<'_, T>> {
+        self.knn_impl(point, k, Some(counter))
+    }
+
+    fn knn_impl(
+        &self,
+        point: &Point,
+        k: usize,
+        counter: Option<&crate::AccessCounter>,
+    ) -> Vec<Neighbor<'_, T>> {
         let mut result = Vec::with_capacity(k.min(self.len));
         if k == 0 || self.is_empty() {
             return result;
@@ -68,6 +89,9 @@ impl<T> RTree<T> {
         while let Some(item) = heap.pop() {
             match item.kind {
                 ItemKind::Node(id) => {
+                    if let Some(c) = counter {
+                        c.inc();
+                    }
                     let node = self.node(id);
                     for (i, e) in node.entries.iter().enumerate() {
                         let dist = e.mbr.min_distance(&query);
@@ -162,6 +186,23 @@ mod tests {
         assert!(tree.nearest_neighbors(&Point::new(0.0, 0.0), 0).is_empty());
         let empty: RTree<usize> = RTree::new();
         assert!(empty.nearest_neighbor(&Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn counted_knn_matches_and_records_accesses() {
+        use crate::AccessCounter;
+        let (tree, _) = random_tree(1_000, 24);
+        let q = Point::new(0.3, 0.7);
+        let counter = AccessCounter::new();
+        let counted = tree.nearest_neighbors_counted(&q, 5, &counter);
+        let plain = tree.nearest_neighbors(&q, 5);
+        assert_eq!(counted.len(), plain.len());
+        for (a, b) in counted.iter().zip(plain.iter()) {
+            assert_eq!(a.value, b.value);
+        }
+        // Best-first search expands at least the root, at most every node.
+        let accesses = counter.get();
+        assert!(accesses >= 1 && accesses <= tree.node_count() as u64);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   algorithms in `mwsj-core` use to drive custom branch-and-bound
 //!   traversals (the paper's *find best value*, synchronous traversal and
 //!   IBB) while counting node accesses themselves.
+//! * A shared **access-accounting hook** ([`AccessCounter`]): every
+//!   traversal path — insertion, window/point/predicate queries, k-NN,
+//!   bulk load and the visit API — has a `*_counted` variant that records
+//!   one access per node touched into a caller-supplied counter.
 //! * An **invariant checker** ([`RTree::check_invariants`]) used by the test
 //!   suite and property tests.
 //!
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 mod bulk;
 mod bulk_hilbert;
 mod delete;
@@ -45,6 +50,7 @@ mod tree;
 mod validate;
 mod visit;
 
+pub use access::AccessCounter;
 pub use knn::Neighbor;
 pub use params::RTreeParams;
 pub use stats::TreeStats;

@@ -1,5 +1,12 @@
 //! Window, point and predicate-based queries.
+//!
+//! All three query kinds run through one [`QueryIter`], which is also the
+//! single place node accesses are counted: pass an
+//! [`AccessCounter`](crate::AccessCounter) via the `*_counted` variants
+//! and every visited node increments it exactly once (the root at query
+//! start, every descendant when its subtree is entered).
 
+use crate::access::AccessCounter;
 use crate::node::{NodeId, Payload};
 use crate::tree::RTree;
 use mwsj_geom::{Point, Predicate, Rect};
@@ -19,6 +26,33 @@ where
     stack: Vec<(NodeId, usize)>,
     node_filter: NF,
     leaf_filter: LF,
+    /// Shared access-accounting hook; `None` disables counting.
+    counter: Option<&'a AccessCounter>,
+}
+
+impl<'a, T, NF, LF> QueryIter<'a, T, NF, LF>
+where
+    NF: Fn(&Rect) -> bool,
+    LF: Fn(&Rect) -> bool,
+{
+    fn new(
+        tree: &'a RTree<T>,
+        node_filter: NF,
+        leaf_filter: LF,
+        counter: Option<&'a AccessCounter>,
+    ) -> Self {
+        // The root is accessed as soon as the query starts.
+        if let Some(c) = counter {
+            c.inc();
+        }
+        QueryIter {
+            tree,
+            stack: vec![(tree.root, 0)],
+            node_filter,
+            leaf_filter,
+            counter,
+        }
+    }
 }
 
 impl<'a, T, NF, LF> Iterator for QueryIter<'a, T, NF, LF>
@@ -45,6 +79,9 @@ where
                 }
                 Payload::Child(child) => {
                     if (self.node_filter)(&entry.mbr) {
+                        if let Some(c) = self.counter {
+                            c.inc();
+                        }
                         self.stack.push((*child, 0));
                     }
                 }
@@ -57,12 +94,26 @@ where
 impl<T> RTree<T> {
     /// All entries whose MBR intersects `window` (the classic window query).
     pub fn window<'a>(&'a self, window: &'a Rect) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
-        QueryIter {
-            tree: self,
-            stack: vec![(self.root, 0)],
-            node_filter: move |node_mbr: &Rect| node_mbr.intersects(window),
-            leaf_filter: move |mbr: &Rect| mbr.intersects(window),
-        }
+        QueryIter::new(
+            self,
+            move |node_mbr: &Rect| node_mbr.intersects(window),
+            move |mbr: &Rect| mbr.intersects(window),
+            None,
+        )
+    }
+
+    /// [`RTree::window`] with node accesses recorded into `counter`.
+    pub fn window_counted<'a>(
+        &'a self,
+        window: &'a Rect,
+        counter: &'a AccessCounter,
+    ) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
+        QueryIter::new(
+            self,
+            move |node_mbr: &Rect| node_mbr.intersects(window),
+            move |mbr: &Rect| mbr.intersects(window),
+            Some(counter),
+        )
     }
 
     /// All entries whose MBR contains `point`.
@@ -70,12 +121,26 @@ impl<T> RTree<T> {
         &'a self,
         point: &'a Point,
     ) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
-        QueryIter {
-            tree: self,
-            stack: vec![(self.root, 0)],
-            node_filter: move |node_mbr: &Rect| node_mbr.contains_point(point),
-            leaf_filter: move |mbr: &Rect| mbr.contains_point(point),
-        }
+        QueryIter::new(
+            self,
+            move |node_mbr: &Rect| node_mbr.contains_point(point),
+            move |mbr: &Rect| mbr.contains_point(point),
+            None,
+        )
+    }
+
+    /// [`RTree::point_query`] with node accesses recorded into `counter`.
+    pub fn point_query_counted<'a>(
+        &'a self,
+        point: &'a Point,
+        counter: &'a AccessCounter,
+    ) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
+        QueryIter::new(
+            self,
+            move |node_mbr: &Rect| node_mbr.contains_point(point),
+            move |mbr: &Rect| mbr.contains_point(point),
+            Some(counter),
+        )
     }
 
     /// All entries `r` satisfying `r P window` for an arbitrary
@@ -90,17 +155,38 @@ impl<T> RTree<T> {
         pred: Predicate,
         window: &'a Rect,
     ) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
-        QueryIter {
-            tree: self,
-            stack: vec![(self.root, 0)],
-            node_filter: move |node_mbr: &Rect| pred.possible(node_mbr, window),
-            leaf_filter: move |mbr: &Rect| pred.eval(mbr, window),
-        }
+        QueryIter::new(
+            self,
+            move |node_mbr: &Rect| pred.possible(node_mbr, window),
+            move |mbr: &Rect| pred.eval(mbr, window),
+            None,
+        )
+    }
+
+    /// [`RTree::query_predicate`] with node accesses recorded into
+    /// `counter`.
+    pub fn query_predicate_counted<'a>(
+        &'a self,
+        pred: Predicate,
+        window: &'a Rect,
+        counter: &'a AccessCounter,
+    ) -> impl Iterator<Item = (&'a Rect, &'a T)> + 'a {
+        QueryIter::new(
+            self,
+            move |node_mbr: &Rect| pred.possible(node_mbr, window),
+            move |mbr: &Rect| pred.eval(mbr, window),
+            Some(counter),
+        )
     }
 
     /// Counts entries intersecting `window` without materialising them.
     pub fn count_window(&self, window: &Rect) -> usize {
         self.window(window).count()
+    }
+
+    /// [`RTree::count_window`] with node accesses recorded into `counter`.
+    pub fn count_window_counted(&self, window: &Rect, counter: &AccessCounter) -> usize {
+        self.window_counted(window, counter).count()
     }
 }
 
@@ -214,5 +300,55 @@ mod tests {
         let (tree, _) = random_tree(800, 15);
         let w = Rect::new(0.2, 0.2, 0.7, 0.7);
         assert_eq!(tree.count_window(&w), tree.window(&w).count());
+    }
+
+    #[test]
+    fn counted_queries_record_accesses() {
+        use crate::AccessCounter;
+        let (tree, _) = random_tree(2_000, 16);
+        let counter = AccessCounter::new();
+
+        // Full-coverage window touches every node exactly once.
+        let w = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        let n = tree.window_counted(&w, &counter).count();
+        assert_eq!(n, 2_000);
+        assert_eq!(counter.take(), tree.node_count() as u64);
+
+        // A selective window touches at least the root and at most all
+        // nodes, and returns the same results as the uncounted query.
+        let w = Rect::new(0.4, 0.4, 0.5, 0.5);
+        let counted: Vec<usize> = tree.window_counted(&w, &counter).map(|(_, v)| *v).collect();
+        let plain: Vec<usize> = tree.window(&w).map(|(_, v)| *v).collect();
+        assert_eq!(counted, plain);
+        let accesses = counter.take();
+        assert!(accesses >= 1 && accesses <= tree.node_count() as u64);
+
+        // Predicate and point variants also count.
+        let _ = tree
+            .query_predicate_counted(Predicate::Intersects, &w, &counter)
+            .count();
+        assert!(counter.take() >= 1);
+        let _ = tree
+            .point_query_counted(&Point::new(0.5, 0.5), &counter)
+            .count();
+        assert!(counter.take() >= 1);
+        assert_eq!(
+            tree.count_window_counted(&w, &counter),
+            tree.count_window(&w)
+        );
+        assert!(counter.get() >= 1);
+    }
+
+    #[test]
+    fn counted_and_uncounted_visit_same_nodes() {
+        use crate::AccessCounter;
+        let (tree, _) = random_tree(500, 17);
+        let w = Rect::new(0.1, 0.1, 0.9, 0.9);
+        let counter = AccessCounter::new();
+        // Counting must not change pruning decisions.
+        assert_eq!(
+            tree.window_counted(&w, &counter).count(),
+            tree.window(&w).count()
+        );
     }
 }

@@ -22,6 +22,11 @@ pub struct TreeStats {
     pub area_per_level: Vec<f64>,
     /// Sum of pairwise sibling overlap areas per level, `[0] = leaf level`.
     pub overlap_per_level: Vec<f64>,
+    /// Number of nodes per level, `[0] = leaf level`.
+    pub nodes_per_level: Vec<usize>,
+    /// Number of entries per level, `[0] = leaf level` (data entries at
+    /// level 0, child pointers above).
+    pub entries_per_level: Vec<usize>,
 }
 
 impl<T> RTree<T> {
@@ -34,6 +39,8 @@ impl<T> RTree<T> {
         let mut fill_sum = 0.0f64;
         let mut area_per_level = vec![0.0; height];
         let mut overlap_per_level = vec![0.0; height];
+        let mut nodes_per_level = vec![0usize; height];
+        let mut entries_per_level = vec![0usize; height];
 
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
@@ -44,6 +51,8 @@ impl<T> RTree<T> {
             }
             fill_sum += node.entries.len() as f64 / self.params.max_entries as f64;
             let lvl = node.level as usize;
+            nodes_per_level[lvl] += 1;
+            entries_per_level[lvl] += node.entries.len();
             area_per_level[lvl] += node.mbr().area();
             for (i, a) in node.entries.iter().enumerate() {
                 for b in node.entries.iter().skip(i + 1) {
@@ -63,6 +72,8 @@ impl<T> RTree<T> {
             avg_fill: fill_sum / nodes as f64,
             area_per_level,
             overlap_per_level,
+            nodes_per_level,
+            entries_per_level,
         }
     }
 }
@@ -95,6 +106,26 @@ mod tests {
         assert!(s.leaves <= s.nodes);
         assert!(s.avg_fill > 0.0 && s.avg_fill <= 1.0);
         assert_eq!(s.area_per_level.len(), tree.height() as usize);
+    }
+
+    #[test]
+    fn per_level_breakdowns_are_consistent() {
+        let tree = RTree::bulk_load_with_params(RTreeParams::new(16), random_items(3_000, 34));
+        let s = tree.stats();
+        let h = tree.height() as usize;
+        assert_eq!(s.nodes_per_level.len(), h);
+        assert_eq!(s.entries_per_level.len(), h);
+        // Per-level node counts sum to the node total; leaves are level 0;
+        // the root level holds exactly one node.
+        assert_eq!(s.nodes_per_level.iter().sum::<usize>(), s.nodes);
+        assert_eq!(s.nodes_per_level[0], s.leaves);
+        assert_eq!(s.nodes_per_level[h - 1], 1);
+        // Level-0 entries are the data entries; entries at level k+1 are
+        // child pointers to the nodes of level k.
+        assert_eq!(s.entries_per_level[0], s.len);
+        for lvl in 1..h {
+            assert_eq!(s.entries_per_level[lvl], s.nodes_per_level[lvl - 1]);
+        }
     }
 
     #[test]

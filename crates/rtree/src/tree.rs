@@ -108,6 +108,13 @@ impl<T> RTree<T> {
         NodeRef::new(self, self.root)
     }
 
+    /// [`RTree::root_node`] with node accesses recorded into `counter`:
+    /// the root counts immediately and every child materialised through
+    /// [`EntryRef::child`](crate::EntryRef::child) below it counts once.
+    pub fn root_node_counted<'a>(&'a self, counter: &'a crate::AccessCounter) -> NodeRef<'a, T> {
+        NodeRef::counted(self, self.root, counter)
+    }
+
     /// Iterates over every stored `(mbr, payload)` pair, in tree order.
     pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> + '_ {
         let mut stack = vec![self.root];

@@ -4,9 +4,17 @@
 //! traversals over the index (the paper's *find best value*, synchronous
 //! traversal and IBB all sort and prune node entries with query-specific
 //! logic). [`NodeRef`] and [`EntryRef`] expose the tree structure immutably
-//! so those algorithms can walk it — and count their own node accesses —
 //! without this crate leaking mutable internals.
+//!
+//! Node accesses along a visit-API traversal can be accounted through the
+//! shared [`AccessCounter`](crate::AccessCounter) hook: start from
+//! [`RTree::root_node_counted`] and every [`EntryRef::child`]
+//! materialisation below it increments the counter (one access per node
+//! entered, the same policy as the query paths). `mwsj-core`'s
+//! branch-and-bound traversals keep their own per-run counters on the hot
+//! path and flush them into the metrics registry when a run finishes.
 
+use crate::access::AccessCounter;
 use crate::node::{NodeId, Payload};
 use crate::tree::RTree;
 use mwsj_geom::Rect;
@@ -16,6 +24,8 @@ use mwsj_geom::Rect;
 pub struct NodeRef<'a, T> {
     tree: &'a RTree<T>,
     id: NodeId,
+    /// Shared access-accounting hook; `None` disables counting.
+    counter: Option<&'a AccessCounter>,
 }
 
 impl<T> Clone for NodeRef<'_, T> {
@@ -27,7 +37,20 @@ impl<T> Copy for NodeRef<'_, T> {}
 
 impl<'a, T> NodeRef<'a, T> {
     pub(crate) fn new(tree: &'a RTree<T>, id: NodeId) -> Self {
-        NodeRef { tree, id }
+        NodeRef {
+            tree,
+            id,
+            counter: None,
+        }
+    }
+
+    pub(crate) fn counted(tree: &'a RTree<T>, id: NodeId, counter: &'a AccessCounter) -> Self {
+        counter.inc();
+        NodeRef {
+            tree,
+            id,
+            counter: Some(counter),
+        }
     }
 
     /// Level of this node (0 = leaf).
@@ -70,6 +93,7 @@ impl<'a, T> NodeRef<'a, T> {
             tree: self.tree,
             node: self.id,
             slot: i,
+            counter: self.counter,
         }
     }
 
@@ -77,7 +101,13 @@ impl<'a, T> NodeRef<'a, T> {
     pub fn entries(&self) -> impl Iterator<Item = EntryRef<'a, T>> + '_ {
         let tree = self.tree;
         let node = self.id;
-        (0..self.len()).map(move |slot| EntryRef { tree, node, slot })
+        let counter = self.counter;
+        (0..self.len()).map(move |slot| EntryRef {
+            tree,
+            node,
+            slot,
+            counter,
+        })
     }
 }
 
@@ -87,6 +117,9 @@ pub struct EntryRef<'a, T> {
     tree: &'a RTree<T>,
     node: NodeId,
     slot: usize,
+    /// Inherited from the originating [`NodeRef`]; counted traversals
+    /// propagate it to children.
+    counter: Option<&'a AccessCounter>,
 }
 
 impl<T> Clone for EntryRef<'_, T> {
@@ -103,11 +136,16 @@ impl<'a, T> EntryRef<'a, T> {
         &self.tree.node(self.node).entries[self.slot].mbr
     }
 
-    /// The child node, if this is an internal entry.
+    /// The child node, if this is an internal entry. On a counted
+    /// traversal (see [`RTree::root_node_counted`]) materialising a child
+    /// records one node access.
     #[inline]
     pub fn child(&self) -> Option<NodeRef<'a, T>> {
         match self.tree.node(self.node).entries[self.slot].payload {
-            Payload::Child(id) => Some(NodeRef::new(self.tree, id)),
+            Payload::Child(id) => Some(match self.counter {
+                Some(counter) => NodeRef::counted(self.tree, id, counter),
+                None => NodeRef::new(self.tree, id),
+            }),
             Payload::Data(_) => None,
         }
     }
@@ -182,6 +220,22 @@ mod tests {
             assert!(e.value().is_some());
             assert!(e.child().is_none());
         }
+    }
+
+    #[test]
+    fn counted_traversal_records_one_access_per_node() {
+        use crate::AccessCounter;
+        let tree = sample_tree();
+        let counter = AccessCounter::new();
+        let mut stack = vec![tree.root_node_counted(&counter)];
+        while let Some(node) = stack.pop() {
+            for e in node.entries() {
+                if let Some(child) = e.child() {
+                    stack.push(child);
+                }
+            }
+        }
+        assert_eq!(counter.get(), tree.node_count() as u64);
     }
 
     #[test]
