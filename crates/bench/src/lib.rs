@@ -24,10 +24,12 @@ pub mod experiments;
 mod io;
 mod record;
 mod scale;
+pub mod suite;
 
 pub use io::{write_csv, Table};
 pub use record::Recorder;
 pub use scale::Scale;
+pub use suite::{pinned_suite, run_pinned_suite, SuiteAlgo, SuiteCase, DEFAULT_REPS};
 
 use mwsj_core::Instance;
 use mwsj_core::{

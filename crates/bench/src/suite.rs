@@ -1,0 +1,361 @@
+//! The pinned benchmark suite behind `mwsj bench snapshot`.
+//!
+//! A fixed set of seeded workloads (chain and clique queries at two
+//! densities) is run through ILS, GILS, SEA and the two-step pipeline
+//! under **step budgets**, so every work counter — steps, node accesses,
+//! restarts, improvements — is bit-identical across machines and runs.
+//! Each algorithm is repeated `reps` times to estimate wall-clock noise;
+//! the repetitions must agree on every deterministic counter (the runner
+//! fails otherwise, since that would mean the algorithms themselves are
+//! non-deterministic) and the anytime curve of the median-wall repetition
+//! is recorded together with per-phase timer breakdowns.
+//!
+//! The result is a [`BenchSnapshot`] — the schema-validated
+//! `BENCH_<label>.json` format that `mwsj bench compare` gates CI with.
+
+use crate::Algo;
+use mwsj_core::{
+    IlsConfig, Instance, RunStats, SearchBudget, SearchContext, TracePoint, TwoStep, TwoStepConfig,
+};
+use mwsj_datagen::{QueryShape, WorkloadSpec};
+use mwsj_obs::snapshot::AlgoRecord;
+use mwsj_obs::{AnytimeCurve, BenchSnapshot, InstanceRecord, ObsHandle, PhaseSnapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of wall-clock repetitions per algorithm.
+pub const DEFAULT_REPS: usize = 3;
+
+/// Step budget for ILS/GILS (one step = one `find best value` call).
+const LOCAL_SEARCH_STEPS: u64 = 3_000;
+/// Step budget for SEA (one step = one generation).
+const SEA_STEPS: u64 = 120;
+/// Step budget of the two-step pipeline's ILS heuristic.
+const TWO_STEP_HEURISTIC_STEPS: u64 = 1_000;
+/// Step budget of the two-step pipeline's systematic IBB phase.
+const TWO_STEP_IBB_STEPS: u64 = 2_000;
+/// RNG seed every suite run uses (fixed: the suite measures code, not
+/// seeds).
+const RUN_SEED: u64 = 7;
+
+/// One pinned suite workload.
+#[derive(Debug, Clone)]
+pub struct SuiteCase {
+    /// Stable instance name used in snapshots and compare reports.
+    pub name: &'static str,
+    /// The seeded workload description.
+    pub spec: WorkloadSpec,
+}
+
+/// The pinned suite: chain and clique shapes, each at the hard-region
+/// density (one expected solution, with one planted so similarity 1 is
+/// reachable and time-to-τ=1 is well defined) and at an easier density
+/// (four expected solutions).
+pub fn pinned_suite() -> Vec<SuiteCase> {
+    let case = |name, shape, target_solutions, plant, seed| SuiteCase {
+        name,
+        spec: WorkloadSpec {
+            shape,
+            n_vars: 4,
+            cardinality: 200,
+            target_solutions,
+            plant,
+            seed,
+        },
+    };
+    vec![
+        case("chain-n4-hard", QueryShape::Chain, 1.0, true, 101),
+        case("chain-n4-easy", QueryShape::Chain, 4.0, false, 102),
+        case("clique-n4-hard", QueryShape::Clique, 1.0, true, 103),
+        case("clique-n4-easy", QueryShape::Clique, 4.0, false, 104),
+    ]
+}
+
+/// The algorithms the suite measures, in snapshot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteAlgo {
+    /// Indexed local search under [`LOCAL_SEARCH_STEPS`].
+    Ils,
+    /// Guided indexed local search under [`LOCAL_SEARCH_STEPS`].
+    Gils,
+    /// Spatial evolutionary algorithm under [`SEA_STEPS`] generations.
+    Sea,
+    /// ILS heuristic + systematic IBB (§6 two-step processing).
+    TwoStep,
+}
+
+impl SuiteAlgo {
+    /// All suite algorithms, in snapshot order.
+    pub const ALL: [SuiteAlgo; 4] = [
+        SuiteAlgo::Ils,
+        SuiteAlgo::Gils,
+        SuiteAlgo::Sea,
+        SuiteAlgo::TwoStep,
+    ];
+
+    /// Display/snapshot name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuiteAlgo::Ils => "ILS",
+            SuiteAlgo::Gils => "GILS",
+            SuiteAlgo::Sea => "SEA",
+            SuiteAlgo::TwoStep => "two-step",
+        }
+    }
+}
+
+/// The outcome of one suite run an [`AlgoRecord`] is distilled from.
+struct SuiteRun {
+    stats: RunStats,
+    best_violations: usize,
+    best_similarity: f64,
+    trace: Vec<TracePoint>,
+    phases: Vec<PhaseSnapshot>,
+}
+
+fn run_once(algo: SuiteAlgo, instance: &Instance) -> SuiteRun {
+    let mut rng = StdRng::seed_from_u64(RUN_SEED);
+    let obs = ObsHandle::timer_only();
+    match algo {
+        SuiteAlgo::Ils | SuiteAlgo::Gils | SuiteAlgo::Sea => {
+            let (algo, steps) = match algo {
+                SuiteAlgo::Ils => (Algo::Ils, LOCAL_SEARCH_STEPS),
+                SuiteAlgo::Gils => (Algo::Gils, LOCAL_SEARCH_STEPS),
+                _ => (Algo::Sea, SEA_STEPS),
+            };
+            let ctx = SearchContext::local(SearchBudget::iterations(steps)).with_obs(obs.clone());
+            let outcome = algo.search(instance, &ctx, &mut rng);
+            SuiteRun {
+                stats: outcome.stats,
+                best_violations: outcome.best_violations,
+                best_similarity: outcome.best_similarity,
+                trace: outcome.trace,
+                phases: obs.timer.snapshot(),
+            }
+        }
+        SuiteAlgo::TwoStep => {
+            let pipeline = TwoStep::new(TwoStepConfig::Ils(
+                IlsConfig::default(),
+                SearchBudget::iterations(TWO_STEP_HEURISTIC_STEPS),
+            ));
+            let outcome = pipeline.run_with_obs(
+                instance,
+                &SearchBudget::iterations(TWO_STEP_IBB_STEPS),
+                &mut rng,
+                &obs,
+            );
+            // Concatenate the phases' traces into one pipeline-level anytime
+            // curve: systematic trace points are shifted by the heuristic's
+            // consumed steps/time, and non-improving points (IBB starts from
+            // the heuristic's incumbent) fold away in the curve.
+            let mut trace = outcome.heuristic.trace.clone();
+            if let Some(sys) = &outcome.systematic {
+                let (dt, ds) = (
+                    outcome.heuristic.stats.elapsed,
+                    outcome.heuristic.stats.steps,
+                );
+                trace.extend(sys.trace.iter().map(|p| TracePoint {
+                    elapsed: p.elapsed + dt,
+                    step: p.step + ds,
+                    similarity: p.similarity,
+                }));
+            }
+            SuiteRun {
+                stats: outcome.total_stats(),
+                best_violations: outcome.best.best_violations,
+                best_similarity: outcome.best.best_similarity,
+                trace,
+                phases: obs.timer.snapshot(),
+            }
+        }
+    }
+}
+
+fn counters_of(run: &SuiteRun) -> Vec<(String, u64)> {
+    vec![
+        ("steps".into(), run.stats.steps),
+        ("node_accesses".into(), run.stats.node_accesses),
+        ("restarts".into(), run.stats.restarts),
+        ("local_maxima".into(), run.stats.local_maxima),
+        ("improvements".into(), run.stats.improvements),
+        ("best_violations".into(), run.best_violations as u64),
+    ]
+}
+
+/// Builds an [`AnytimeCurve`] from a run's convergence trace and totals.
+pub fn curve_from_trace(trace: &[TracePoint], stats: &RunStats) -> AnytimeCurve {
+    let mut curve = AnytimeCurve::new();
+    for p in trace {
+        curve.record(p.step, p.elapsed.as_secs_f64() * 1000.0, p.similarity);
+    }
+    curve.set_totals(
+        stats.steps,
+        stats.node_accesses,
+        stats.elapsed.as_secs_f64() * 1000.0,
+    );
+    curve
+}
+
+fn measure(algo: SuiteAlgo, instance: &Instance, reps: usize) -> Result<AlgoRecord, String> {
+    let runs: Vec<SuiteRun> = (0..reps.max(1)).map(|_| run_once(algo, instance)).collect();
+
+    // Every repetition re-runs the same seeded search under a step budget:
+    // any counter disagreement is a determinism bug, not noise.
+    let expected = counters_of(&runs[0]);
+    for (rep, run) in runs.iter().enumerate().skip(1) {
+        let got = counters_of(run);
+        if got != expected {
+            return Err(format!(
+                "{}: deterministic counters diverged between rep 0 ({expected:?}) and rep {rep} ({got:?})",
+                algo.name()
+            ));
+        }
+    }
+
+    let wall_ms_reps: Vec<f64> = runs
+        .iter()
+        .map(|r| r.stats.elapsed.as_secs_f64() * 1000.0)
+        .collect();
+    // The curve and phase breakdown come from the median-wall repetition
+    // (lower median for even rep counts) — the most representative timing.
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        wall_ms_reps[a]
+            .partial_cmp(&wall_ms_reps[b])
+            .expect("finite wall times")
+    });
+    let median_rep = &runs[order[order.len() / 2]];
+    let curve = curve_from_trace(&median_rep.trace, &median_rep.stats);
+
+    Ok(AlgoRecord::from_curve(
+        algo.name(),
+        expected,
+        median_rep.best_similarity,
+        &curve,
+        wall_ms_reps,
+        median_rep.phases.clone(),
+    ))
+}
+
+/// Runs the pinned suite and assembles the snapshot. `reps` is the number
+/// of wall-clock repetitions per algorithm (clamped to ≥ 1). `progress`
+/// is called once per (instance, algorithm) before it runs, for CLI
+/// progress output.
+pub fn run_pinned_suite(
+    label: &str,
+    reps: usize,
+    mut progress: impl FnMut(&str, &str),
+) -> Result<BenchSnapshot, String> {
+    let mut instances = Vec::new();
+    for case in pinned_suite() {
+        let workload = case.spec.generate();
+        let instance =
+            Instance::new(workload.graph, workload.datasets).map_err(|e| format!("{e:?}"))?;
+        let mut algos = Vec::new();
+        for algo in SuiteAlgo::ALL {
+            progress(case.name, algo.name());
+            algos.push(measure(algo, &instance, reps)?);
+        }
+        instances.push(InstanceRecord {
+            name: case.name.to_string(),
+            shape: case.spec.shape.name().to_string(),
+            n_vars: case.spec.n_vars as u64,
+            cardinality: case.spec.cardinality as u64,
+            seed: case.spec.seed,
+            algos,
+        });
+    }
+    Ok(BenchSnapshot {
+        label: label.to_string(),
+        reps: reps.max(1) as u64,
+        instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_pinned() {
+        let suite = pinned_suite();
+        assert_eq!(suite.len(), 4);
+        let names: Vec<&str> = suite.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "chain-n4-hard",
+                "chain-n4-easy",
+                "clique-n4-hard",
+                "clique-n4-easy"
+            ]
+        );
+        // Hard instances plant a solution so τ = 1 is reachable.
+        assert!(suite
+            .iter()
+            .all(|c| c.spec.plant == c.name.ends_with("hard")));
+        // Specs regenerate identical workloads (seeded).
+        let a = suite[0].spec.generate();
+        let b = suite[0].spec.generate();
+        assert_eq!(a.datasets[0].rects(), b.datasets[0].rects());
+    }
+
+    #[test]
+    fn curve_from_trace_uses_run_totals() {
+        use std::time::Duration;
+        let trace = vec![
+            TracePoint {
+                elapsed: Duration::ZERO,
+                step: 0,
+                similarity: 0.5,
+            },
+            TracePoint {
+                elapsed: Duration::from_millis(5),
+                step: 50,
+                similarity: 1.0,
+            },
+        ];
+        let stats = RunStats {
+            elapsed: Duration::from_millis(10),
+            steps: 100,
+            node_accesses: 400,
+            ..RunStats::default()
+        };
+        let curve = curve_from_trace(&trace, &stats);
+        assert_eq!(curve.total_steps(), 100);
+        assert_eq!(curve.total_node_accesses(), 400);
+        assert!((curve.auc_steps() - 0.75).abs() < 1e-12);
+    }
+
+    /// One full (small-rep) suite run: deterministic counters repeat, the
+    /// snapshot round-trips through its JSON schema, and the ILS records
+    /// carry non-trivial curves.
+    #[test]
+    fn suite_runs_and_snapshot_round_trips() {
+        let snap = run_pinned_suite("test", 2, |_, _| {}).expect("suite runs");
+        assert_eq!(snap.instances.len(), 4);
+        assert_eq!(snap.algo_records(), 16);
+        for inst in &snap.instances {
+            for algo in &inst.algos {
+                assert!(algo.counter("steps").unwrap() > 0, "{}", algo.algo);
+                assert!(!algo.curve.is_empty(), "{}/{}", inst.name, algo.algo);
+                assert!(!algo.phases.is_empty(), "{}/{}", inst.name, algo.algo);
+                assert_eq!(algo.wall_ms_reps.len(), 2);
+            }
+        }
+        let text = snap.to_string_pretty();
+        let parsed = BenchSnapshot::parse(&text).expect("snapshot validates");
+        assert_eq!(parsed, snap);
+
+        // Running again reproduces every deterministic field.
+        let again = run_pinned_suite("test", 1, |_, _| {}).expect("suite runs");
+        for (a, b) in snap.instances.iter().zip(&again.instances) {
+            for (ra, rb) in a.algos.iter().zip(&b.algos) {
+                assert_eq!(ra.counters, rb.counters, "{}/{}", a.name, ra.algo);
+                assert_eq!(ra.best_similarity, rb.best_similarity);
+                assert_eq!(ra.auc_steps, rb.auc_steps);
+                assert_eq!(ra.steps_to, rb.steps_to);
+            }
+        }
+    }
+}

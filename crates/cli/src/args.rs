@@ -3,15 +3,16 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parsed command line: subcommand, one optional positional argument,
+/// A parsed command line: subcommand, positional arguments,
 /// `--key value` options (repeatable) and `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: Option<String>,
-    /// The positional argument after the subcommand, if any (e.g. the
-    /// file in `mwsj report run.jsonl`).
-    pub arg: Option<String>,
+    /// Positional arguments after the subcommand, in order (e.g. the file
+    /// in `mwsj report run.jsonl`, or the two snapshots in `mwsj bench
+    /// compare A B`). Commands validate their own arity.
+    pub positionals: Vec<String>,
     options: HashMap<String, Vec<String>>,
     flags: Vec<String>,
 }
@@ -75,6 +76,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "restarts",
     "metrics-out",
     "trace-out",
+    "profile-out",
+    "label",
+    "reps",
+    "wall-tolerance",
 ];
 
 impl Args {
@@ -107,10 +112,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(item);
-            } else if args.arg.is_none() {
-                args.arg = Some(item);
             } else {
-                return Err(ArgError::UnexpectedArgument(item));
+                args.positionals.push(item);
             }
         }
         Ok(args)
@@ -150,6 +153,11 @@ impl Args {
                 expected,
             }),
         }
+    }
+
+    /// The first positional argument, for single-argument commands.
+    pub fn arg(&self) -> Option<&str> {
+        self.positionals.first().map(String::as_str)
     }
 
     /// Whether a boolean flag was given.
@@ -206,15 +214,20 @@ mod tests {
     fn single_positional_is_captured() {
         let a = parse("report run.jsonl").unwrap();
         assert_eq!(a.command.as_deref(), Some("report"));
-        assert_eq!(a.arg.as_deref(), Some("run.jsonl"));
+        assert_eq!(a.arg(), Some("run.jsonl"));
     }
 
     #[test]
-    fn second_positional_is_an_error() {
+    fn multiple_positionals_are_kept_in_order() {
+        let a =
+            parse("bench compare BENCH_baseline.json BENCH_ci.json --wall-tolerance 0.5").unwrap();
+        assert_eq!(a.command.as_deref(), Some("bench"));
         assert_eq!(
-            parse("report run.jsonl extra").unwrap_err(),
-            ArgError::UnexpectedArgument("extra".into())
+            a.positionals,
+            vec!["compare", "BENCH_baseline.json", "BENCH_ci.json"]
         );
+        assert_eq!(a.arg(), Some("compare"));
+        assert_eq!(a.value("wall-tolerance"), Some("0.5"));
     }
 
     #[test]

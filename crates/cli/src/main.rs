@@ -8,6 +8,8 @@
 //!               [--seed 42] [--top 5] [--restarts K] [--threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
 //! mwsj report   run.jsonl
+//! mwsj bench    snapshot [--label ci] [--reps 3] [--out FILE]
+//! mwsj bench    compare BENCH_baseline.json BENCH_ci.json [--wall-tolerance 0.25]
 //! mwsj hard-density --shape chain|clique|star|cycle --vars 5 --n 100000 [--target 1]
 //! ```
 //!
@@ -15,14 +17,21 @@
 //! `mwsj-datagen`); `generate` produces them synthetically. `solve` and
 //! `join` accept `--metrics-out FILE` (structured JSONL run events, see
 //! `DESIGN.md` "Observability") and `solve` additionally `--trace-out
-//! FILE` (the convergence trace as `trace_point` lines); `report`
-//! validates and summarises such a file.
+//! FILE` (the convergence trace as `trace_point` lines) and
+//! `--profile-out FILE` (the per-phase wall-clock breakdown as folded
+//! stacks); `report` validates and summarises a JSONL file. `bench
+//! snapshot` runs the pinned benchmark suite into a schema-validated
+//! `BENCH_<label>.json` performance snapshot, and `bench compare` is the
+//! noise-aware regression gate over two such snapshots.
 
 mod args;
 mod query_spec;
 
 use args::Args;
-use mwsj_core::obs::{schema, Json};
+use mwsj_core::obs::{
+    compare, schema, to_folded, BenchSnapshot, CompareConfig, Json, PhaseSnapshot,
+    DEFAULT_WALL_TOLERANCE,
+};
 use mwsj_core::{
     AnytimeSearch, EventSink, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance,
     JsonlSink, ObsHandle, ParallelPortfolio, Pjm, PortfolioConfig, RunEvent, RunOutcome, Sea,
@@ -49,6 +58,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args),
         Some("join") => cmd_join(&args),
         Some("report") => cmd_report(&args),
+        Some("bench") => cmd_bench(&args),
         Some("hard-density") => cmd_hard_density(&args),
         Some("help") | None => {
             print!("{}", HELP);
@@ -77,9 +87,18 @@ USAGE:
                                             (heuristics only; T=0 -> all cores)
              [--metrics-out FILE]           structured JSONL run events + metrics
              [--trace-out FILE]             convergence trace as JSONL trace points
+             [--profile-out FILE]           per-phase wall-clock profile (folded stacks,
+                                            flamegraph-ready)
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
             [--metrics-out FILE]
   mwsj report FILE                          validate + summarise a metrics JSONL file
+  mwsj bench snapshot [--label L] [--reps N] [--out FILE]
+                                            run the pinned suite (ILS/GILS/SEA/two-step on
+                                            chain+clique) into BENCH_<L>.json: anytime curves,
+                                            quality AUC, time-to-tau, counters, phase timings
+  mwsj bench compare BASELINE CANDIDATE [--wall-tolerance T]
+                                            regression gate: deterministic counters must match
+                                            exactly, wall medians within tolerance (default +25%)
   mwsj hard-density --shape chain|clique|star|cycle --vars N --n CARD [--target SOL]
 
 QUERY SPECS:
@@ -199,11 +218,15 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
 
     let metrics_path = args.value("metrics-out").map(str::to_string);
     let trace_path = args.value("trace-out").map(str::to_string);
+    let profile_path = args.value("profile-out").map(str::to_string);
     let obs = match &metrics_path {
         Some(path) => {
             let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
             ObsHandle::enabled().with_sink(Arc::new(sink))
         }
+        // No event sink requested, but the profile still needs live phase
+        // timers; a fully disabled handle records nothing.
+        None if profile_path.is_some() => ObsHandle::timer_only(),
         None => ObsHandle::disabled(),
     };
     obs.emit(RunEvent::RunStart {
@@ -218,43 +241,62 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     });
     let ctx = SearchContext::local(budget).with_obs(obs.clone());
 
+    // Portfolio runs merge per-restart phase timers themselves; keep the
+    // merged snapshot around for `--profile-out`.
+    let mut portfolio_phases: Vec<PhaseSnapshot> = Vec::new();
     let outcome: RunOutcome = match algo {
-        "ils" if portfolio => run_portfolio(
-            Ils::new(IlsConfig::default()),
-            &instance,
-            &budget,
-            seed,
-            restarts,
-            threads,
-            &obs,
-        ),
-        "gils" if portfolio => run_portfolio(
-            Gils::new(GilsConfig::default()),
-            &instance,
-            &budget,
-            seed,
-            restarts,
-            threads,
-            &obs,
-        ),
-        "sea" if portfolio => run_portfolio(
-            Sea::new(SeaConfig::default_for(&instance)),
-            &instance,
-            &budget,
-            seed,
-            restarts,
-            threads,
-            &obs,
-        ),
-        "sea-hybrid" if portfolio => run_portfolio(
-            Sea::new(SeaConfig::default_for(&instance).with_ils_seeding()),
-            &instance,
-            &budget,
-            seed,
-            restarts,
-            threads,
-            &obs,
-        ),
+        "ils" if portfolio => {
+            let (merged, phases) = run_portfolio(
+                Ils::new(IlsConfig::default()),
+                &instance,
+                &budget,
+                seed,
+                restarts,
+                threads,
+                &obs,
+            );
+            portfolio_phases = phases;
+            merged
+        }
+        "gils" if portfolio => {
+            let (merged, phases) = run_portfolio(
+                Gils::new(GilsConfig::default()),
+                &instance,
+                &budget,
+                seed,
+                restarts,
+                threads,
+                &obs,
+            );
+            portfolio_phases = phases;
+            merged
+        }
+        "sea" if portfolio => {
+            let (merged, phases) = run_portfolio(
+                Sea::new(SeaConfig::default_for(&instance)),
+                &instance,
+                &budget,
+                seed,
+                restarts,
+                threads,
+                &obs,
+            );
+            portfolio_phases = phases;
+            merged
+        }
+        "sea-hybrid" if portfolio => {
+            let (merged, phases) = run_portfolio(
+                Sea::new(SeaConfig::default_for(&instance).with_ils_seeding()),
+                &instance,
+                &budget,
+                seed,
+                restarts,
+                threads,
+                &obs,
+            );
+            portfolio_phases = phases;
+            merged
+        }
         "ils" => Ils::new(IlsConfig::default()).search(&instance, &ctx, &mut rng),
         "gils" => Gils::new(GilsConfig::default()).search(&instance, &ctx, &mut rng),
         "sea" => Sea::new(SeaConfig::default_for(&instance)).search(&instance, &ctx, &mut rng),
@@ -341,6 +383,19 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     if let Some(path) = &trace_path {
         println!("wrote {} trace points to {path}", outcome.trace.len());
     }
+    if let Some(path) = &profile_path {
+        let phases = if portfolio {
+            portfolio_phases
+        } else {
+            obs.timer.snapshot()
+        };
+        let folded = to_folded(&phases);
+        std::fs::write(path, &folded).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote phase profile to {path} ({} folded stack lines, flamegraph-ready)",
+            folded.lines().count()
+        );
+    }
     Ok(())
 }
 
@@ -353,7 +408,7 @@ fn run_portfolio<A: AnytimeSearch>(
     restarts: usize,
     threads: usize,
     obs: &ObsHandle,
-) -> RunOutcome {
+) -> (RunOutcome, Vec<PhaseSnapshot>) {
     let portfolio = ParallelPortfolio::new(algo, PortfolioConfig::new(restarts, threads));
     let outcome = portfolio.run_with_obs(instance, budget, master_seed, obs);
     obs.emit(RunEvent::Metrics {
@@ -374,7 +429,7 @@ fn run_portfolio<A: AnytimeSearch>(
             .collect::<Vec<_>>()
             .join(", ")
     );
-    outcome.merged
+    (outcome.merged, outcome.phases)
 }
 
 fn cmd_join(args: &Args) -> Result<(), String> {
@@ -460,12 +515,30 @@ fn cmd_join(args: &Args) -> Result<(), String> {
 /// renders a human-readable summary of its contents.
 fn cmd_report(args: &Args) -> Result<(), String> {
     let path = args
-        .arg
-        .as_deref()
+        .arg()
         .ok_or("usage: mwsj report FILE (a --metrics-out JSONL file)")?;
+    if let Some(extra) = args.positionals.get(1) {
+        return Err(format!(
+            "unexpected argument '{extra}' (mwsj report takes exactly one file)"
+        ));
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let events =
-        schema::validate_jsonl(&text).map_err(|(line, e)| format!("{path}:{line}: {e}"))?;
+    if text.trim().is_empty() {
+        return Err(format!(
+            "{path}: empty metrics file — the run wrote no events \
+             (interrupted before the first event, or the wrong file?)"
+        ));
+    }
+    let events = schema::validate_jsonl(&text).map_err(|(line, e)| {
+        // A file cut off mid-write ends in a partial JSON line with no
+        // trailing newline; point that out instead of a bare parse error.
+        let last_line = text.trim_end().lines().count();
+        if line == last_line && !text.ends_with('\n') {
+            format!("{path}:{line}: {e} (the file ends mid-line and appears truncated)")
+        } else {
+            format!("{path}:{line}: {e}")
+        }
+    })?;
     println!("{path}: {events} events, schema OK");
 
     let mut improvements = 0usize;
@@ -574,6 +647,103 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         println!("events: {}", lifecycle.join(", "));
     }
     Ok(())
+}
+
+/// Dispatches `mwsj bench <snapshot|compare>`.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    const USAGE: &str = "usage: mwsj bench snapshot [--label L] [--reps N] [--out FILE]\n   \
+                         or: mwsj bench compare BASELINE.json CANDIDATE.json [--wall-tolerance T]";
+    match args.arg() {
+        Some("snapshot") => cmd_bench_snapshot(args),
+        Some("compare") => cmd_bench_compare(args),
+        Some(other) => Err(format!("unknown bench subcommand '{other}'\n{USAGE}")),
+        None => Err(USAGE.into()),
+    }
+}
+
+/// Runs the pinned benchmark suite and writes a `BENCH_<label>.json`
+/// performance snapshot (see `DESIGN.md` "Benchmark snapshots").
+fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
+    if let Some(extra) = args.positionals.get(1) {
+        return Err(format!(
+            "unexpected argument '{extra}' (bench snapshot takes options only)"
+        ));
+    }
+    let label = args.value("label").unwrap_or("snapshot");
+    let reps: usize = args
+        .parse_or("reps", mwsj_bench::DEFAULT_REPS, "a repetition count")
+        .map_err(|e| e.to_string())?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    let out = args
+        .value("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("BENCH_{label}.json"));
+    let snapshot = mwsj_bench::run_pinned_suite(label, reps, |case, algo| {
+        eprintln!("bench: {case} / {algo}");
+    })?;
+    std::fs::write(&out, snapshot.to_string_pretty()).map_err(|e| format!("{out}: {e}"))?;
+    let records: usize = snapshot.instances.iter().map(|i| i.algos.len()).sum();
+    println!(
+        "wrote benchmark snapshot '{label}' to {out} ({} instances, {records} algo records, {} reps)",
+        snapshot.instances.len(),
+        snapshot.reps,
+    );
+    println!("gate a change with 'mwsj bench compare BENCH_baseline.json {out}'");
+    Ok(())
+}
+
+/// Compares two benchmark snapshots: deterministic work counters must
+/// match exactly; wall-clock medians may drift up to the tolerance band.
+fn cmd_bench_compare(args: &Args) -> Result<(), String> {
+    let (baseline_path, candidate_path) = match &args.positionals[..] {
+        [_, b, c] => (b.as_str(), c.as_str()),
+        _ => {
+            return Err(
+                "usage: mwsj bench compare BASELINE.json CANDIDATE.json [--wall-tolerance T]"
+                    .into(),
+            )
+        }
+    };
+    let tolerance: f64 = args
+        .parse_or(
+            "wall-tolerance",
+            DEFAULT_WALL_TOLERANCE,
+            "a fraction (e.g. 0.25 for +25%)",
+        )
+        .map_err(|e| e.to_string())?;
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err("--wall-tolerance must be a non-negative fraction".into());
+    }
+    let load = |path: &str| -> Result<BenchSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        BenchSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    println!(
+        "comparing '{}' ({baseline_path}) -> '{}' ({candidate_path}), wall tolerance +{:.0}%",
+        baseline.label,
+        candidate.label,
+        tolerance * 100.0
+    );
+    let report = compare(
+        &baseline,
+        &candidate,
+        CompareConfig {
+            wall_tolerance: tolerance,
+        },
+    );
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression check(s) failed (see report above)",
+            report.failures()
+        ))
+    }
 }
 
 fn cmd_hard_density(args: &Args) -> Result<(), String> {

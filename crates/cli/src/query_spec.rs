@@ -38,11 +38,22 @@ impl std::error::Error for QuerySpecError {}
 
 /// Builds a query graph from a `--query` string over `n_vars` datasets.
 pub fn parse_query(spec: &str, n_vars: usize) -> Result<QueryGraph, QuerySpecError> {
+    // The shape constructors assert their minimum size; turn an
+    // undersized `--data` list into a parse error instead of a panic.
+    let need = |min: usize| {
+        if n_vars < min {
+            Err(QuerySpecError::BadGraph(format!(
+                "a {spec} query needs at least {min} datasets, got {n_vars}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
     match spec {
-        "chain" => Ok(QueryGraph::chain(n_vars)),
-        "clique" => Ok(QueryGraph::clique(n_vars)),
-        "cycle" => Ok(QueryGraph::cycle(n_vars)),
-        "star" => Ok(QueryGraph::star(n_vars)),
+        "chain" => need(2).map(|()| QueryGraph::chain(n_vars)),
+        "clique" => need(2).map(|()| QueryGraph::clique(n_vars)),
+        "cycle" => need(3).map(|()| QueryGraph::cycle(n_vars)),
+        "star" => need(2).map(|()| QueryGraph::star(n_vars)),
         edges => parse_edge_list(edges, n_vars),
     }
 }
@@ -108,6 +119,22 @@ mod tests {
         assert_eq!(parse_query("clique", 4).unwrap().edge_count(), 6);
         assert_eq!(parse_query("cycle", 4).unwrap().edge_count(), 4);
         assert_eq!(parse_query("star", 4).unwrap().edge_count(), 3);
+    }
+
+    #[test]
+    fn named_shapes_reject_undersized_variable_counts() {
+        for spec in ["chain", "clique", "star"] {
+            assert!(matches!(
+                parse_query(spec, 1),
+                Err(QuerySpecError::BadGraph(_))
+            ));
+            assert!(parse_query(spec, 2).is_ok());
+        }
+        assert!(matches!(
+            parse_query("cycle", 2),
+            Err(QuerySpecError::BadGraph(_))
+        ));
+        assert!(parse_query("cycle", 3).is_ok());
     }
 
     #[test]

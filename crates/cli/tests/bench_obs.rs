@@ -1,0 +1,347 @@
+//! End-to-end tests of the performance-trajectory tooling: `mwsj report`
+//! on damaged metrics files, `mwsj bench snapshot`/`compare`, and the
+//! `--profile-out` folded-stack export.
+
+use mwsj_core::obs::{folded_root_totals, parse_folded};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mwsj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mwsj"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mwsj_bench_obs_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(dir: &Path, name: &str, n: u32, seed: u64) -> PathBuf {
+    let path = dir.join(name);
+    let out = mwsj()
+        .args([
+            "generate",
+            "--out",
+            path.to_str().unwrap(),
+            "--n",
+            &n.to_string(),
+            "--density",
+            "0.3",
+            "--seed",
+            &seed.to_string(),
+        ])
+        .output()
+        .expect("run mwsj generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+/// Runs a short seeded solve with `--metrics-out` and returns the metrics
+/// file path.
+fn solve_with_metrics(dir: &Path, extra: &[&str]) -> (PathBuf, Output) {
+    let a = generate(dir, "a.csv", 200, 1);
+    let b = generate(dir, "b.csv", 200, 2);
+    let metrics = dir.join("run.jsonl");
+    let mut cmd = mwsj();
+    cmd.args([
+        "solve",
+        "--data",
+        a.to_str().unwrap(),
+        "--data",
+        b.to_str().unwrap(),
+        "--query",
+        "chain",
+        "--algo",
+        "ils",
+        "--iterations",
+        "300",
+        "--seed",
+        "9",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (metrics, out)
+}
+
+fn report(path: &Path) -> Output {
+    mwsj()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn report_summarises_a_metrics_file() {
+    let dir = temp_dir("report_ok");
+    let (metrics, _) = solve_with_metrics(&dir, &[]);
+    let out = report(&metrics);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("schema OK"), "{text}");
+    assert!(text.contains("run: ils"), "{text}");
+}
+
+#[test]
+fn report_rejects_empty_file() {
+    let dir = temp_dir("report_empty");
+    let path = dir.join("empty.jsonl");
+    std::fs::write(&path, "").unwrap();
+    let out = report(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("empty metrics file"), "{err}");
+
+    // Whitespace-only counts as empty too.
+    std::fs::write(&path, "\n\n  \n").unwrap();
+    let out = report(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("empty metrics file"), "{err}");
+}
+
+#[test]
+fn report_rejects_truncated_file() {
+    let dir = temp_dir("report_trunc");
+    let (metrics, _) = solve_with_metrics(&dir, &[]);
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    // Cut the file a few bytes into a line near the middle, leaving a
+    // partial final record (the JSONL events are ASCII, so a byte offset
+    // is a char boundary).
+    let line_start = text[..text.len() / 2].rfind('\n').unwrap() + 1;
+    let truncated = &text[..line_start + 5];
+    assert!(!truncated.ends_with('\n'));
+    let path = dir.join("truncated.jsonl");
+    std::fs::write(&path, truncated).unwrap();
+    let out = report(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("appears truncated"), "{err}");
+}
+
+#[test]
+fn report_rejects_trailing_partial_line() {
+    let dir = temp_dir("report_partial");
+    let (metrics, _) = solve_with_metrics(&dir, &[]);
+    let mut text = std::fs::read_to_string(&metrics).unwrap();
+    // A writer killed mid-append leaves a valid file plus a partial line.
+    text.push_str("{\"event\":\"improvem");
+    let path = dir.join("partial.jsonl");
+    std::fs::write(&path, &text).unwrap();
+    let out = report(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("appears truncated"), "{err}");
+}
+
+#[test]
+fn profile_out_writes_parseable_folded_stacks() {
+    let dir = temp_dir("profile");
+    let profile = dir.join("solve.folded");
+    let (_, out) = solve_with_metrics(&dir, &["--profile-out", profile.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote phase profile"), "{text}");
+
+    let folded = std::fs::read_to_string(&profile).unwrap();
+    let stacks = parse_folded(&folded).expect("folded output must round-trip");
+    assert!(
+        !stacks.is_empty(),
+        "profile should contain phases:\n{folded}"
+    );
+    let roots = folded_root_totals(&stacks);
+    assert!(roots.contains_key("ils"), "roots: {roots:?}");
+    // The solve ran 300 steps; its root phase must have measurable time.
+    assert!(roots["ils"] > 0, "roots: {roots:?}");
+}
+
+#[test]
+fn profile_out_works_without_metrics_out_and_with_portfolio() {
+    let dir = temp_dir("profile_portfolio");
+    let a = generate(&dir, "a.csv", 200, 3);
+    let b = generate(&dir, "b.csv", 200, 4);
+    let profile = dir.join("portfolio.folded");
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--query",
+            "chain",
+            "--algo",
+            "ils",
+            "--iterations",
+            "200",
+            "--restarts",
+            "2",
+            "--threads",
+            "1",
+            "--profile-out",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let folded = std::fs::read_to_string(&profile).unwrap();
+    let stacks = parse_folded(&folded).unwrap();
+    let roots = folded_root_totals(&stacks);
+    // Portfolio profiles are rooted at the per-restart spans.
+    assert!(
+        roots.keys().any(|r| r.starts_with("restart[")),
+        "roots: {roots:?}"
+    );
+}
+
+#[test]
+fn bench_snapshot_then_compare_passes_and_detects_tampering() {
+    let dir = temp_dir("bench_roundtrip");
+    let snap = dir.join("BENCH_t1.json");
+    let out = mwsj()
+        .args([
+            "bench",
+            "snapshot",
+            "--label",
+            "t1",
+            "--reps",
+            "1",
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote benchmark snapshot"), "{text}");
+    let body = std::fs::read_to_string(&snap).unwrap();
+    assert!(body.contains("mwsj-bench-snapshot"), "format discriminator");
+
+    // A snapshot compared against itself passes: counters are identical
+    // and the wall ratio is exactly 1.0.
+    let out = mwsj()
+        .args([
+            "bench",
+            "compare",
+            snap.to_str().unwrap(),
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("result: PASS"), "{text}");
+
+    // Perturb every node_accesses counter: the gate must fail loudly.
+    let tampered_body = body.replace("\"node_accesses\": ", "\"node_accesses\": 9");
+    assert_ne!(tampered_body, body, "tamper must change the snapshot");
+    let tampered = dir.join("BENCH_t2.json");
+    std::fs::write(&tampered, tampered_body).unwrap();
+    let out = mwsj()
+        .args([
+            "bench",
+            "compare",
+            snap.to_str().unwrap(),
+            tampered.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "tampered compare must fail");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("node_accesses"), "{text}");
+
+    // A wider wall tolerance must not excuse counter drift.
+    let out = mwsj()
+        .args([
+            "bench",
+            "compare",
+            snap.to_str().unwrap(),
+            tampered.to_str().unwrap(),
+            "--wall-tolerance",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bench_compare_rejects_damaged_snapshots() {
+    let dir = temp_dir("bench_damaged");
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "").unwrap();
+    let out = mwsj()
+        .args([
+            "bench",
+            "compare",
+            empty.to_str().unwrap(),
+            empty.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("empty snapshot file"), "{err}");
+
+    let cut = dir.join("cut.json");
+    std::fs::write(
+        &cut,
+        "{\n  \"format\": \"mwsj-bench-snapshot\",\n  \"version\": 1,\n  \"label\": \"x",
+    )
+    .unwrap();
+    let out = mwsj()
+        .args([
+            "bench",
+            "compare",
+            cut.to_str().unwrap(),
+            cut.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("appears truncated"), "{err}");
+}
+
+#[test]
+fn bench_rejects_unknown_subcommand_and_bad_arity() {
+    let out = mwsj().args(["bench", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown bench subcommand"));
+
+    let out = mwsj().args(["bench"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = mwsj()
+        .args(["bench", "compare", "only-one.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,18 +1,23 @@
-//! `mwsj-schema-check`: validates JSONL run-event files against the
-//! schema documented in `DESIGN.md` ("Observability").
+//! `mwsj-schema-check`: validates observability artifacts against their
+//! schemas documented in `DESIGN.md`.
 //!
-//! Usage: `mwsj-schema-check <file.jsonl>...`
+//! Usage: `mwsj-schema-check <file>...`
 //!
-//! Exits non-zero if any file fails to parse or violates the schema; CI
-//! uses this to gate the metrics artifacts produced by `mwsj solve
-//! --metrics-out`.
+//! Each file is auto-detected: a single JSON document whose top-level
+//! `format` is `"mwsj-bench-snapshot"` is validated as a `BENCH_*.json`
+//! benchmark snapshot; anything else is validated as a JSONL run-event
+//! stream. Exits non-zero if any file fails to parse or violates its
+//! schema; CI uses this to gate both the metrics artifacts produced by
+//! `mwsj solve --metrics-out` and the snapshots produced by `mwsj bench
+//! snapshot`.
 
+use mwsj_obs::BenchSnapshot;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: mwsj-schema-check <file.jsonl>...");
+        eprintln!("usage: mwsj-schema-check <file>...");
         return ExitCode::FAILURE;
     }
     let mut ok = true;
@@ -22,6 +27,18 @@ fn main() -> ExitCode {
                 eprintln!("{path}: cannot read: {e}");
                 ok = false;
             }
+            Ok(text) if BenchSnapshot::sniff(&text) => match BenchSnapshot::parse(&text) {
+                Ok(snap) => println!(
+                    "{path}: OK (bench snapshot {:?}, {} instances, {} algo records)",
+                    snap.label,
+                    snap.instances.len(),
+                    snap.algo_records()
+                ),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ok = false;
+                }
+            },
             Ok(text) => match mwsj_obs::schema::validate_jsonl(&text) {
                 Ok(events) => println!("{path}: OK ({events} events)"),
                 Err((line, err)) => {

@@ -1,0 +1,408 @@
+//! Noise-aware comparison of two benchmark snapshots — the regression
+//! gate behind `mwsj bench compare`.
+//!
+//! The comparison treats the two metric families of a snapshot
+//! differently, following the workspace determinism contract:
+//!
+//! * **Deterministic fields** — work counters, `best_similarity`,
+//!   `auc_steps`, `steps_to` — must match *exactly* (counters) or to
+//!   floating-point round-off (derived values). Any drift means the
+//!   algorithms themselves changed and fails the gate outright.
+//! * **Measured fields** — the wall-clock medians — are compared with a
+//!   relative tolerance band (default +25%). Only the median of the
+//!   recorded repetitions is gated; per-rep values and the wall-axis AUC
+//!   are reported for context but never fail the comparison, since they
+//!   are too noisy on shared CI runners.
+//!
+//! Missing or extra (instance, algorithm) pairs fail the gate: a
+//! disappearing benchmark is a regression of coverage, not noise.
+
+use crate::snapshot::{AlgoRecord, BenchSnapshot};
+use std::fmt::Write as _;
+
+/// Relative wall-clock slowdown tolerated by default (0.25 = +25%).
+pub const DEFAULT_WALL_TOLERANCE: f64 = 0.25;
+
+/// Absolute tolerance for derived deterministic floats (round-off only).
+const FLOAT_EPS: f64 = 1e-9;
+
+/// Comparison configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Maximum tolerated relative wall-clock slowdown of the median
+    /// (`0.25` fails candidates more than 25% slower than baseline).
+    pub wall_tolerance: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            wall_tolerance: DEFAULT_WALL_TOLERANCE,
+        }
+    }
+}
+
+/// Severity of one comparison line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or informational only).
+    Ok,
+    /// A regression or determinism violation; fails the gate.
+    Fail,
+}
+
+/// One finding of the comparison.
+#[derive(Debug, Clone)]
+pub struct CompareLine {
+    /// `instance/algo` scope (empty for snapshot-level findings).
+    pub scope: String,
+    /// Severity.
+    pub verdict: Verdict,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Every finding, in suite order.
+    pub lines: Vec<CompareLine>,
+}
+
+impl CompareReport {
+    fn push(&mut self, scope: &str, verdict: Verdict, message: String) {
+        self.lines.push(CompareLine {
+            scope: scope.to_string(),
+            verdict,
+            message,
+        });
+    }
+
+    /// Number of failing findings.
+    pub fn failures(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.verdict == Verdict::Fail)
+            .count()
+    }
+
+    /// `true` when no finding fails the gate.
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Renders the report as the text `mwsj bench compare` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let tag = match line.verdict {
+                Verdict::Ok => "ok  ",
+                Verdict::Fail => "FAIL",
+            };
+            if line.scope.is_empty() {
+                let _ = writeln!(out, "{tag}  {}", line.message);
+            } else {
+                let _ = writeln!(out, "{tag}  {}: {}", line.scope, line.message);
+            }
+        }
+        let _ = match self.failures() {
+            0 => writeln!(out, "\nresult: PASS ({} checks)", self.lines.len()),
+            n => writeln!(
+                out,
+                "\nresult: FAIL ({n} of {} checks failed)",
+                self.lines.len()
+            ),
+        };
+        out
+    }
+}
+
+/// Compares `candidate` against `baseline` under `cfg` (see module docs
+/// for the semantics).
+pub fn compare(
+    baseline: &BenchSnapshot,
+    candidate: &BenchSnapshot,
+    cfg: CompareConfig,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    for base_inst in &baseline.instances {
+        let Some(cand_inst) = candidate.instance(&base_inst.name) else {
+            report.push(
+                &base_inst.name,
+                Verdict::Fail,
+                "instance missing from candidate snapshot".into(),
+            );
+            continue;
+        };
+        for base_algo in &base_inst.algos {
+            let scope = format!("{}/{}", base_inst.name, base_algo.algo);
+            let Some(cand_algo) = cand_inst.algos.iter().find(|a| a.algo == base_algo.algo) else {
+                report.push(
+                    &scope,
+                    Verdict::Fail,
+                    "algorithm missing from candidate snapshot".into(),
+                );
+                continue;
+            };
+            compare_algo(&mut report, &scope, base_algo, cand_algo, cfg);
+        }
+        for cand_algo in &cand_inst.algos {
+            if !base_inst.algos.iter().any(|a| a.algo == cand_algo.algo) {
+                report.push(
+                    &format!("{}/{}", base_inst.name, cand_algo.algo),
+                    Verdict::Fail,
+                    "algorithm not present in baseline (re-snapshot the baseline)".into(),
+                );
+            }
+        }
+    }
+    for cand_inst in &candidate.instances {
+        if baseline.instance(&cand_inst.name).is_none() {
+            report.push(
+                &cand_inst.name,
+                Verdict::Fail,
+                "instance not present in baseline (re-snapshot the baseline)".into(),
+            );
+        }
+    }
+    report
+}
+
+fn compare_algo(
+    report: &mut CompareReport,
+    scope: &str,
+    base: &AlgoRecord,
+    cand: &AlgoRecord,
+    cfg: CompareConfig,
+) {
+    // Deterministic counters: exact or fail.
+    let mut counter_drift = Vec::new();
+    for (name, base_v) in &base.counters {
+        match cand.counter(name) {
+            Some(cand_v) if cand_v == *base_v => {}
+            Some(cand_v) => counter_drift.push(format!("{name} {base_v} -> {cand_v}")),
+            None => counter_drift.push(format!("{name} {base_v} -> <absent>")),
+        }
+    }
+    for (name, cand_v) in &cand.counters {
+        if base.counter(name).is_none() {
+            counter_drift.push(format!("{name} <absent> -> {cand_v}"));
+        }
+    }
+    if counter_drift.is_empty() {
+        report.push(
+            scope,
+            Verdict::Ok,
+            format!("counters identical ({})", summarize_counters(base)),
+        );
+    } else {
+        report.push(
+            scope,
+            Verdict::Fail,
+            format!("deterministic counter drift: {}", counter_drift.join(", ")),
+        );
+    }
+
+    // Derived deterministic floats: round-off tolerance only.
+    for (name, base_v, cand_v) in [
+        (
+            "best_similarity",
+            base.best_similarity,
+            cand.best_similarity,
+        ),
+        ("auc_steps", base.auc_steps, cand.auc_steps),
+    ] {
+        if (base_v - cand_v).abs() > FLOAT_EPS {
+            report.push(
+                scope,
+                Verdict::Fail,
+                format!("{name} drifted: {base_v} -> {cand_v}"),
+            );
+        }
+    }
+    for (tau, base_v) in &base.steps_to {
+        let cand_v = cand
+            .steps_to
+            .iter()
+            .find(|(t, _)| t == tau)
+            .map(|(_, v)| *v);
+        if cand_v != Some(*base_v) {
+            report.push(
+                scope,
+                Verdict::Fail,
+                format!(
+                    "steps_to[{tau}] drifted: {} -> {}",
+                    fmt_opt(*base_v),
+                    cand_v.map_or("<absent>".into(), fmt_opt)
+                ),
+            );
+        }
+    }
+
+    // Measured wall clock: median within the tolerance band.
+    let (b, c) = (base.wall_ms_median, cand.wall_ms_median);
+    if b > 0.0 {
+        let ratio = c / b;
+        let msg = format!(
+            "wall median {b:.2}ms -> {c:.2}ms ({:+.1}%, tolerance +{:.0}%)",
+            (ratio - 1.0) * 100.0,
+            cfg.wall_tolerance * 100.0
+        );
+        let verdict = if ratio > 1.0 + cfg.wall_tolerance {
+            Verdict::Fail
+        } else {
+            Verdict::Ok
+        };
+        report.push(scope, verdict, msg);
+    } else {
+        report.push(
+            scope,
+            Verdict::Ok,
+            format!("wall median {b:.2}ms -> {c:.2}ms (baseline too small to gate)"),
+        );
+    }
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or("never".into(), |x| x.to_string())
+}
+
+fn summarize_counters(algo: &AlgoRecord) -> String {
+    let steps = algo.counter("steps").unwrap_or(0);
+    let accesses = algo.counter("node_accesses").unwrap_or(0);
+    format!("{steps} steps, {accesses} node accesses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::AnytimeCurve;
+    use crate::snapshot::{InstanceRecord, TAUS};
+
+    fn record(algo: &str, steps: u64, wall_ms: f64) -> AlgoRecord {
+        let mut curve = AnytimeCurve::new();
+        curve.record(0, 0.0, 0.5);
+        curve.record(steps / 2, wall_ms / 2.0, 1.0);
+        curve.set_totals(steps, steps * 3, wall_ms);
+        AlgoRecord::from_curve(
+            algo,
+            vec![("steps".into(), steps), ("node_accesses".into(), steps * 3)],
+            1.0,
+            &curve,
+            vec![wall_ms],
+            vec![],
+        )
+    }
+
+    fn snapshot(label: &str, algos: Vec<AlgoRecord>) -> BenchSnapshot {
+        BenchSnapshot {
+            label: label.into(),
+            reps: 1,
+            instances: vec![InstanceRecord {
+                name: "chain-4".into(),
+                shape: "chain".into(),
+                n_vars: 4,
+                cardinality: 100,
+                seed: 1,
+                algos,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let a = snapshot("a", vec![record("ILS", 100, 10.0)]);
+        let b = snapshot("b", vec![record("ILS", 100, 10.0)]);
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.render().contains("result: PASS"));
+    }
+
+    #[test]
+    fn counter_drift_fails() {
+        let a = snapshot("a", vec![record("ILS", 100, 10.0)]);
+        let b = snapshot("b", vec![record("ILS", 101, 10.0)]);
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.render().contains("counter drift"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn wall_slowdown_within_band_passes_beyond_fails() {
+        let a = snapshot("a", vec![record("ILS", 100, 10.0)]);
+        let mut fast = record("ILS", 100, 10.0);
+        fast.wall_ms_median = 12.0; // +20% < +25%
+        let report = compare(&a, &snapshot("b", vec![fast]), CompareConfig::default());
+        assert!(report.passed(), "{}", report.render());
+
+        let mut slow = record("ILS", 100, 10.0);
+        slow.wall_ms_median = 13.0; // +30% > +25%
+        let report = compare(&a, &snapshot("b", vec![slow]), CompareConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.render().contains("wall median"),
+            "{}",
+            report.render()
+        );
+
+        // A wider band admits it.
+        let mut slow = record("ILS", 100, 10.0);
+        slow.wall_ms_median = 13.0;
+        let report = compare(
+            &a,
+            &snapshot("b", vec![slow]),
+            CompareConfig {
+                wall_tolerance: 0.5,
+            },
+        );
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn speedups_always_pass_the_wall_gate() {
+        let a = snapshot("a", vec![record("ILS", 100, 10.0)]);
+        let mut fast = record("ILS", 100, 10.0);
+        fast.wall_ms_median = 2.0;
+        let report = compare(&a, &snapshot("b", vec![fast]), CompareConfig::default());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_and_extra_records_fail() {
+        let a = snapshot("a", vec![record("ILS", 100, 10.0), record("GILS", 50, 5.0)]);
+        let b = snapshot("b", vec![record("ILS", 100, 10.0), record("SEA", 70, 7.0)]);
+        let report = compare(&a, &b, CompareConfig::default());
+        let rendered = report.render();
+        assert_eq!(report.failures(), 2, "{rendered}");
+        assert!(rendered.contains("GILS"), "{rendered}");
+        assert!(rendered.contains("SEA"), "{rendered}");
+
+        let empty = BenchSnapshot {
+            label: "e".into(),
+            reps: 1,
+            instances: vec![],
+        };
+        let report = compare(&a, &empty, CompareConfig::default());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn derived_float_and_threshold_drift_fail() {
+        let a = snapshot("a", vec![record("ILS", 100, 10.0)]);
+        let mut drifted = record("ILS", 100, 10.0);
+        drifted.auc_steps += 0.01;
+        let report = compare(&a, &snapshot("b", vec![drifted]), CompareConfig::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("auc_steps"), "{}", report.render());
+
+        let mut drifted = record("ILS", 100, 10.0);
+        drifted.steps_to = TAUS.iter().map(|&t| (format!("{t:.2}"), None)).collect();
+        let report = compare(&a, &snapshot("b", vec![drifted]), CompareConfig::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("steps_to"), "{}", report.render());
+    }
+}

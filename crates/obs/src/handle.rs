@@ -49,6 +49,18 @@ impl ObsHandle {
         }
     }
 
+    /// A handle with only the phase timer enabled — for callers that want
+    /// a phase profile without paying for metrics or an event stream
+    /// (e.g. `mwsj solve --profile-out` alone).
+    pub fn timer_only() -> Self {
+        ObsHandle {
+            metrics: MetricsRegistry::disabled(),
+            timer: PhaseTimer::new(),
+            sink: None,
+            restart: None,
+        }
+    }
+
     /// Attaches an event sink.
     pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.sink = Some(sink);

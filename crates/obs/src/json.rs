@@ -148,6 +148,73 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serialises the value as compact JSON (no whitespace).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialises the value as indented multi-line JSON (two spaces per
+    /// level) — the format of `BENCH_*.json` snapshot files.
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let newline = |out: &mut String, depth: usize| {
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * depth));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, depth + 1);
+                    out.push_str(&escape(key));
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline(out, depth);
+                out.push('}');
+            }
+        }
+    }
 }
 
 fn err(offset: usize, message: &str) -> JsonError {
@@ -386,6 +453,16 @@ mod tests {
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
         assert_eq!(Json::Num(0.0).as_u64(), Some(0));
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        let doc = r#"{"label":"ci","n":3,"ok":true,"x":null,"arr":[1,0.5,"s"],"nested":{"a":[]}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.dump(), doc);
+        let pretty = v.dump_pretty();
+        assert!(pretty.contains('\n'));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
     }
 
     #[test]

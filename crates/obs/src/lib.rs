@@ -22,6 +22,15 @@
 //!
 //! [`ObsHandle`] bundles the three for threading through search contexts.
 //!
+//! On top of the raw streams sit the performance-trajectory tools:
+//! [`AnytimeCurve`] folds improvement events into the paper's
+//! similarity-vs-cost convergence curves (with quality-AUC and
+//! time-to-τ summaries), [`BenchSnapshot`] is the schema-validated
+//! `BENCH_<label>.json` format produced by `mwsj bench snapshot`,
+//! [`compare`] is the noise-aware regression gate behind `mwsj bench
+//! compare`, and [`profile::to_folded`] exports phase timers as
+//! flamegraph-ready folded stacks.
+//!
 //! **Determinism contract.** Metric *values* flushed by the search layer
 //! are pure counters of algorithmic work (steps, node accesses, …) and are
 //! bit-identical across thread counts under a step budget; wall-clock
@@ -31,17 +40,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+pub mod curve;
 pub mod events;
 pub mod handle;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod schema;
+pub mod snapshot;
 pub mod timer;
 
+pub use compare::{compare, CompareConfig, CompareReport, Verdict, DEFAULT_WALL_TOLERANCE};
+pub use curve::{AnytimeCurve, CurvePoint};
 pub use events::{EventSink, JsonlSink, RunEvent, VecSink};
 pub use handle::ObsHandle;
 pub use json::Json;
+pub use profile::{folded_root_totals, parse_folded, to_folded};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use snapshot::{
+    AlgoRecord, BenchSnapshot, InstanceRecord, SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
 pub use timer::{merge_phase_snapshots, PhaseSnapshot, PhaseSpan, PhaseTimer};

@@ -1,0 +1,204 @@
+//! Phase-profile export as folded stacks.
+//!
+//! [`PhaseTimer`] aggregates *inclusive* wall time per phase path
+//! (`solve > restart[3] > find_best_value`). Flamegraph tooling instead
+//! consumes the **folded stack** format — one line per stack holding its
+//! *self* value:
+//!
+//! ```text
+//! solve;restart[3];find_best_value 1234
+//! ```
+//!
+//! [`to_folded`] converts a phase snapshot into that format, computing
+//! self time as a phase's inclusive wall minus its direct children's
+//! (children are fully nested inside their parent's spans, so the
+//! difference is non-negative up to clock granularity; it is clamped at
+//! zero). Values are **nanoseconds**, so the per-root-phase sums are
+//! exact: for every root phase, the folded self values of its subtree sum
+//! back to the root's recorded inclusive total. [`parse_folded`] is the
+//! inverse used by tests and the snapshot round-trip check.
+
+use crate::timer::PhaseSnapshot;
+use std::collections::BTreeMap;
+
+/// The separator of nested span names inside a [`PhaseSnapshot`] path.
+const PATH_SEP: &str = " > ";
+
+/// Converts hierarchical phase aggregates into folded-stack lines
+/// (`a;b;c <self-nanos>`), one per phase path, sorted by path. Phases with
+/// zero self time are kept so the stack structure survives the round
+/// trip.
+pub fn to_folded(phases: &[PhaseSnapshot]) -> String {
+    let inclusive: BTreeMap<&str, u128> = phases
+        .iter()
+        .map(|p| (p.path.as_str(), p.wall.as_nanos()))
+        .collect();
+    let mut out = String::new();
+    for (path, nanos) in &inclusive {
+        let children_sum: u128 = inclusive
+            .iter()
+            .filter(|(child, _)| is_direct_child(path, child))
+            .map(|(_, n)| *n)
+            .sum();
+        let self_nanos = nanos.saturating_sub(children_sum);
+        out.push_str(&path.replace(PATH_SEP, ";"));
+        out.push(' ');
+        out.push_str(&self_nanos.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// `true` when `child` is a direct child path of `parent`
+/// (`parent > name` with no deeper nesting).
+fn is_direct_child(parent: &str, child: &str) -> bool {
+    child
+        .strip_prefix(parent)
+        .and_then(|rest| rest.strip_prefix(PATH_SEP))
+        .is_some_and(|name| !name.contains(PATH_SEP))
+}
+
+/// Parses folded-stack lines back into `(phase path, self nanoseconds)`
+/// pairs (the `;` separators are restored to the timer's `" > "` form).
+/// Empty lines are ignored; a line without a trailing integer value is an
+/// error.
+pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut stacks = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: missing folded-stack value", i + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: '{value}' is not a sample value", i + 1))?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        stacks.push((stack.replace(';', PATH_SEP), value));
+    }
+    Ok(stacks)
+}
+
+/// Sums parsed folded stacks per **root phase** (first stack frame). For
+/// output of [`to_folded`] this reconstructs each root's inclusive
+/// wall-clock total in nanoseconds.
+pub fn folded_root_totals(stacks: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut totals = BTreeMap::new();
+    for (path, value) in stacks {
+        let root = path.split(PATH_SEP).next().unwrap_or(path).to_string();
+        *totals.entry(root).or_insert(0) += value;
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timer::PhaseTimer;
+    use std::time::Duration;
+
+    fn snap(path: &str, millis: u64) -> PhaseSnapshot {
+        PhaseSnapshot {
+            path: path.into(),
+            calls: 1,
+            steps: 0,
+            wall: Duration::from_millis(millis),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let phases = vec![
+            snap("solve", 100),
+            snap("solve > restart[0]", 30),
+            snap("solve > restart[1]", 50),
+            snap("solve > restart[1] > fbv", 45),
+        ];
+        let folded = to_folded(&phases);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "solve 20000000",                // 100 − (30 + 50)
+                "solve;restart[0] 30000000",     // leaf
+                "solve;restart[1] 5000000",      // 50 − 45
+                "solve;restart[1];fbv 45000000", // leaf
+            ]
+        );
+    }
+
+    #[test]
+    fn over_accounted_children_clamp_to_zero() {
+        let phases = vec![snap("solve", 10), snap("solve > fbv", 12)];
+        let folded = to_folded(&phases);
+        assert!(folded.contains("solve 0\n"), "{folded}");
+    }
+
+    #[test]
+    fn round_trips_and_sums_to_root_totals() {
+        let phases = vec![
+            snap("solve", 100),
+            snap("solve > restart[0]", 30),
+            snap("solve > restart[0] > fbv", 29),
+            snap("solve > restart[1]", 60),
+            snap("join", 7),
+        ];
+        let stacks = parse_folded(&to_folded(&phases)).unwrap();
+        let totals = folded_root_totals(&stacks);
+        assert_eq!(
+            totals["solve"],
+            Duration::from_millis(100).as_nanos() as u64
+        );
+        assert_eq!(totals["join"], Duration::from_millis(7).as_nanos() as u64);
+    }
+
+    #[test]
+    fn real_timer_snapshot_round_trips_exactly() {
+        let timer = PhaseTimer::new();
+        {
+            let _solve = timer.span("solve");
+            for i in 0..3 {
+                let _r = timer.span(&format!("restart[{i}]"));
+                let _f = timer.span("find_best_value");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let phases = timer.snapshot();
+        let root_inclusive = phases
+            .iter()
+            .find(|p| p.path == "solve")
+            .unwrap()
+            .wall
+            .as_nanos() as u64;
+        let stacks = parse_folded(&to_folded(&phases)).unwrap();
+        assert_eq!(folded_root_totals(&stacks)["solve"], root_inclusive);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_folded("solve").is_err());
+        assert!(parse_folded("solve x").is_err());
+        assert!(parse_folded(" 12").is_err());
+        assert_eq!(parse_folded("\n\n").unwrap(), vec![]);
+        assert_eq!(
+            parse_folded("a;b 5\n").unwrap(),
+            vec![("a > b".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn sibling_name_prefixes_are_not_children() {
+        // "solve > restart[1]" must not be counted as a child of
+        // "solve > restart[1] > x"'s sibling "solve > restart[10]".
+        assert!(is_direct_child("solve", "solve > restart[1]"));
+        assert!(!is_direct_child("solve", "solve > restart[1] > fbv"));
+        assert!(!is_direct_child(
+            "solve > restart[1]",
+            "solve > restart[10]"
+        ));
+        assert!(!is_direct_child("solve", "solver > x"));
+    }
+}

@@ -431,6 +431,26 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_at_exact_powers_of_two() {
+        // Bucket b ≥ 1 covers [2^(b−1), 2^b): an exact power 2^k is the
+        // *lowest* value of bucket k+1, never the top of bucket k.
+        for k in 0..64u32 {
+            let pow = 1u64 << k;
+            assert_eq!(bucket_index(pow), k as usize + 1, "2^{k}");
+            if pow > 1 {
+                assert_eq!(bucket_index(pow - 1), k as usize, "2^{k} - 1");
+            }
+            // pow + 1 stays in bucket k+1 — except for k = 0, where
+            // 2⁰ + 1 = 2 is itself the next power.
+            if k > 0 && k < 63 {
+                assert_eq!(bucket_index(pow + 1), k as usize + 1, "2^{k} + 1");
+            }
+        }
+        // Top bucket: [2^63, u64::MAX] all land in bucket 64.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
     fn empty_histogram_snapshot_min_is_zero() {
         let reg = MetricsRegistry::new();
         let _ = reg.histogram("h");

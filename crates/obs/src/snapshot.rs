@@ -1,0 +1,645 @@
+//! The `BENCH_<label>.json` performance-snapshot format.
+//!
+//! One snapshot records the pinned benchmark suite's performance
+//! trajectory: per instance × algorithm, the **deterministic work
+//! counters** (steps, node accesses, …, bit-identical across machines
+//! under the suite's step budgets), the **measured wall-clock** metrics
+//! (median of `reps` repetitions), the anytime curve with its quality-AUC
+//! and time-to-τ summaries, and the per-phase timer breakdown.
+//!
+//! Like the JSONL run events, the format is schema-validated:
+//! [`BenchSnapshot::parse`] is the executable schema (also run by the
+//! `mwsj-schema-check` binary, which auto-detects snapshot files), and
+//! `mwsj bench compare` consumes the parsed form. The prose schema lives
+//! in `DESIGN.md` ("Benchmark snapshots").
+
+use crate::curve::{AnytimeCurve, CurvePoint};
+use crate::json::{Json, JsonError};
+use crate::timer::PhaseSnapshot;
+use std::fmt;
+use std::time::Duration;
+
+/// The top-level `format` discriminator of snapshot files.
+pub const SNAPSHOT_FORMAT: &str = "mwsj-bench-snapshot";
+/// Current snapshot schema version.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// The similarity thresholds every snapshot reports `steps_to` /
+/// `time_to_ms` for.
+pub const TAUS: [f64; 3] = [0.5, 0.9, 1.0];
+
+/// Formats a τ threshold as its canonical JSON map key (`"0.50"`).
+pub fn tau_key(tau: f64) -> String {
+    format!("{tau:.2}")
+}
+
+/// One suite snapshot: the pinned instances and their per-algorithm
+/// records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Snapshot label (e.g. `"baseline"`, `"ci"`).
+    pub label: String,
+    /// Wall-clock repetitions each algorithm was run for.
+    pub reps: u64,
+    /// Per-instance records.
+    pub instances: Vec<InstanceRecord>,
+}
+
+/// One pinned suite instance and the algorithms measured on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceRecord {
+    /// Stable instance name (e.g. `"chain-4x300-sol1"`).
+    pub name: String,
+    /// Query shape (`"chain"`, `"clique"`, …).
+    pub shape: String,
+    /// Number of query variables / datasets.
+    pub n_vars: u64,
+    /// Objects per dataset.
+    pub cardinality: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Per-algorithm measurements, in suite order.
+    pub algos: Vec<AlgoRecord>,
+}
+
+/// Measurements of one algorithm on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoRecord {
+    /// Algorithm name (`"ILS"`, `"GILS"`, `"SEA"`, `"two-step"`).
+    pub algo: String,
+    /// Deterministic work counters, ascending by name. Compared with
+    /// exact equality by `mwsj bench compare`.
+    pub counters: Vec<(String, u64)>,
+    /// Best similarity reached (deterministic under a step budget).
+    pub best_similarity: f64,
+    /// Quality AUC over the step axis (deterministic).
+    pub auc_steps: f64,
+    /// Steps to reach each τ of [`TAUS`] (`None` = never), keyed by
+    /// [`tau_key`]. Deterministic.
+    pub steps_to: Vec<(String, Option<u64>)>,
+    /// Median wall-clock milliseconds across the repetitions. Measured.
+    pub wall_ms_median: f64,
+    /// Wall-clock milliseconds of every repetition, in run order.
+    pub wall_ms_reps: Vec<f64>,
+    /// Steps per second at the median wall time. Measured.
+    pub steps_per_sec: f64,
+    /// Quality AUC over the wall-clock axis. Measured.
+    pub auc_wall: f64,
+    /// Milliseconds to reach each τ of [`TAUS`]. Measured.
+    pub time_to_ms: Vec<(String, Option<f64>)>,
+    /// The anytime curve of the median-wall repetition.
+    pub curve: Vec<CurvePoint>,
+    /// Per-phase timer breakdown of the median-wall repetition.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl AlgoRecord {
+    /// Builds a record from a finished curve (with totals set) and the
+    /// measured repetition wall times. `counters` may be in any order.
+    pub fn from_curve(
+        algo: &str,
+        mut counters: Vec<(String, u64)>,
+        best_similarity: f64,
+        curve: &AnytimeCurve,
+        wall_ms_reps: Vec<f64>,
+        phases: Vec<PhaseSnapshot>,
+    ) -> AlgoRecord {
+        counters.sort();
+        let wall_ms_median = median(&wall_ms_reps);
+        let steps = curve.total_steps();
+        AlgoRecord {
+            algo: algo.to_string(),
+            counters,
+            best_similarity,
+            auc_steps: curve.auc_steps(),
+            steps_to: TAUS
+                .iter()
+                .map(|&tau| (tau_key(tau), curve.steps_to(tau)))
+                .collect(),
+            wall_ms_median,
+            wall_ms_reps,
+            steps_per_sec: if wall_ms_median > 0.0 {
+                steps as f64 / (wall_ms_median / 1000.0)
+            } else {
+                0.0
+            },
+            auc_wall: curve.auc_wall(),
+            time_to_ms: TAUS
+                .iter()
+                .map(|&tau| (tau_key(tau), curve.time_to_ms(tau)))
+                .collect(),
+            curve: curve.points().to_vec(),
+            phases,
+        }
+    }
+
+    /// Looks up a deterministic counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Median of measured values (mean of the middle two for even counts);
+/// `0.0` when empty.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// A snapshot parse/validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The file is empty (or whitespace only).
+    Empty,
+    /// The file is not valid JSON — `trailing` is set when the input ends
+    /// mid-document, which usually means a truncated file.
+    Json {
+        /// The underlying parse error.
+        error: JsonError,
+        /// `true` when the document appears cut off at the end.
+        truncated: bool,
+    },
+    /// The JSON is valid but violates the snapshot schema.
+    Schema(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Empty => write!(f, "empty snapshot file"),
+            SnapshotError::Json { error, truncated } => {
+                write!(f, "{error}")?;
+                if *truncated {
+                    write!(f, " — file appears truncated")?;
+                }
+                Ok(())
+            }
+            SnapshotError::Schema(msg) => write!(f, "snapshot schema violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError::Schema(msg.into()))
+}
+
+impl BenchSnapshot {
+    /// Serialises the snapshot as indented JSON (the on-disk
+    /// `BENCH_<label>.json` form, trailing newline included).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = self.to_json().dump_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// The snapshot as a JSON value tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::Str(SNAPSHOT_FORMAT.into())),
+            ("version".into(), Json::Num(SNAPSHOT_VERSION as f64)),
+            ("label".into(), Json::Str(self.label.clone())),
+            ("reps".into(), Json::Num(self.reps as f64)),
+            (
+                "suite".into(),
+                Json::Arr(self.instances.iter().map(instance_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and schema-validates a snapshot document. This is the
+    /// executable form of the schema: every required field must be present
+    /// with the right type; unknown extra fields are allowed.
+    pub fn parse(text: &str) -> Result<BenchSnapshot, SnapshotError> {
+        if text.trim().is_empty() {
+            return Err(SnapshotError::Empty);
+        }
+        let doc = Json::parse(text).map_err(|error| {
+            let truncated = error.offset >= text.trim_end().len();
+            SnapshotError::Json { error, truncated }
+        })?;
+        let format = req_str(&doc, "format", "snapshot")?;
+        if format != SNAPSHOT_FORMAT {
+            return schema_err(format!(
+                "\"format\" is {format:?}, expected {SNAPSHOT_FORMAT:?}"
+            ));
+        }
+        let version = req_u64(&doc, "version", "snapshot")?;
+        if version != SNAPSHOT_VERSION {
+            return schema_err(format!(
+                "unsupported snapshot version {version} (supported: {SNAPSHOT_VERSION})"
+            ));
+        }
+        let label = req_str(&doc, "label", "snapshot")?.to_string();
+        let reps = req_u64(&doc, "reps", "snapshot")?;
+        let suite = doc
+            .get("suite")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SnapshotError::Schema("snapshot missing \"suite\" array".into()))?;
+        if suite.is_empty() {
+            return schema_err("\"suite\" must contain at least one instance");
+        }
+        let instances = suite
+            .iter()
+            .map(parse_instance)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchSnapshot {
+            label,
+            reps,
+            instances,
+        })
+    }
+
+    /// `true` when `text` looks like a snapshot document rather than a
+    /// JSONL event stream (used by `mwsj-schema-check` to auto-detect).
+    pub fn sniff(text: &str) -> bool {
+        Json::parse(text)
+            .is_ok_and(|doc| doc.get("format").and_then(Json::as_str) == Some(SNAPSHOT_FORMAT))
+    }
+
+    /// Total number of algorithm records across all instances.
+    pub fn algo_records(&self) -> usize {
+        self.instances.iter().map(|i| i.algos.len()).sum()
+    }
+
+    /// Looks up an instance by name.
+    pub fn instance(&self, name: &str) -> Option<&InstanceRecord> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+}
+
+fn instance_json(inst: &InstanceRecord) -> Json {
+    Json::Obj(vec![
+        ("instance".into(), Json::Str(inst.name.clone())),
+        ("shape".into(), Json::Str(inst.shape.clone())),
+        ("n_vars".into(), Json::Num(inst.n_vars as f64)),
+        ("cardinality".into(), Json::Num(inst.cardinality as f64)),
+        ("seed".into(), Json::Num(inst.seed as f64)),
+        (
+            "algos".into(),
+            Json::Arr(inst.algos.iter().map(algo_json).collect()),
+        ),
+    ])
+}
+
+fn algo_json(algo: &AlgoRecord) -> Json {
+    let opt_u64 = |v: Option<u64>| v.map_or(Json::Null, |x| Json::Num(x as f64));
+    let opt_f64 = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+    Json::Obj(vec![
+        ("algo".into(), Json::Str(algo.algo.clone())),
+        (
+            "counters".into(),
+            Json::Obj(
+                algo.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        ("best_similarity".into(), Json::Num(algo.best_similarity)),
+        ("auc_steps".into(), Json::Num(algo.auc_steps)),
+        (
+            "steps_to".into(),
+            Json::Obj(
+                algo.steps_to
+                    .iter()
+                    .map(|(k, v)| (k.clone(), opt_u64(*v)))
+                    .collect(),
+            ),
+        ),
+        ("wall_ms_median".into(), Json::Num(algo.wall_ms_median)),
+        (
+            "wall_ms_reps".into(),
+            Json::Arr(algo.wall_ms_reps.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        ("steps_per_sec".into(), Json::Num(algo.steps_per_sec)),
+        ("auc_wall".into(), Json::Num(algo.auc_wall)),
+        (
+            "time_to_ms".into(),
+            Json::Obj(
+                algo.time_to_ms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), opt_f64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "curve".into(),
+            Json::Arr(
+                algo.curve
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("step".into(), Json::Num(p.step as f64)),
+                            ("wall_ms".into(), Json::Num(p.wall_ms)),
+                            ("similarity".into(), Json::Num(p.similarity)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "phases".into(),
+            Json::Arr(
+                algo.phases
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("path".into(), Json::Str(p.path.clone())),
+                            ("calls".into(), Json::Num(p.calls as f64)),
+                            ("steps".into(), Json::Num(p.steps as f64)),
+                            ("wall_secs".into(), Json::Num(p.wall.as_secs_f64())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn req<'a>(doc: &'a Json, field: &str, ctx: &str) -> Result<&'a Json, SnapshotError> {
+    doc.get(field)
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} missing required field {field:?}")))
+}
+
+fn req_str<'a>(doc: &'a Json, field: &str, ctx: &str) -> Result<&'a str, SnapshotError> {
+    req(doc, field, ctx)?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} field {field:?} must be a string")))
+}
+
+fn req_u64(doc: &Json, field: &str, ctx: &str) -> Result<u64, SnapshotError> {
+    req(doc, field, ctx)?.as_u64().ok_or_else(|| {
+        SnapshotError::Schema(format!(
+            "{ctx} field {field:?} must be a non-negative integer"
+        ))
+    })
+}
+
+fn req_f64(doc: &Json, field: &str, ctx: &str) -> Result<f64, SnapshotError> {
+    req(doc, field, ctx)?
+        .as_f64()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} field {field:?} must be a number")))
+}
+
+fn parse_instance(doc: &Json) -> Result<InstanceRecord, SnapshotError> {
+    let name = req_str(doc, "instance", "suite entry")?.to_string();
+    let ctx = format!("instance {name:?}");
+    let algos = req(doc, "algos", &ctx)?
+        .as_array()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} field \"algos\" must be an array")))?;
+    if algos.is_empty() {
+        return schema_err(format!("{ctx} has no algorithm records"));
+    }
+    Ok(InstanceRecord {
+        shape: req_str(doc, "shape", &ctx)?.to_string(),
+        n_vars: req_u64(doc, "n_vars", &ctx)?,
+        cardinality: req_u64(doc, "cardinality", &ctx)?,
+        seed: req_u64(doc, "seed", &ctx)?,
+        algos: algos
+            .iter()
+            .map(|a| parse_algo(a, &name))
+            .collect::<Result<Vec<_>, _>>()?,
+        name,
+    })
+}
+
+fn parse_algo(doc: &Json, instance: &str) -> Result<AlgoRecord, SnapshotError> {
+    let algo = req_str(doc, "algo", "algo record")?.to_string();
+    let ctx = format!("{instance}/{algo}");
+
+    let counters_obj = req(doc, "counters", &ctx)?
+        .as_object()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} \"counters\" must be an object")))?;
+    let mut counters = Vec::with_capacity(counters_obj.len());
+    for (k, v) in counters_obj {
+        let v = v.as_u64().ok_or_else(|| {
+            SnapshotError::Schema(format!(
+                "{ctx} counter {k:?} must be a non-negative integer"
+            ))
+        })?;
+        counters.push((k.clone(), v));
+    }
+    counters.sort();
+
+    let opt_map_u64 = |field: &str| -> Result<Vec<(String, Option<u64>)>, SnapshotError> {
+        let obj = req(doc, field, &ctx)?
+            .as_object()
+            .ok_or_else(|| SnapshotError::Schema(format!("{ctx} {field:?} must be an object")))?;
+        obj.iter()
+            .map(|(k, v)| match v {
+                Json::Null => Ok((k.clone(), None)),
+                v => v.as_u64().map(|x| (k.clone(), Some(x))).ok_or_else(|| {
+                    SnapshotError::Schema(format!("{ctx} {field}[{k:?}] must be integer or null"))
+                }),
+            })
+            .collect()
+    };
+    let opt_map_f64 = |field: &str| -> Result<Vec<(String, Option<f64>)>, SnapshotError> {
+        let obj = req(doc, field, &ctx)?
+            .as_object()
+            .ok_or_else(|| SnapshotError::Schema(format!("{ctx} {field:?} must be an object")))?;
+        obj.iter()
+            .map(|(k, v)| match v {
+                Json::Null => Ok((k.clone(), None)),
+                v => v.as_f64().map(|x| (k.clone(), Some(x))).ok_or_else(|| {
+                    SnapshotError::Schema(format!("{ctx} {field}[{k:?}] must be number or null"))
+                }),
+            })
+            .collect()
+    };
+
+    let wall_ms_reps = req(doc, "wall_ms_reps", &ctx)?
+        .as_array()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} \"wall_ms_reps\" must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_f64().ok_or_else(|| {
+                SnapshotError::Schema(format!("{ctx} \"wall_ms_reps\" entries must be numbers"))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let curve = req(doc, "curve", &ctx)?
+        .as_array()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} \"curve\" must be an array")))?
+        .iter()
+        .map(|p| {
+            Ok(CurvePoint {
+                step: req_u64(p, "step", &format!("{ctx} curve point"))?,
+                wall_ms: req_f64(p, "wall_ms", &format!("{ctx} curve point"))?,
+                similarity: req_f64(p, "similarity", &format!("{ctx} curve point"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, SnapshotError>>()?;
+
+    let phases = req(doc, "phases", &ctx)?
+        .as_array()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} \"phases\" must be an array")))?
+        .iter()
+        .map(|p| {
+            let pctx = format!("{ctx} phase");
+            Ok(PhaseSnapshot {
+                path: req_str(p, "path", &pctx)?.to_string(),
+                calls: req_u64(p, "calls", &pctx)?,
+                steps: req_u64(p, "steps", &pctx)?,
+                wall: Duration::from_secs_f64(req_f64(p, "wall_secs", &pctx)?.max(0.0)),
+            })
+        })
+        .collect::<Result<Vec<_>, SnapshotError>>()?;
+
+    Ok(AlgoRecord {
+        counters,
+        best_similarity: req_f64(doc, "best_similarity", &ctx)?,
+        auc_steps: req_f64(doc, "auc_steps", &ctx)?,
+        steps_to: opt_map_u64("steps_to")?,
+        wall_ms_median: req_f64(doc, "wall_ms_median", &ctx)?,
+        wall_ms_reps,
+        steps_per_sec: req_f64(doc, "steps_per_sec", &ctx)?,
+        auc_wall: req_f64(doc, "auc_wall", &ctx)?,
+        time_to_ms: opt_map_f64("time_to_ms")?,
+        curve,
+        phases,
+        algo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_snapshot(label: &str) -> BenchSnapshot {
+        let mut curve = AnytimeCurve::new();
+        curve.record(0, 0.1, 0.5);
+        curve.record(40, 3.0, 1.0);
+        curve.set_totals(100, 420, 9.0);
+        let algo = AlgoRecord::from_curve(
+            "ILS",
+            vec![
+                ("steps".into(), 100),
+                ("node_accesses".into(), 420),
+                ("best_violations".into(), 0),
+            ],
+            1.0,
+            &curve,
+            vec![9.0, 8.0, 11.0],
+            vec![PhaseSnapshot {
+                path: "ils".into(),
+                calls: 1,
+                steps: 100,
+                wall: Duration::from_millis(9),
+            }],
+        );
+        BenchSnapshot {
+            label: label.to_string(),
+            reps: 3,
+            instances: vec![InstanceRecord {
+                name: "chain-4x300-sol1".into(),
+                shape: "chain".into(),
+                n_vars: 4,
+                cardinality: 300,
+                seed: 101,
+                algos: vec![algo],
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample_snapshot("baseline");
+        let text = snap.to_string_pretty();
+        let parsed = BenchSnapshot::parse(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.algo_records(), 1);
+        assert!(BenchSnapshot::sniff(&text));
+    }
+
+    #[test]
+    fn from_curve_computes_summaries() {
+        let snap = sample_snapshot("x");
+        let algo = &snap.instances[0].algos[0];
+        assert_eq!(algo.wall_ms_median, 9.0);
+        assert_eq!(algo.counter("steps"), Some(100));
+        assert_eq!(algo.counter("missing"), None);
+        // sim 0.5 over steps [0,40), 1.0 over [40,100): AUC = 0.8.
+        assert!((algo.auc_steps - 0.8).abs() < 1e-12);
+        assert_eq!(
+            algo.steps_to,
+            vec![
+                ("0.50".to_string(), Some(0)),
+                ("0.90".to_string(), Some(40)),
+                ("1.00".to_string(), Some(40)),
+            ]
+        );
+        assert!((algo.steps_per_sec - 100.0 / 0.009).abs() < 1e-6);
+        // Counters came unsorted; the record sorts them.
+        assert_eq!(algo.counters[0].0, "best_violations");
+    }
+
+    #[test]
+    fn median_handles_even_odd_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_truncated() {
+        assert_eq!(BenchSnapshot::parse(""), Err(SnapshotError::Empty));
+        assert_eq!(BenchSnapshot::parse("  \n"), Err(SnapshotError::Empty));
+        let full = sample_snapshot("t").to_string_pretty();
+        let cut = &full[..full.len() / 2];
+        match BenchSnapshot::parse(cut) {
+            Err(SnapshotError::Json { truncated, .. }) => assert!(truncated),
+            other => panic!("expected truncated JSON error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_wrong_format_and_version() {
+        let err = BenchSnapshot::parse(r#"{"format":"other","version":1}"#).unwrap_err();
+        assert!(matches!(err, SnapshotError::Schema(_)), "{err}");
+        let err = BenchSnapshot::parse(
+            r#"{"format":"mwsj-bench-snapshot","version":99,"label":"x","reps":1,"suite":[]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields_with_context() {
+        let mut snap = sample_snapshot("x");
+        snap.instances[0].algos[0].algo = "GILS".into();
+        let text = snap
+            .to_string_pretty()
+            .replace("\"auc_steps\"", "\"renamed\"");
+        let err = BenchSnapshot::parse(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("auc_steps") && msg.contains("GILS"), "{msg}");
+    }
+
+    #[test]
+    fn sniff_rejects_jsonl_streams() {
+        assert!(!BenchSnapshot::sniff(
+            "{\"event\":\"phases\",\"phases\":[]}\n{\"event\":\"phases\",\"phases\":[]}\n"
+        ));
+        assert!(!BenchSnapshot::sniff(
+            "{\"event\":\"phases\",\"phases\":[]}"
+        ));
+        assert!(!BenchSnapshot::sniff("not json"));
+    }
+}
