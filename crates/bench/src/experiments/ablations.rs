@@ -87,7 +87,9 @@ pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
                         let seed = 7500 + rep as u64;
                         let mut rng = StdRng::seed_from_u64(seed);
                         rec.start(label, &instance, &budget, seed);
-                        let ctx = SearchContext::local(budget).with_obs(rec.obs().clone());
+                        let ctx = SearchContext::local(budget)
+                            .with_obs(rec.obs().clone())
+                            .nested();
                         let outcome = Sea::new(cfg).search(&instance, &ctx, &mut rng);
                         rec.end(&outcome);
                         outcome.best_similarity
@@ -118,7 +120,9 @@ pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
                     let seed = 8000 + rep as u64;
                     let mut rng = StdRng::seed_from_u64(seed);
                     rec.start(&format!("GILS λ={label}"), &instance, &budget, seed);
-                    let ctx = SearchContext::local(budget).with_obs(rec.obs().clone());
+                    let ctx = SearchContext::local(budget)
+                        .with_obs(rec.obs().clone())
+                        .nested();
                     let outcome = Gils::new(GilsConfig::with_lambda(lambda))
                         .search(&instance, &ctx, &mut rng);
                     rec.end(&outcome);

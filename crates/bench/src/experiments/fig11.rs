@@ -10,7 +10,7 @@
 
 use crate::experiments::build_instance;
 use crate::{mean, write_csv, Algo, Recorder, Scale, Table};
-use mwsj_core::{Ibb, IbbConfig, SearchBudget, TwoStep, TwoStepConfig};
+use mwsj_core::{Ibb, IbbConfig, SearchBudget, SearchContext, TwoStep, TwoStepConfig};
 use mwsj_datagen::QueryShape;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,7 +57,11 @@ pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
         // --- Plain IBB (deterministic: one run). ---
         let ibb_budget = SearchBudget::time(ibb_cap);
         rec.start("IBB", &instance, &ibb_budget, 0);
-        let outcome = Ibb::new(IbbConfig::new()).run_with_obs(&instance, &ibb_budget, rec.obs());
+        // Nested so the recorder's `end` below stays the single `run_end`.
+        let ctx = SearchContext::local(ibb_budget)
+            .with_obs(rec.obs().clone())
+            .nested();
+        let outcome = Ibb::new(IbbConfig::new()).search(&instance, &ctx);
         rec.end(&outcome);
         let ibb_cell = if outcome.is_exact() {
             format!("{:.2}", outcome.stats.elapsed.as_secs_f64())
@@ -97,13 +101,14 @@ pub fn run_recorded(scale: Scale, rec: &Recorder) -> Table {
                     seed,
                 );
                 let start = std::time::Instant::now();
+                // The pipeline emits its own combined `run_end` (both
+                // stages run nested), so no `rec.end` here.
                 let outcome = TwoStep::new(config).run_with_obs(
                     &instance,
                     &total_budget,
                     &mut rng,
                     rec.obs(),
                 );
-                rec.end(&outcome.best);
                 let elapsed = start.elapsed();
                 if outcome.best.is_exact() {
                     times.push(elapsed.as_secs_f64());

@@ -96,7 +96,11 @@ impl Recorder {
     ) -> RunOutcome {
         self.start(algo.name(), instance, budget, seed);
         let mut rng = StdRng::seed_from_u64(seed);
-        let ctx = SearchContext::local(*budget).with_obs(self.obs.clone());
+        // Nested: the recorder owns the `run_start`/`run_end` pair, so the
+        // driver must not emit its own `run_end`.
+        let ctx = SearchContext::local(*budget)
+            .with_obs(self.obs.clone())
+            .nested();
         let outcome = algo.search(instance, &ctx, &mut rng);
         self.end(&outcome);
         outcome

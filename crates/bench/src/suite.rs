@@ -74,11 +74,11 @@ pub fn pinned_suite() -> Vec<SuiteCase> {
 /// The algorithms the suite measures, in snapshot order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuiteAlgo {
-    /// Indexed local search under [`LOCAL_SEARCH_STEPS`].
+    /// Indexed local search under `LOCAL_SEARCH_STEPS`.
     Ils,
-    /// Guided indexed local search under [`LOCAL_SEARCH_STEPS`].
+    /// Guided indexed local search under `LOCAL_SEARCH_STEPS`.
     Gils,
-    /// Spatial evolutionary algorithm under [`SEA_STEPS`] generations.
+    /// Spatial evolutionary algorithm under `SEA_STEPS` generations.
     Sea,
     /// ILS heuristic + systematic IBB (§6 two-step processing).
     TwoStep,

@@ -9,7 +9,7 @@
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
 //! mwsj report   run.jsonl
 //! mwsj bench    snapshot [--label ci] [--reps 3] [--out FILE]
-//! mwsj bench    compare BENCH_baseline.json BENCH_ci.json [--wall-tolerance 0.25]
+//! mwsj bench    compare BENCH_baseline.json BENCH_ci.json [--wall-tolerance 0.25] [--wall-slack-ms 5.0]
 //! mwsj hard-density --shape chain|clique|star|cycle --vars 5 --n 100000 [--target 1]
 //! ```
 //!
@@ -30,7 +30,7 @@ mod query_spec;
 use args::Args;
 use mwsj_core::obs::{
     compare, schema, to_folded, BenchSnapshot, CompareConfig, Json, PhaseSnapshot,
-    DEFAULT_WALL_TOLERANCE,
+    DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 use mwsj_core::{
     AnytimeSearch, EventSink, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance,
@@ -96,9 +96,10 @@ USAGE:
                                             run the pinned suite (ILS/GILS/SEA/two-step on
                                             chain+clique) into BENCH_<L>.json: anytime curves,
                                             quality AUC, time-to-tau, counters, phase timings
-  mwsj bench compare BASELINE CANDIDATE [--wall-tolerance T]
+  mwsj bench compare BASELINE CANDIDATE [--wall-tolerance T] [--wall-slack-ms S]
                                             regression gate: deterministic counters must match
-                                            exactly, wall medians within tolerance (default +25%)
+                                            exactly, wall medians within tolerance (default +25%
+                                            or +5ms absolute, whichever is larger)
   mwsj hard-density --shape chain|clique|star|cycle --vars N --n CARD [--target SOL]
 
 QUERY SPECS:
@@ -327,17 +328,9 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             phases: obs.timer.snapshot(),
         });
     }
-    obs.emit(RunEvent::RunEnd {
-        best_violations: outcome.best_violations as u64,
-        best_similarity: outcome.best_similarity,
-        steps: outcome.stats.steps,
-        node_accesses: outcome.stats.node_accesses,
-        local_maxima: outcome.stats.local_maxima,
-        improvements: outcome.stats.improvements,
-        restarts: outcome.stats.restarts,
-        elapsed_secs: outcome.stats.elapsed.as_secs_f64(),
-        proven_optimal: outcome.proven_optimal,
-    });
+    // `run_end` is emitted by the search itself: standalone algorithms via
+    // the driver, the two-step pipeline and the portfolio as one combined
+    // event each.
     if let Some(path) = &trace_path {
         let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
         for p in &outcome.trace {
@@ -652,7 +645,8 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 /// Dispatches `mwsj bench <snapshot|compare>`.
 fn cmd_bench(args: &Args) -> Result<(), String> {
     const USAGE: &str = "usage: mwsj bench snapshot [--label L] [--reps N] [--out FILE]\n   \
-                         or: mwsj bench compare BASELINE.json CANDIDATE.json [--wall-tolerance T]";
+                         or: mwsj bench compare BASELINE.json CANDIDATE.json \
+                         [--wall-tolerance T] [--wall-slack-ms S]";
     match args.arg() {
         Some("snapshot") => cmd_bench_snapshot(args),
         Some("compare") => cmd_bench_compare(args),
@@ -700,10 +694,9 @@ fn cmd_bench_compare(args: &Args) -> Result<(), String> {
     let (baseline_path, candidate_path) = match &args.positionals[..] {
         [_, b, c] => (b.as_str(), c.as_str()),
         _ => {
-            return Err(
-                "usage: mwsj bench compare BASELINE.json CANDIDATE.json [--wall-tolerance T]"
-                    .into(),
-            )
+            return Err("usage: mwsj bench compare BASELINE.json CANDIDATE.json \
+                 [--wall-tolerance T] [--wall-slack-ms S]"
+                .into())
         }
     };
     let tolerance: f64 = args
@@ -716,6 +709,16 @@ fn cmd_bench_compare(args: &Args) -> Result<(), String> {
     if !tolerance.is_finite() || tolerance < 0.0 {
         return Err("--wall-tolerance must be a non-negative fraction".into());
     }
+    let slack_ms: f64 = args
+        .parse_or(
+            "wall-slack-ms",
+            DEFAULT_WALL_SLACK_MS,
+            "a duration in milliseconds (e.g. 5.0)",
+        )
+        .map_err(|e| e.to_string())?;
+    if !slack_ms.is_finite() || slack_ms < 0.0 {
+        return Err("--wall-slack-ms must be a non-negative duration".into());
+    }
     let load = |path: &str| -> Result<BenchSnapshot, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         BenchSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -723,16 +726,19 @@ fn cmd_bench_compare(args: &Args) -> Result<(), String> {
     let baseline = load(baseline_path)?;
     let candidate = load(candidate_path)?;
     println!(
-        "comparing '{}' ({baseline_path}) -> '{}' ({candidate_path}), wall tolerance +{:.0}%",
+        "comparing '{}' ({baseline_path}) -> '{}' ({candidate_path}), \
+         wall tolerance +{:.0}% or +{:.1}ms",
         baseline.label,
         candidate.label,
-        tolerance * 100.0
+        tolerance * 100.0,
+        slack_ms
     );
     let report = compare(
         &baseline,
         &candidate,
         CompareConfig {
             wall_tolerance: tolerance,
+            wall_slack_ms: slack_ms,
         },
     );
     print!("{}", report.render());

@@ -164,6 +164,7 @@ pub struct SearchContext {
     shared: Option<SharedSearchState>,
     cutoff: bool,
     obs: ObsHandle,
+    nested: bool,
 }
 
 impl SearchContext {
@@ -177,7 +178,22 @@ impl SearchContext {
             shared: None,
             cutoff: false,
             obs: ObsHandle::disabled(),
+            nested: false,
         }
+    }
+
+    /// Marks this run as a *component* of a larger composite run (a
+    /// two-step pipeline stage, a recorded batch entry, …). The search
+    /// driver then leaves `run_end` emission to the enclosing composite,
+    /// which reports one merged outcome instead.
+    pub fn nested(mut self) -> Self {
+        self.nested = true;
+        self
+    }
+
+    /// `true` when [`SearchContext::nested`] was applied.
+    pub(crate) fn is_nested(&self) -> bool {
+        self.nested
     }
 
     /// Replaces the budget's relative time limit with an absolute deadline
@@ -450,6 +466,25 @@ mod tests {
             .iter()
             .all(|b| b.time_limit == Some(Duration::from_secs(2))));
         assert!(timed.iter().all(|b| b.max_steps.is_none()));
+    }
+
+    #[test]
+    fn split_with_more_restarts_than_steps_yields_zero_step_shares() {
+        // K > total_steps: the surplus restarts get zero-step budgets,
+        // which are still valid (`validate` passes — `Some(0)` is a set
+        // limit) and exhaust immediately.
+        let shares = SearchBudget::iterations(3).split(5);
+        let steps: Vec<u64> = shares.iter().map(|b| b.max_steps.unwrap()).collect();
+        assert_eq!(steps, vec![1, 1, 1, 0, 0]);
+        for share in &shares {
+            share.validate();
+            let clock = BudgetClock::start(share);
+            assert_eq!(
+                clock.exhausted(),
+                share.max_steps == Some(0),
+                "zero-step shares are born exhausted, the rest are not"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The search driver: shared run bookkeeping for every algorithm.
+//!
+//! Historically each algorithm (ILS, GILS, SEA, the naive baselines, SA,
+//! IBB, the two-step pipeline) carried its own copy of the run scaffolding:
+//! stepping the [`BudgetClock`], tracking the incumbent and
+//! [`TopSolutions`](crate::TopSolutions), recording `(step, similarity)`
+//! trace points, publishing bounds, flushing counters and emitting
+//! stop-reason / `run_end` events. [`SearchDriver`] owns all of that; the
+//! algorithms reduce to *drive* functions ([`DriveSearch`]) that only
+//! encode their search moves.
+//!
+//! Counter-compatibility contract (DESIGN.md §5e): the driver reproduces
+//! the pre-refactor bookkeeping **bit-exactly** — steps, improvements,
+//! restarts, local maxima and the `(step, similarity)` trace of every
+//! algorithm are unchanged; `node_accesses` may only decrease (via
+//! [`WindowCache`](crate::WindowCache) hits).
+//!
+//! `run_end` ownership: exactly one `run_end` event is emitted per
+//! top-level run. Standalone runs get it from [`SearchDriver::finish`];
+//! composite runs ([`crate::TwoStep`], [`crate::ParallelPortfolio`],
+//! recorded batch entries) mark their component contexts
+//! [`SearchContext::nested`] (or run under a restart-scoped
+//! [`ObsHandle`](mwsj_obs::ObsHandle)) and emit one merged event
+//! themselves.
+
+use crate::budget::{BudgetClock, SearchContext};
+use crate::instance::Instance;
+use crate::portfolio::AnytimeSearch;
+use crate::result::{Incumbent, RunOutcome, RunStats, TopSolutions, DEFAULT_TOP_K};
+use mwsj_obs::ObsHandle;
+use mwsj_query::Solution;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+/// Owns the run-wide state of one search invocation: budget clock, counter
+/// block, incumbent (best solution + trace + top list) and the
+/// end-of-run observability duties.
+#[derive(Debug)]
+pub(crate) struct SearchDriver {
+    clock: BudgetClock,
+    stats: RunStats,
+    incumbent: Option<Incumbent>,
+    edges: usize,
+    /// Whether this driver owns the run's `run_end` event (standalone
+    /// top-level runs only; see the module docs).
+    emit_end: bool,
+}
+
+impl SearchDriver {
+    /// Starts the clock for one run of `instance` under `ctx`.
+    pub(crate) fn new(instance: &Instance, ctx: &SearchContext) -> Self {
+        let clock = BudgetClock::from_context(ctx);
+        let emit_end = !ctx.is_nested() && ctx.obs().restart().is_none() && ctx.obs().has_sink();
+        SearchDriver {
+            clock,
+            stats: RunStats::default(),
+            incumbent: None,
+            edges: instance.graph().edge_count(),
+            emit_end,
+        }
+    }
+
+    /// Records one budget step (see [`BudgetClock::step`]).
+    #[inline]
+    pub(crate) fn step(&mut self) {
+        self.clock.step();
+    }
+
+    /// `true` once the budget (or a cooperating cutoff) stops the run.
+    #[inline]
+    pub(crate) fn exhausted(&self) -> bool {
+        self.clock.exhausted()
+    }
+
+    /// Steps recorded so far.
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn steps(&self) -> u64 {
+        self.clock.steps()
+    }
+
+    /// Time since the run started.
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.clock.elapsed()
+    }
+
+    /// Fraction of the budget consumed (see
+    /// [`BudgetClock::fraction_consumed`]).
+    #[inline]
+    pub(crate) fn fraction_consumed(&self) -> f64 {
+        self.clock.fraction_consumed()
+    }
+
+    /// The run's observability handle.
+    #[inline]
+    pub(crate) fn obs(&self) -> &ObsHandle {
+        self.clock.obs()
+    }
+
+    /// Mutable access to the counter block (restarts, local maxima, …).
+    #[inline]
+    pub(crate) fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    /// The node-access counter, in the `&mut u64` shape the traversal
+    /// kernels increment.
+    #[inline]
+    pub(crate) fn node_accesses_mut(&mut self) -> &mut u64 {
+        &mut self.stats.node_accesses
+    }
+
+    /// Violations of the incumbent, if one exists yet.
+    #[inline]
+    pub(crate) fn best_violations(&self) -> Option<usize> {
+        self.incumbent.as_ref().map(|inc| inc.best_violations)
+    }
+
+    /// The branch-and-bound pruning bound: the incumbent's violations, or
+    /// one more than the worst possible so any full solution beats it.
+    #[inline]
+    pub(crate) fn bound(&self) -> usize {
+        self.best_violations().unwrap_or(self.edges + 1)
+    }
+
+    /// Offers `sol` to the incumbent (the shared move of the anytime
+    /// heuristics): creations and strict improvements update the trace and
+    /// top list, publish the portfolio bound and emit an improvement
+    /// event. Returns `true` when the incumbent was created or improved.
+    pub(crate) fn offer(&mut self, sol: &Solution, violations: usize) -> bool {
+        match &mut self.incumbent {
+            None => {
+                self.incumbent = Some(Incumbent::new(
+                    sol.clone(),
+                    violations,
+                    self.edges,
+                    self.clock.elapsed(),
+                    self.clock.steps(),
+                ));
+                self.clock.publish_bound(violations);
+                crate::observe::emit_improvement(&self.clock, violations, self.edges);
+                true
+            }
+            Some(inc) => {
+                if inc.offer(
+                    sol,
+                    violations,
+                    self.edges,
+                    self.clock.elapsed(),
+                    self.clock.steps(),
+                ) {
+                    self.stats.improvements += 1;
+                    self.clock.publish_bound(violations);
+                    crate::observe::emit_improvement(&self.clock, violations, self.edges);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// [`SearchDriver::offer`] without publishing the portfolio bound —
+    /// the naive-GA baseline predates bound sharing and is kept
+    /// bit-faithful to its published behaviour.
+    ///
+    /// # Panics
+    /// Panics if no incumbent was seeded yet.
+    pub(crate) fn offer_unpublished(&mut self, sol: &Solution, violations: usize) {
+        let inc = self
+            .incumbent
+            .as_mut()
+            .expect("offer_unpublished requires a seeded incumbent");
+        if inc.offer(
+            sol,
+            violations,
+            self.edges,
+            self.clock.elapsed(),
+            self.clock.steps(),
+        ) {
+            self.stats.improvements += 1;
+            crate::observe::emit_improvement(&self.clock, inc.best_violations, self.edges);
+        }
+    }
+
+    /// Installs an initial incumbent **silently**: trace point and top-list
+    /// entry, but no improvement event and no bound publication. Used for
+    /// seeds that are given, not found (IBB's heuristic bound, naive-GA's
+    /// first population member).
+    pub(crate) fn seed_incumbent(&mut self, sol: &Solution, violations: usize) {
+        debug_assert!(self.incumbent.is_none(), "incumbent already seeded");
+        self.incumbent = Some(Incumbent::new(
+            sol.clone(),
+            violations,
+            self.edges,
+            self.clock.elapsed(),
+            self.clock.steps(),
+        ));
+    }
+
+    /// Records a full solution found by systematic search (IBB): strictly
+    /// better than the bound by construction, counted as an improvement and
+    /// emitted as one, but — matching IBB's published behaviour — without
+    /// publishing a portfolio bound.
+    pub(crate) fn record_best(&mut self, sol: &Solution, violations: usize) {
+        match &mut self.incumbent {
+            None => {
+                let mut inc = Incumbent::new(
+                    sol.clone(),
+                    violations,
+                    self.edges,
+                    self.clock.elapsed(),
+                    self.clock.steps(),
+                );
+                // The first *found* solution counts as an improvement
+                // (unlike a given seed, which Incumbent::new records as 0).
+                inc.improvements = 1;
+                self.incumbent = Some(inc);
+            }
+            Some(inc) => {
+                let improved = inc.offer(
+                    sol,
+                    violations,
+                    self.edges,
+                    self.clock.elapsed(),
+                    self.clock.steps(),
+                );
+                debug_assert!(improved, "record_best requires a bound-beating solution");
+            }
+        }
+        crate::observe::emit_improvement(&self.clock, violations, self.edges);
+    }
+
+    /// Finishes an anytime run: falls back to a random solution when the
+    /// budget expired before any incumbent existed, freezes the counters,
+    /// flushes them to the metrics registry, emits the stop-reason (and,
+    /// for standalone runs, `run_end`) events and assembles the outcome.
+    pub(crate) fn finish(self, instance: &Instance, rng: &mut StdRng) -> RunOutcome {
+        let fallback = |clock: &BudgetClock, rng: &mut StdRng| {
+            let sol = instance.random_solution(rng);
+            let v = instance.violations(&sol);
+            Incumbent::new(
+                sol,
+                v,
+                instance.graph().edge_count(),
+                clock.elapsed(),
+                clock.steps(),
+            )
+        };
+        let incumbent = match self.incumbent {
+            Some(inc) => inc,
+            None => fallback(&self.clock, rng),
+        };
+        Self::into_outcome(
+            self.clock,
+            self.stats,
+            incumbent,
+            self.edges,
+            false,
+            self.emit_end,
+        )
+    }
+
+    /// Finishes a systematic (IBB) run: `proven_optimal` is the caller's
+    /// exhaustiveness verdict, and the no-incumbent fallback is the
+    /// arbitrary all-zero assignment with an **empty** trace/top list (the
+    /// run provably never found anything).
+    pub(crate) fn finish_systematic(self, instance: &Instance, proven_optimal: bool) -> RunOutcome {
+        let incumbent = self.incumbent.unwrap_or_else(|| {
+            let sol = Solution::new(vec![0; instance.n_vars()]);
+            let best_violations = instance.violations(&sol);
+            Incumbent {
+                best: sol,
+                best_violations,
+                improvements: 0,
+                trace: Vec::new(),
+                top: TopSolutions::new(DEFAULT_TOP_K),
+            }
+        });
+        Self::into_outcome(
+            self.clock,
+            self.stats,
+            incumbent,
+            self.edges,
+            proven_optimal,
+            self.emit_end,
+        )
+    }
+
+    fn into_outcome(
+        clock: BudgetClock,
+        mut stats: RunStats,
+        incumbent: Incumbent,
+        edges: usize,
+        proven_optimal: bool,
+        emit_end: bool,
+    ) -> RunOutcome {
+        stats.elapsed = clock.elapsed();
+        stats.steps = clock.steps();
+        stats.improvements = incumbent.improvements;
+        crate::observe::flush_stats(clock.obs(), &stats);
+        clock.emit_stop_reason();
+        let outcome = RunOutcome {
+            best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
+            best: incumbent.best,
+            best_violations: incumbent.best_violations,
+            stats,
+            trace: incumbent.trace,
+            proven_optimal,
+            top_solutions: incumbent.top.into_vec(),
+        };
+        if emit_end {
+            crate::observe::emit_run_end(clock.obs(), &outcome);
+        }
+        outcome
+    }
+}
+
+/// An algorithm expressed as a *drive* function over a [`SearchDriver`]:
+/// the driver owns the run-wide bookkeeping, the implementation encodes
+/// only the search moves. Every implementor is an [`AnytimeSearch`] via
+/// the blanket impl below.
+pub(crate) trait DriveSearch: Sync {
+    /// Display name (matches the paper's figures).
+    const NAME: &'static str;
+    /// Phase-timer span label of one run.
+    const PHASE: &'static str;
+
+    /// Runs the search moves until the driver reports exhaustion (or the
+    /// algorithm decides to stop early).
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng);
+}
+
+/// Runs a [`DriveSearch`] under `ctx`: driver construction, phase span,
+/// drive, finish.
+pub(crate) fn run_driven<T: DriveSearch + ?Sized>(
+    algo: &T,
+    instance: &Instance,
+    ctx: &SearchContext,
+    rng: &mut StdRng,
+) -> RunOutcome {
+    let mut driver = SearchDriver::new(instance, ctx);
+    let _phase = ctx.obs().timer.span(T::PHASE);
+    algo.drive(instance, &mut driver, rng);
+    driver.finish(instance, rng)
+}
+
+impl<T: DriveSearch> AnytimeSearch for T {
+    fn name(&self) -> &'static str {
+        T::NAME
+    }
+
+    fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
+        run_driven(self, instance, ctx, rng)
+    }
+}

@@ -14,11 +14,18 @@
 //! `satisfied − λ·penalty(vᵢ ← object)`; internal-node bounds stay the raw
 //! satisfied-count, which remains admissible because penalties only lower a
 //! leaf's value.
+//!
+//! The traversal itself is the shared multi-window kernel in
+//! [`mwsj_rtree::multiwindow`]; this module builds the windows from the
+//! query graph and injects the raw or λ-penalised leaf scorer. Hot loops
+//! should prefer [`WindowCache::find_best_value`](crate::WindowCache),
+//! which reuses the window vector across calls and skips the traversal
+//! entirely when nothing relevant changed.
 
 use crate::instance::Instance;
 use mwsj_geom::{Predicate, Rect};
 use mwsj_query::{PenaltyTable, Solution, VarId};
-use mwsj_rtree::NodeRef;
+use mwsj_rtree::multiwindow;
 
 /// Result of a [`find_best_value`] search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,103 +61,38 @@ pub fn find_best_value(
         .iter()
         .map(|&(u, pred)| (pred, instance.rect(u, sol.get(u))))
         .collect();
-    if windows.is_empty() {
-        return None;
-    }
-
-    let mut best: Option<BestValue> = None;
-    descend(
-        instance.tree(var).root_node(),
-        var,
-        &windows,
-        penalties,
-        &mut best,
-        node_accesses,
-    );
-    best
+    best_value_in_windows(instance, var, &windows, penalties, node_accesses)
 }
 
-fn descend(
-    node: NodeRef<'_, u32>,
+/// Runs the traversal kernel over `var`'s tree with pre-built windows.
+///
+/// This is the shared back half of [`find_best_value`] and the
+/// [`WindowCache`](crate::WindowCache) fast path. Raw mode scores a leaf
+/// by its satisfied count; penalty mode subtracts `λ·penalty` — both as
+/// `f64`, which reproduces the paper's raw strict-count comparison exactly
+/// because `u32 → f64` is lossless.
+pub(crate) fn best_value_in_windows(
+    instance: &Instance,
     var: VarId,
     windows: &[(Predicate, Rect)],
     penalties: Option<(&PenaltyTable, f64)>,
-    best: &mut Option<BestValue>,
     node_accesses: &mut u64,
-) {
-    *node_accesses += 1;
-
-    // Count (potentially) satisfied conditions per entry; keep only
-    // entries with a positive count, sorted descending (Fig. 5).
-    let mut scored: Vec<(u32, usize)> = Vec::with_capacity(node.len());
-    for (i, entry) in node.entries().enumerate() {
-        let mbr = entry.mbr();
-        let count = if node.is_leaf() {
-            windows.iter().filter(|(pred, w)| pred.eval(mbr, w)).count() as u32
-        } else {
-            windows
-                .iter()
-                .filter(|(pred, w)| pred.possible(mbr, w))
-                .count() as u32
-        };
-        if count > 0 {
-            scored.push((count, i));
-        }
-    }
-    scored.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
-
-    let best_count = |best: &Option<BestValue>| best.as_ref().map_or(0, |b| b.satisfied);
-    let best_effective = |best: &Option<BestValue>| best.as_ref().map_or(0.0, |b| b.effective);
-
-    if node.is_leaf() {
-        for (count, i) in scored {
-            let object = *node.entry(i).value().expect("leaf entry") as usize;
-            let effective = match penalties {
-                Some((table, lambda)) => count as f64 - lambda * table.get(var, object) as f64,
-                None => count as f64,
-            };
-            let better = match best {
-                None => true,
-                // Raw mode compares counts (strictly better, Fig. 5);
-                // penalty mode compares effective values.
-                Some(b) => {
-                    if penalties.is_some() {
-                        effective > b.effective
-                    } else {
-                        count > b.satisfied
-                    }
-                }
-            };
-            if better {
-                *best = Some(BestValue {
-                    object,
-                    satisfied: count,
-                    effective,
-                });
-            }
-        }
-    } else {
-        for (count, i) in scored {
-            // A subtree whose potential count does not exceed the best
-            // found count cannot contain a better value (Fig. 5). In
-            // penalty mode the admissible bound is the effective value:
-            // penalties are non-negative, so a subtree's best effective
-            // value is at most its raw count.
-            // In penalty mode a subtree with count equal to the best raw
-            // count may still contain an object with a lower penalty, so
-            // pruning compares against the effective value instead.
-            let prune = if penalties.is_some() {
-                (count as f64) <= best_effective(best)
-            } else {
-                count <= best_count(best)
-            };
-            if prune {
-                continue;
-            }
-            let child = node.entry(i).child().expect("internal entry");
-            descend(child, var, windows, penalties, best, node_accesses);
-        }
-    }
+) -> Option<BestValue> {
+    let root = instance.tree(var).root_node();
+    let best = match penalties {
+        Some((table, lambda)) => multiwindow::find_best_leaf(
+            root,
+            windows,
+            |&object, count| count as f64 - lambda * table.get(var, object as usize) as f64,
+            node_accesses,
+        ),
+        None => multiwindow::find_best_leaf(root, windows, |_, count| count as f64, node_accesses),
+    }?;
+    Some(BestValue {
+        object: best.value as usize,
+        satisfied: best.satisfied,
+        effective: best.score,
+    })
 }
 
 #[cfg(test)]

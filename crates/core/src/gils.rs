@@ -9,11 +9,11 @@
 //! the graph (and, with sufficient accumulated penalties, permitting
 //! downhill moves in raw violations).
 
-use crate::budget::{BudgetClock, SearchBudget, SearchContext};
-use crate::find_best_value::find_best_value;
-use crate::ils::{finish, offer};
+use crate::budget::{SearchBudget, SearchContext};
+use crate::driver::{run_driven, DriveSearch, SearchDriver};
 use crate::instance::Instance;
-use crate::result::{Incumbent, RunOutcome, RunStats};
+use crate::result::RunOutcome;
+use crate::window_cache::WindowCache;
 use mwsj_query::PenaltyTable;
 use rand::rngs::StdRng;
 
@@ -92,55 +92,60 @@ impl Gils {
     /// used by [`crate::ParallelPortfolio`] to share deadlines and bounds
     /// across restarts.
     pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
+        run_driven(self, instance, ctx, rng)
+    }
+}
+
+impl DriveSearch for Gils {
+    const NAME: &'static str = "GILS";
+    const PHASE: &'static str = "gils";
+
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng) {
         let graph = instance.graph();
-        let edges = graph.edge_count();
         let lambda = self
             .config
             .lambda
             .unwrap_or_else(|| GilsConfig::paper_lambda(instance.problem_size_bits()));
-        let mut clock = BudgetClock::from_context(ctx);
-        let _phase = clock.obs().timer.span("gils");
-        let mut stats = RunStats::default();
-        let mut incumbent: Option<Incumbent> = None;
         let mut penalties = PenaltyTable::new();
+        let mut cache = WindowCache::new(instance);
 
         // Single seed for the whole run (Fig. 7).
         let mut sol = instance.random_solution(rng);
         let mut cs = instance.evaluate(&sol);
-        offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
-        stats.restarts = 1;
+        driver.offer(&sol, cs.total_violations());
+        driver.stats_mut().restarts = 1;
         let mut rounds_since_improvement: u64 = 0;
-        let mut last_best = incumbent.as_ref().map(|i| i.best_violations);
+        let mut last_best = driver.best_violations();
 
-        'time: while !clock.exhausted() {
+        'time: while !driver.exhausted() {
             // Climb (by effective value) to a local maximum.
             #[allow(unused_assignments)]
             let mut any_candidate = false;
             loop {
-                if clock.exhausted() {
+                if driver.exhausted() {
                     break 'time;
                 }
                 let mut improved = false;
                 any_candidate = false;
                 for v in cs.vars_by_badness(graph) {
-                    if clock.exhausted() {
+                    if driver.exhausted() {
                         break 'time;
                     }
-                    clock.step();
+                    driver.step();
                     let cur_obj = sol.get(v);
                     let cur_eff = cs.satisfied_of(graph, v) as f64
                         - lambda * penalties.get(v, cur_obj) as f64;
-                    if let Some(best) = find_best_value(
+                    if let Some(best) = cache.find_best_value(
                         instance,
                         &sol,
                         v,
                         Some((&penalties, lambda)),
-                        &mut stats.node_accesses,
+                        driver.node_accesses_mut(),
                     ) {
                         any_candidate = true;
                         if best.object != cur_obj && best.effective > cur_eff {
                             cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
-                            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                            driver.offer(&sol, cs.total_violations());
                             if cs.total_violations() == 0 {
                                 // Exact solution: nothing can beat similarity 1.
                                 break 'time;
@@ -155,8 +160,8 @@ impl Gils {
                 }
             }
 
-            stats.local_maxima += 1;
-            let best_now = incumbent.as_ref().map(|i| i.best_violations);
+            driver.stats_mut().local_maxima += 1;
+            let best_now = driver.best_violations();
             if best_now == last_best {
                 rounds_since_improvement += 1;
             } else {
@@ -176,15 +181,13 @@ impl Gils {
                 // dominate at sparse hard-region densities (e.g. d ≈ 0.025
                 // for 5-cliques at N = 10⁵) where a random assignment's
                 // windows usually intersect nothing.
-                stats.restarts += 1;
+                driver.stats_mut().restarts += 1;
                 rounds_since_improvement = 0;
                 sol = instance.random_solution(rng);
                 cs = instance.evaluate(&sol);
-                offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                driver.offer(&sol, cs.total_violations());
             }
         }
-
-        finish(incumbent, instance, rng, edges, clock, stats)
     }
 }
 

@@ -14,11 +14,12 @@
 //! with a high-similarity heuristic solution prunes the vast low-quality
 //! part of the search space up front (paper Fig. 11).
 
-use crate::budget::{BudgetClock, SearchBudget, SearchContext};
+use crate::budget::{SearchBudget, SearchContext};
 use crate::candidates::candidates_with_counts;
+use crate::driver::SearchDriver;
 use crate::instance::Instance;
 use crate::order::connectivity_order;
-use crate::result::{RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
+use crate::result::RunOutcome;
 use mwsj_geom::{Predicate, Rect};
 use mwsj_obs::ObsHandle;
 use mwsj_query::{Solution, VarId};
@@ -67,17 +68,12 @@ pub struct Ibb {
     config: IbbConfig,
 }
 
-struct SearchState<'a> {
+struct SearchState<'a, 'd> {
     instance: &'a Instance,
     order: Vec<VarId>,
     /// position of each variable in `order`.
     position: Vec<usize>,
-    clock: BudgetClock,
-    stats: RunStats,
-    best: Option<Solution>,
-    best_violations: usize,
-    top: TopSolutions,
-    trace: Vec<TracePoint>,
+    driver: &'d mut SearchDriver,
     stop_at_exact: bool,
     /// Set when the budget ran out (result not proven optimal).
     truncated: bool,
@@ -99,89 +95,57 @@ impl Ibb {
     }
 
     /// Runs IBB and reports counters, phase timings ("ibb") and improvement
-    /// / stop-reason events through `obs`.
+    /// / stop-reason / `run_end` events through `obs`.
     pub fn run_with_obs(
         &self,
         instance: &Instance,
         budget: &SearchBudget,
         obs: &ObsHandle,
     ) -> RunOutcome {
+        self.search(
+            instance,
+            &SearchContext::local(*budget).with_obs(obs.clone()),
+        )
+    }
+
+    /// Runs IBB under an explicit [`SearchContext`] — the entry point used
+    /// by composites (e.g. [`crate::TwoStep`]) to mark the run nested so it
+    /// does not emit its own `run_end`.
+    pub fn search(&self, instance: &Instance, ctx: &SearchContext) -> RunOutcome {
         let graph = instance.graph();
-        let edges = graph.edge_count();
         let order = connectivity_order(graph);
         let mut position = vec![0usize; order.len()];
         for (k, &v) in order.iter().enumerate() {
             position[v] = k;
         }
 
-        let (best, best_violations) = match &self.config.initial {
-            Some(sol) => (Some(sol.clone()), instance.violations(sol)),
-            // One more than the worst possible so any full solution beats it.
-            None => (None, edges + 1),
-        };
+        let mut driver = SearchDriver::new(instance, ctx);
+        let _phase = ctx.obs().timer.span("ibb");
+        if let Some(sol) = &self.config.initial {
+            driver.seed_incumbent(sol, instance.violations(sol));
+        }
 
-        let ctx = SearchContext::local(*budget).with_obs(obs.clone());
-        let clock = BudgetClock::from_context(&ctx);
-        let _phase = clock.obs().timer.span("ibb");
         let mut state = SearchState {
             instance,
             order,
             position,
-            clock,
-            stats: RunStats::default(),
-            best,
-            best_violations,
-            top: TopSolutions::new(DEFAULT_TOP_K),
-            trace: Vec::new(),
+            driver: &mut driver,
             stop_at_exact: self.config.stop_at_exact,
             truncated: false,
         };
-        if let Some(b) = &state.best {
-            state.top.insert(b, state.best_violations);
-            state.trace.push(TracePoint {
-                elapsed: state.clock.elapsed(),
-                step: 0,
-                similarity: 1.0 - state.best_violations as f64 / edges as f64,
-            });
-        }
 
         let mut assignment = vec![usize::MAX; instance.n_vars()];
         let exact_found = descend(&mut state, 0, &mut assignment, 0);
 
         let proven_optimal = !state.truncated || (exact_found && state.stop_at_exact);
-        let mut stats = state.stats;
-        stats.elapsed = state.clock.elapsed();
-        stats.steps = state.clock.steps();
-        crate::observe::flush_stats(state.clock.obs(), &stats);
-        state.clock.emit_stop_reason();
-
-        // If nothing beat the (absent) incumbent within the budget, fall
-        // back to the initial solution or an arbitrary assignment.
-        let (best, best_violations) = match state.best {
-            Some(b) => (b, state.best_violations),
-            None => {
-                let sol = Solution::new(vec![0; instance.n_vars()]);
-                let v = instance.violations(&sol);
-                (sol, v)
-            }
-        };
-
-        RunOutcome {
-            best_similarity: 1.0 - best_violations as f64 / edges as f64,
-            best,
-            best_violations,
-            stats,
-            trace: state.trace,
-            proven_optimal,
-            top_solutions: state.top.into_vec(),
-        }
+        driver.finish_systematic(instance, proven_optimal)
     }
 }
 
 /// Depth-first search. Returns `true` if an exact solution was found and
 /// the search should stop.
 fn descend(
-    state: &mut SearchState<'_>,
+    state: &mut SearchState<'_, '_>,
     depth: usize,
     assignment: &mut [usize],
     violations_so_far: usize,
@@ -192,18 +156,9 @@ fn descend(
 
     if depth == n {
         // Strictly better by construction of the bound checks.
-        debug_assert!(violations_so_far < state.best_violations);
+        debug_assert!(violations_so_far < state.driver.bound());
         let sol = Solution::new(assignment.to_vec());
-        state.top.insert(&sol, violations_so_far);
-        state.best = Some(sol);
-        state.best_violations = violations_so_far;
-        state.stats.improvements += 1;
-        state.trace.push(TracePoint {
-            elapsed: state.clock.elapsed(),
-            step: state.clock.steps(),
-            similarity: 1.0 - violations_so_far as f64 / graph.edge_count() as f64,
-        });
-        crate::observe::emit_improvement(&state.clock, violations_so_far, graph.edge_count());
+        state.driver.record_best(&sol, violations_so_far);
         return violations_so_far == 0 && state.stop_at_exact;
     }
 
@@ -225,7 +180,7 @@ fn descend(
             instance.tree(var),
             &windows,
             1,
-            &mut state.stats.node_accesses,
+            state.driver.node_accesses_mut(),
         )
     };
     candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -235,16 +190,16 @@ fn descend(
     for &(obj, count) in &candidates {
         positive.insert(obj);
         let new_violations = violations_so_far + (assigned_neighbors - count) as usize;
-        if new_violations >= state.best_violations {
+        if new_violations >= state.driver.bound() {
             // Candidates are sorted by count desc: every later candidate is
             // at least as bad.
             break;
         }
-        if state.clock.exhausted() {
+        if state.driver.exhausted() {
             state.truncated = true;
             return false;
         }
-        state.clock.step();
+        state.driver.step();
         assignment[var] = obj;
         if descend(state, depth + 1, assignment, new_violations) {
             return true;
@@ -254,20 +209,20 @@ fn descend(
     // Zero-count region (or no windows at all, e.g. the first variable):
     // every remaining object violates all `assigned_neighbors` conditions.
     let zero_violations = violations_so_far + assigned_neighbors as usize;
-    if zero_violations < state.best_violations {
+    if zero_violations < state.driver.bound() {
         for obj in 0..instance.cardinality(var) {
             if positive.contains(&obj) {
                 continue;
             }
             // Re-check: the incumbent may have improved mid-loop.
-            if zero_violations >= state.best_violations {
+            if zero_violations >= state.driver.bound() {
                 break;
             }
-            if state.clock.exhausted() {
+            if state.driver.exhausted() {
                 state.truncated = true;
                 return false;
             }
-            state.clock.step();
+            state.driver.step();
             assignment[var] = obj;
             if descend(state, depth + 1, assignment, zero_violations) {
                 return true;

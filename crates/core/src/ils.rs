@@ -3,15 +3,16 @@
 //! Restart-based hill climbing over the solution graph: from a random seed,
 //! repeatedly re-instantiate the *worst* variable (most violated incident
 //! conditions, ties by fewest satisfied) with the best value the index can
-//! provide ([`find_best_value`]). When no variable can be improved the
-//! solution is a local maximum and the search restarts from a fresh random
-//! seed, keeping the best solution seen, until the budget is exhausted.
+//! provide ([`find_best_value`](crate::find_best_value)). When no variable
+//! can be improved the solution is a local maximum and the search restarts
+//! from a fresh random seed, keeping the best solution seen, until the
+//! budget is exhausted.
 
-use crate::budget::{BudgetClock, SearchBudget, SearchContext};
-use crate::find_best_value::find_best_value;
+use crate::budget::{SearchBudget, SearchContext};
+use crate::driver::{run_driven, DriveSearch, SearchDriver};
 use crate::instance::Instance;
-use crate::result::{Incumbent, RunOutcome, RunStats};
-use mwsj_query::ConflictState;
+use crate::result::RunOutcome;
+use crate::window_cache::WindowCache;
 use rand::rngs::StdRng;
 
 /// Configuration of [`Ils`]. The paper emphasises that ILS "does not
@@ -43,57 +44,60 @@ impl Ils {
     /// by [`crate::ParallelPortfolio`] to share deadlines and bounds
     /// across restarts.
     pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
-        let graph = instance.graph();
-        let edges = graph.edge_count();
-        let mut clock = BudgetClock::from_context(ctx);
-        let _phase = clock.obs().timer.span("ils");
-        let mut stats = RunStats::default();
-        let mut incumbent: Option<Incumbent> = None;
+        run_driven(self, instance, ctx, rng)
+    }
+}
 
-        'restarts: while !clock.exhausted() {
-            stats.restarts += 1;
+impl DriveSearch for Ils {
+    const NAME: &'static str = "ILS";
+    const PHASE: &'static str = "ils";
+
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng) {
+        let graph = instance.graph();
+        let mut cache = WindowCache::new(instance);
+
+        'restarts: while !driver.exhausted() {
+            driver.stats_mut().restarts += 1;
             let mut sol = instance.random_solution(rng);
             let mut cs = instance.evaluate(&sol);
-            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+            driver.offer(&sol, cs.total_violations());
 
             // Hill-climb to a local maximum.
             loop {
-                if clock.exhausted() {
+                if driver.exhausted() {
                     break 'restarts;
                 }
                 let mut improved = false;
                 // Worst variable first; fall through to progressively
                 // better-off variables when the worst cannot improve.
                 for v in cs.vars_by_badness(graph) {
-                    if clock.exhausted() {
+                    if driver.exhausted() {
                         break 'restarts;
                     }
-                    clock.step();
+                    driver.step();
                     let current_satisfied = cs.satisfied_of(graph, v);
                     if let Some(best) =
-                        find_best_value(instance, &sol, v, None, &mut stats.node_accesses)
+                        cache.find_best_value(instance, &sol, v, None, driver.node_accesses_mut())
                     {
                         if best.satisfied > current_satisfied {
                             cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
-                            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                            driver.offer(&sol, cs.total_violations());
                             improved = true;
                             break;
                         }
                     }
                 }
                 if !improved {
-                    stats.local_maxima += 1;
+                    driver.stats_mut().local_maxima += 1;
                     break;
                 }
                 if cs.total_violations() == 0 {
                     // Exact solution: nothing can beat similarity 1.
-                    stats.local_maxima += 1;
+                    driver.stats_mut().local_maxima += 1;
                     break 'restarts;
                 }
             }
         }
-
-        finish(incumbent, instance, rng, edges, clock, stats)
     }
 }
 
@@ -110,6 +114,7 @@ pub(crate) fn collect_local_maxima(
     node_accesses: &mut u64,
 ) -> Vec<mwsj_query::Solution> {
     let graph = instance.graph();
+    let mut cache = WindowCache::new(instance);
     let mut maxima = Vec::with_capacity(want);
     let mut steps = 0u64;
     while maxima.len() < want && steps < step_cap {
@@ -122,7 +127,7 @@ pub(crate) fn collect_local_maxima(
             for v in cs.vars_by_badness(graph) {
                 steps += 1;
                 let current = cs.satisfied_of(graph, v);
-                if let Some(best) = find_best_value(instance, &sol, v, None, node_accesses) {
+                if let Some(best) = cache.find_best_value(instance, &sol, v, None, node_accesses) {
                     if best.satisfied > current {
                         cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
                         if cs.total_violations() == 0 {
@@ -140,75 +145,6 @@ pub(crate) fn collect_local_maxima(
         maxima.push(sol);
     }
     maxima
-}
-
-/// Offers the current solution to the incumbent (shared by ILS and GILS).
-pub(crate) fn offer(
-    incumbent: &mut Option<Incumbent>,
-    sol: &mwsj_query::Solution,
-    cs: &ConflictState,
-    edges: usize,
-    clock: &BudgetClock,
-    stats: &mut RunStats,
-) {
-    match incumbent {
-        None => {
-            *incumbent = Some(Incumbent::new(
-                sol.clone(),
-                cs.total_violations(),
-                edges,
-                clock.elapsed(),
-                clock.steps(),
-            ));
-            clock.publish_bound(cs.total_violations());
-            crate::observe::emit_improvement(clock, cs.total_violations(), edges);
-        }
-        Some(inc) => {
-            if inc.offer(
-                sol,
-                cs.total_violations(),
-                edges,
-                clock.elapsed(),
-                clock.steps(),
-            ) {
-                stats.improvements += 1;
-                clock.publish_bound(cs.total_violations());
-                crate::observe::emit_improvement(clock, cs.total_violations(), edges);
-            }
-        }
-    }
-}
-
-/// Assembles the final outcome (shared by ILS and GILS).
-pub(crate) fn finish(
-    incumbent: Option<Incumbent>,
-    instance: &Instance,
-    rng: &mut StdRng,
-    edges: usize,
-    clock: BudgetClock,
-    mut stats: RunStats,
-) -> RunOutcome {
-    // A zero-step budget can leave us without an incumbent; fall back to a
-    // random solution so callers always get a full assignment.
-    let incumbent = incumbent.unwrap_or_else(|| {
-        let sol = instance.random_solution(rng);
-        let v = instance.violations(&sol);
-        Incumbent::new(sol, v, edges, clock.elapsed(), clock.steps())
-    });
-    stats.elapsed = clock.elapsed();
-    stats.steps = clock.steps();
-    stats.improvements = incumbent.improvements;
-    crate::observe::flush_stats(clock.obs(), &stats);
-    clock.emit_stop_reason();
-    RunOutcome {
-        best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
-        best: incumbent.best,
-        best_violations: incumbent.best_violations,
-        stats,
-        trace: incumbent.trace,
-        proven_optimal: false,
-        top_solutions: incumbent.top.into_vec(),
-    }
 }
 
 #[cfg(test)]

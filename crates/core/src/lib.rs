@@ -32,6 +32,7 @@
 
 mod budget;
 mod candidates;
+mod driver;
 mod find_best_value;
 mod gils;
 mod ibb;
@@ -47,6 +48,7 @@ mod result;
 mod sea;
 mod st;
 mod two_step;
+mod window_cache;
 mod wr;
 
 pub use budget::{SearchBudget, SearchContext, SharedSearchState};
@@ -67,6 +69,7 @@ pub use result::{RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
 pub use sea::{Sea, SeaConfig};
 pub use st::SynchronousTraversal;
 pub use two_step::{TwoStep, TwoStepConfig, TwoStepOutcome};
+pub use window_cache::WindowCache;
 pub use wr::{ExactJoinOutcome, WindowReduction};
 
 // Observability building blocks, re-exported so downstream crates can wire

@@ -14,10 +14,10 @@
 //! * [`SimulatedAnnealing`] — the classic temperature-scheduled random walk
 //!   from \[PMK+99\].
 
-use crate::budget::{BudgetClock, SearchBudget, SearchContext};
-use crate::ils::{finish, offer};
+use crate::budget::{SearchBudget, SearchContext};
+use crate::driver::{run_driven, DriveSearch, SearchDriver};
 use crate::instance::Instance;
-use crate::result::{Incumbent, RunOutcome, RunStats};
+use crate::result::RunOutcome;
 use mwsj_query::{ConflictState, Solution};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -50,29 +50,33 @@ impl NaiveLocalSearch {
 
     /// Runs the baseline under an explicit [`SearchContext`].
     pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
-        let graph = instance.graph();
-        let edges = graph.edge_count();
-        let mut clock = BudgetClock::from_context(ctx);
-        let _phase = clock.obs().timer.span("naive-ls");
-        let mut stats = RunStats::default();
-        let mut incumbent: Option<Incumbent> = None;
+        run_driven(self, instance, ctx, rng)
+    }
+}
 
-        'restarts: while !clock.exhausted() {
-            stats.restarts += 1;
+impl DriveSearch for NaiveLocalSearch {
+    const NAME: &'static str = "naive-LS";
+    const PHASE: &'static str = "naive-ls";
+
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng) {
+        let graph = instance.graph();
+
+        'restarts: while !driver.exhausted() {
+            driver.stats_mut().restarts += 1;
             let mut sol = instance.random_solution(rng);
             let mut cs = instance.evaluate(&sol);
-            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+            driver.offer(&sol, cs.total_violations());
 
             loop {
-                if clock.exhausted() {
+                if driver.exhausted() {
                     break 'restarts;
                 }
                 let mut improved = false;
                 for v in cs.vars_by_badness(graph) {
-                    if clock.exhausted() {
+                    if driver.exhausted() {
                         break 'restarts;
                     }
-                    clock.step();
+                    driver.step();
                     // Sample random candidates; keep the one with the most
                     // satisfied conditions towards v's neighbours.
                     let current = cs.satisfied_of(graph, v);
@@ -92,7 +96,7 @@ impl NaiveLocalSearch {
                     if let Some((sat, obj)) = best {
                         if sat > current {
                             cs.reassign(graph, &mut sol, v, obj, instance.rect_of());
-                            offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                            driver.offer(&sol, cs.total_violations());
                             if cs.total_violations() == 0 {
                                 break 'restarts;
                             }
@@ -102,12 +106,11 @@ impl NaiveLocalSearch {
                     }
                 }
                 if !improved {
-                    stats.local_maxima += 1;
+                    driver.stats_mut().local_maxima += 1;
                     break;
                 }
             }
         }
-        finish(incumbent, instance, rng, edges, clock, stats)
     }
 }
 
@@ -156,13 +159,18 @@ impl NaiveGa {
 
     /// Runs the baseline under an explicit [`SearchContext`].
     pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
+        run_driven(self, instance, ctx, rng)
+    }
+}
+
+impl DriveSearch for NaiveGa {
+    const NAME: &'static str = "naive-GA";
+    const PHASE: &'static str = "naive-ga";
+
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng) {
         let graph = instance.graph();
         let n = instance.n_vars();
-        let edges = graph.edge_count();
         let p = self.config.population;
-        let mut clock = BudgetClock::from_context(ctx);
-        let _phase = clock.obs().timer.span("naive-ga");
-        let mut stats = RunStats::default();
 
         let mut pop: Vec<(Solution, ConflictState)> = (0..p)
             .map(|_| {
@@ -171,31 +179,18 @@ impl NaiveGa {
                 (sol, cs)
             })
             .collect();
-        let mut incumbent = Incumbent::new(
-            pop[0].0.clone(),
-            pop[0].1.total_violations(),
-            edges,
-            clock.elapsed(),
-            clock.steps(),
-        );
+        // Silent eager seed: this baseline predates bound sharing, so it
+        // neither publishes nor emits for its arbitrary first member.
+        driver.seed_incumbent(&pop[0].0, pop[0].1.total_violations());
 
-        while !clock.exhausted() {
-            clock.step();
-            stats.restarts += 1;
+        while !driver.exhausted() {
+            driver.step();
+            driver.stats_mut().restarts += 1;
 
             for (sol, cs) in &pop {
-                if incumbent.offer(
-                    sol,
-                    cs.total_violations(),
-                    edges,
-                    clock.elapsed(),
-                    clock.steps(),
-                ) {
-                    stats.improvements += 1;
-                    crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
-                }
+                driver.offer_unpublished(sol, cs.total_violations());
             }
-            if incumbent.best_violations == 0 {
+            if driver.best_violations() == Some(0) {
                 break;
             }
 
@@ -241,31 +236,9 @@ impl NaiveGa {
             }
         }
 
+        // Final evaluation pass so the last generation's work counts.
         for (sol, cs) in &pop {
-            if incumbent.offer(
-                sol,
-                cs.total_violations(),
-                edges,
-                clock.elapsed(),
-                clock.steps(),
-            ) {
-                stats.improvements += 1;
-                crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
-            }
-        }
-        stats.elapsed = clock.elapsed();
-        stats.steps = clock.steps();
-        stats.improvements = incumbent.improvements;
-        crate::observe::flush_stats(clock.obs(), &stats);
-        clock.emit_stop_reason();
-        RunOutcome {
-            best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
-            best: incumbent.best,
-            best_violations: incumbent.best_violations,
-            stats,
-            trace: incumbent.trace,
-            proven_optimal: false,
-            top_solutions: incumbent.top.into_vec(),
+            driver.offer_unpublished(sol, cs.total_violations());
         }
     }
 }
@@ -312,22 +285,26 @@ impl SimulatedAnnealing {
 
     /// Runs the baseline under an explicit [`SearchContext`].
     pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
+        run_driven(self, instance, ctx, rng)
+    }
+}
+
+impl DriveSearch for SimulatedAnnealing {
+    const NAME: &'static str = "SA";
+    const PHASE: &'static str = "sa";
+
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng) {
         let graph = instance.graph();
-        let edges = graph.edge_count();
         let n = instance.n_vars();
-        let mut clock = BudgetClock::from_context(ctx);
-        let _phase = clock.obs().timer.span("sa");
-        let mut stats = RunStats::default();
 
         let mut sol = instance.random_solution(rng);
         let mut cs = instance.evaluate(&sol);
-        let mut incumbent: Option<Incumbent> = None;
-        offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
-        stats.restarts = 1;
+        driver.offer(&sol, cs.total_violations());
+        driver.stats_mut().restarts = 1;
 
         let mut temperature = self.config.initial_temperature;
-        while !clock.exhausted() {
-            clock.step();
+        while !driver.exhausted() {
+            driver.step();
             let v = rng.random_range(0..n);
             let old_obj = sol.get(v);
             let obj = rng.random_range(0..instance.cardinality(v));
@@ -337,7 +314,7 @@ impl SimulatedAnnealing {
             let accept =
                 delta <= 0.0 || rng.random_range(0.0..1.0) < (-delta / temperature.max(1e-9)).exp();
             if accept {
-                offer(&mut incumbent, &sol, &cs, edges, &clock, &mut stats);
+                driver.offer(&sol, cs.total_violations());
                 if cs.total_violations() == 0 {
                     break;
                 }
@@ -347,10 +324,9 @@ impl SimulatedAnnealing {
             temperature *= self.config.cooling;
             if temperature < self.config.floor {
                 temperature = self.config.initial_temperature;
-                stats.restarts += 1;
+                driver.stats_mut().restarts += 1;
             }
         }
-        finish(incumbent, instance, rng, edges, clock, stats)
     }
 }
 

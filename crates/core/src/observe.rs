@@ -8,7 +8,7 @@
 //! branch per run, not per step.
 
 use crate::budget::BudgetClock;
-use crate::result::RunStats;
+use crate::result::{RunOutcome, RunStats};
 use mwsj_obs::{ObsHandle, RunEvent};
 
 /// Canonical metric names every search algorithm reports under.
@@ -54,5 +54,27 @@ pub(crate) fn emit_improvement(clock: &BudgetClock, violations: usize, edges: us
         violations: violations as u64,
         similarity: 1.0 - violations as f64 / edges as f64,
         elapsed_secs: clock.elapsed().as_secs_f64(),
+    });
+}
+
+/// Emits the `run_end` summary event for a finished outcome (no-op without
+/// a sink). Ownership rule: exactly **one** `run_end` per top-level run —
+/// the search driver emits it for standalone runs, composites
+/// ([`crate::TwoStep`], [`crate::ParallelPortfolio`]) emit one merged event
+/// and mark their component runs nested instead.
+pub(crate) fn emit_run_end(obs: &ObsHandle, outcome: &RunOutcome) {
+    if !obs.has_sink() {
+        return;
+    }
+    obs.emit(RunEvent::RunEnd {
+        best_violations: outcome.best_violations as u64,
+        best_similarity: outcome.best_similarity,
+        steps: outcome.stats.steps,
+        node_accesses: outcome.stats.node_accesses,
+        local_maxima: outcome.stats.local_maxima,
+        improvements: outcome.stats.improvements,
+        restarts: outcome.stats.restarts,
+        elapsed_secs: outcome.stats.elapsed.as_secs_f64(),
+        proven_optimal: outcome.proven_optimal,
     });
 }

@@ -37,12 +37,8 @@
 //! measured and therefore exempt from the guarantee.
 
 use crate::budget::{SearchBudget, SearchContext, SharedSearchState};
-use crate::gils::Gils;
-use crate::ils::Ils;
 use crate::instance::Instance;
-use crate::naive::{NaiveGa, NaiveLocalSearch, SimulatedAnnealing};
 use crate::result::{RunOutcome, RunStats, TopSolutions, TracePoint};
-use crate::sea::Sea;
 use mwsj_obs::{merge_phase_snapshots, MetricsSnapshot, ObsHandle, PhaseSnapshot, RunEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,8 +47,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// An anytime search that can run under a [`SearchContext`] — the
-/// interface [`ParallelPortfolio`] fans out. Implemented by the paper's
-/// heuristics ([`Ils`], [`Gils`], [`Sea`]) and the ablation baselines.
+/// interface [`ParallelPortfolio`] fans out. Every `DriveSearch`
+/// implementor — the paper's heuristics ([`crate::Ils`],
+/// [`crate::Gils`], [`crate::Sea`]) and the ablation baselines — gets
+/// this for free via the blanket impl in the (crate-private) driver
+/// module.
 pub trait AnytimeSearch: Sync {
     /// Display name (matches the paper's figures).
     fn name(&self) -> &'static str;
@@ -60,34 +59,6 @@ pub trait AnytimeSearch: Sync {
     /// Runs one search to budget exhaustion under `ctx`.
     fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome;
 }
-
-macro_rules! impl_anytime_search {
-    ($($ty:ty => $name:literal),+ $(,)?) => {$(
-        impl AnytimeSearch for $ty {
-            fn name(&self) -> &'static str {
-                $name
-            }
-
-            fn search(
-                &self,
-                instance: &Instance,
-                ctx: &SearchContext,
-                rng: &mut StdRng,
-            ) -> RunOutcome {
-                <$ty>::search(self, instance, ctx, rng)
-            }
-        }
-    )+};
-}
-
-impl_anytime_search!(
-    Ils => "ILS",
-    Gils => "GILS",
-    Sea => "SEA",
-    NaiveLocalSearch => "naive-LS",
-    NaiveGa => "naive-GA",
-    SimulatedAnnealing => "SA",
-);
 
 /// When cooperating restarts may stop early on a shared similarity-1
 /// certificate (see the module docs for why this is the only sound
@@ -321,6 +292,9 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         let mut merged =
             merge_outcomes(&outcomes, instance.graph().edge_count(), self.config.top_k);
         merged.stats.elapsed = start.elapsed();
+        // One `run_end` for the whole portfolio: the restarts themselves run
+        // under restart-scoped handles, which suppresses their own emission.
+        crate::observe::emit_run_end(obs, &merged);
 
         // Seed-ordered reduction of the per-restart snapshots: the fold
         // visits restarts in index order, so the merged values are
@@ -461,6 +435,9 @@ fn merge_outcomes(outcomes: &[RestartOutcome], edges: usize, top_k: usize) -> Ru
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gils::Gils;
+    use crate::ils::Ils;
+    use crate::sea::Sea;
     use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
 
     fn hard_instance(seed: u64, shape: QueryShape, n: usize, cardinality: usize) -> Instance {

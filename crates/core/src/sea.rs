@@ -15,13 +15,14 @@
 //!   later ones preserve good building blocks;
 //! * **mutation** — the only index-driven operator: with probability `μm`
 //!   the worst variable of a solution is re-instantiated with
-//!   [`find_best_value`], exactly like one ILS move ("mutation can only
-//!   have positive results").
+//!   [`find_best_value`](crate::find_best_value), exactly like one ILS move
+//!   ("mutation can only have positive results").
 
-use crate::budget::{BudgetClock, SearchBudget, SearchContext};
-use crate::find_best_value::find_best_value;
+use crate::budget::{SearchBudget, SearchContext};
+use crate::driver::{run_driven, DriveSearch, SearchDriver};
 use crate::instance::Instance;
-use crate::result::{Incumbent, RunOutcome, RunStats};
+use crate::result::RunOutcome;
+use crate::window_cache::WindowCache;
 use mwsj_query::{ConflictState, Solution, VarId};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -158,26 +159,31 @@ impl Sea {
     /// by [`crate::ParallelPortfolio`] to share deadlines and bounds
     /// across restarts.
     pub fn search(&self, instance: &Instance, ctx: &SearchContext, rng: &mut StdRng) -> RunOutcome {
+        run_driven(self, instance, ctx, rng)
+    }
+}
+
+impl DriveSearch for Sea {
+    const NAME: &'static str = "SEA";
+    const PHASE: &'static str = "sea";
+
+    fn drive(&self, instance: &Instance, driver: &mut SearchDriver, rng: &mut StdRng) {
         let graph = instance.graph();
         let n = instance.n_vars();
-        let edges = graph.edge_count();
         let p = self.config.population;
-        let mut clock = BudgetClock::from_context(ctx);
-        let mut stats = RunStats::default();
-
-        let _phase = clock.obs().timer.span("sea");
+        let mut cache = WindowCache::new(instance);
 
         // Initial population: random, or the first p ILS local maxima
         // (the hybrid initialisation of the paper's Discussion).
         let mut pop: Vec<Individual> = {
-            let _seed_phase = clock.obs().timer.span("seed");
+            let _seed_phase = driver.obs().timer.span("seed");
             let mut pop: Vec<Individual> = if self.config.seed_with_ils {
                 crate::ils::collect_local_maxima(
                     instance,
                     p,
                     20 * p as u64,
                     rng,
-                    &mut stats.node_accesses,
+                    driver.node_accesses_mut(),
                 )
                 .into_iter()
                 .map(|sol| {
@@ -196,26 +202,17 @@ impl Sea {
             pop
         };
 
-        let mut incumbent = {
-            let seed = &pop[0];
-            Incumbent::new(
-                seed.sol.clone(),
-                seed.cs.total_violations(),
-                edges,
-                clock.elapsed(),
-                clock.steps(),
-            )
-        };
-        clock.publish_bound(incumbent.best_violations);
-        crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
+        // Eager incumbent from the first member, so the run always has a
+        // full trace even on a zero-generation budget.
+        driver.offer(&pop[0].sol, pop[0].cs.total_violations());
 
-        let _evolve_phase = clock.obs().timer.span("evolve");
+        let _evolve_phase = driver.obs().timer.span("evolve");
         let mut generation: u64 = 0;
         let mut last_improvement_gen: u64 = 0;
-        'generations: while !clock.exhausted() {
-            clock.step();
+        'generations: while !driver.exhausted() {
+            driver.step();
             generation += 1;
-            stats.restarts = generation; // generations telemetry
+            driver.stats_mut().restarts = generation; // generations telemetry
 
             // Stagnation restart: re-diversify a converged population.
             if self.config.stagnation_restart > 0
@@ -229,7 +226,7 @@ impl Sea {
                         p,
                         20 * p as u64,
                         rng,
-                        &mut stats.node_accesses,
+                        driver.node_accesses_mut(),
                     )
                 } else {
                     Vec::new()
@@ -249,27 +246,18 @@ impl Sea {
             // consumed budget (budget-aware annealing, g_c = 0).
             let max_c = n.saturating_sub(1).max(1);
             let c = match self.config.generations_per_c {
-                0 => (1 + (clock.fraction_consumed() * (max_c - 1) as f64).round() as usize)
+                0 => (1 + (driver.fraction_consumed() * (max_c - 1) as f64).round() as usize)
                     .min(max_c),
                 g_c => ((1 + (generation - 1) / g_c) as usize).min(max_c),
             };
 
             // --- Evaluation: offer everyone to the incumbent. ---
             for ind in &pop {
-                if incumbent.offer(
-                    &ind.sol,
-                    ind.cs.total_violations(),
-                    edges,
-                    clock.elapsed(),
-                    clock.steps(),
-                ) {
-                    stats.improvements += 1;
+                if driver.offer(&ind.sol, ind.cs.total_violations()) {
                     last_improvement_gen = generation;
-                    clock.publish_bound(incumbent.best_violations);
-                    crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
                 }
             }
-            if incumbent.best_violations == 0 {
+            if driver.best_violations() == Some(0) {
                 break 'generations; // nothing can beat similarity 1
             }
 
@@ -314,7 +302,7 @@ impl Sea {
 
             // --- Mutation: one ILS move per selected individual. ---
             for ind in pop.iter_mut() {
-                if clock.exhausted() {
+                if driver.exhausted() {
                     break 'generations;
                 }
                 if !rng.random_bool(self.config.mutation_rate) {
@@ -332,9 +320,13 @@ impl Sea {
                     .count();
                 let worst = order[rng.random_range(0..tied)];
                 let current_satisfied = ind.cs.satisfied_of(graph, worst);
-                if let Some(best) =
-                    find_best_value(instance, &ind.sol, worst, None, &mut stats.node_accesses)
-                {
+                if let Some(best) = cache.find_best_value(
+                    instance,
+                    &ind.sol,
+                    worst,
+                    None,
+                    driver.node_accesses_mut(),
+                ) {
                     if best.satisfied > current_satisfied {
                         ind.cs.reassign(
                             graph,
@@ -350,32 +342,7 @@ impl Sea {
 
         // Final evaluation pass so the last generation's work counts.
         for ind in &pop {
-            if incumbent.offer(
-                &ind.sol,
-                ind.cs.total_violations(),
-                edges,
-                clock.elapsed(),
-                clock.steps(),
-            ) {
-                stats.improvements += 1;
-                clock.publish_bound(incumbent.best_violations);
-                crate::observe::emit_improvement(&clock, incumbent.best_violations, edges);
-            }
-        }
-
-        stats.elapsed = clock.elapsed();
-        stats.steps = clock.steps();
-        stats.improvements = incumbent.improvements;
-        crate::observe::flush_stats(clock.obs(), &stats);
-        clock.emit_stop_reason();
-        RunOutcome {
-            best_similarity: 1.0 - incumbent.best_violations as f64 / edges as f64,
-            best: incumbent.best,
-            best_violations: incumbent.best_violations,
-            stats,
-            trace: incumbent.trace,
-            proven_optimal: false,
-            top_solutions: incumbent.top.into_vec(),
+            driver.offer(&ind.sol, ind.cs.total_violations());
         }
     }
 }

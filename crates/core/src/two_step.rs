@@ -106,7 +106,9 @@ impl TwoStep {
     /// Like [`TwoStep::run`], additionally reporting both steps through
     /// `obs`: the heuristic under a "heuristic" phase span, IBB under
     /// "systematic", with counters, improvement events and stop reasons for
-    /// each step.
+    /// each step. Both stages run *nested* (they do not emit their own
+    /// `run_end`); the pipeline emits **one** `run_end` describing the
+    /// overall best with the counters summed across both stages.
     pub fn run_with_obs(
         &self,
         instance: &Instance,
@@ -118,15 +120,15 @@ impl TwoStep {
             let _phase = obs.timer.span("heuristic");
             match &self.config {
                 TwoStepConfig::Ils(cfg, budget) => {
-                    let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+                    let ctx = SearchContext::local(*budget).with_obs(obs.clone()).nested();
                     Ils::new(cfg.clone()).search(instance, &ctx, rng)
                 }
                 TwoStepConfig::Gils(cfg, budget) => {
-                    let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+                    let ctx = SearchContext::local(*budget).with_obs(obs.clone()).nested();
                     crate::Gils::new(cfg.clone()).search(instance, &ctx, rng)
                 }
                 TwoStepConfig::Sea(cfg, budget) => {
-                    let ctx = SearchContext::local(*budget).with_obs(obs.clone());
+                    let ctx = SearchContext::local(*budget).with_obs(obs.clone()).nested();
                     Sea::new(cfg.clone()).search(instance, &ctx, rng)
                 }
             }
@@ -138,17 +140,22 @@ impl TwoStep {
             // systematic search is not performed at all."
             let mut best = heuristic.clone();
             best.proven_optimal = true; // similarity 1 cannot be beaten
-            return TwoStepOutcome {
+            let outcome = TwoStepOutcome {
                 heuristic,
                 systematic: None,
                 best,
             };
+            emit_combined_run_end(obs, &outcome);
+            return outcome;
         }
 
         let ibb = Ibb::new(IbbConfig::with_initial(heuristic.best.clone()));
         let systematic = {
             let _phase = obs.timer.span("systematic");
-            ibb.run_with_obs(instance, ibb_budget, obs)
+            let ctx = SearchContext::local(*ibb_budget)
+                .with_obs(obs.clone())
+                .nested();
+            ibb.search(instance, &ctx)
         };
 
         let best = if systematic.best_violations <= heuristic.best_violations {
@@ -156,12 +163,25 @@ impl TwoStep {
         } else {
             heuristic.clone()
         };
-        TwoStepOutcome {
+        let outcome = TwoStepOutcome {
             heuristic,
             systematic: Some(systematic),
             best,
-        }
+        };
+        emit_combined_run_end(obs, &outcome);
+        outcome
     }
+}
+
+/// Emits the pipeline's single `run_end`: the overall best outcome with
+/// counters aggregated across both stages (no-op without a sink).
+fn emit_combined_run_end(obs: &ObsHandle, outcome: &TwoStepOutcome) {
+    if !obs.has_sink() {
+        return;
+    }
+    let mut combined = outcome.best.clone();
+    combined.stats = outcome.total_stats();
+    crate::observe::emit_run_end(obs, &combined);
 }
 
 #[cfg(test)]

@@ -1,0 +1,286 @@
+//! Per-variable window caching for the *find best value* hot path.
+//!
+//! Every [`find_best_value`](crate::find_best_value) call rebuilds the
+//! neighbour-window vector from scratch, even though a local-search step
+//! changes at most one assignment — so between consecutive calls for the
+//! same variable most windows (and often all of them) are unchanged.
+//! [`WindowCache`] keeps one window vector per variable, refreshes only
+//! the entries whose neighbour assignment actually changed, and — when
+//! nothing relevant changed at all — returns the previously computed
+//! [`BestValue`] without touching the index.
+//!
+//! Invalidation rule: a cached traversal result for variable `v` is valid
+//! iff (a) every neighbour of `v` holds the same assignment as when the
+//! result was computed, and (b) in penalty mode, the
+//! [`PenaltyTable::version`] is unchanged (penalties only ever apply to
+//! `v`'s own objects, but any punishment can re-rank the leaves).
+//! The variable's *own* assignment is irrelevant: the query depends only
+//! on the neighbour windows.
+//!
+//! Because a cache hit returns a bit-identical result while skipping the
+//! traversal, node-access counts under the cache are ≤ the uncached
+//! counts and every other counter (steps, improvements, trajectories) is
+//! unchanged — the counter-compatibility contract of DESIGN.md §5e.
+
+use crate::find_best_value::{best_value_in_windows, BestValue};
+use crate::instance::Instance;
+use mwsj_geom::{Predicate, Rect};
+use mwsj_query::{PenaltyTable, Solution, VarId};
+
+/// Cached window state for one variable.
+#[derive(Debug, Clone)]
+struct VarWindows {
+    /// Neighbour assignments the windows were built from; `usize::MAX`
+    /// marks a slot that has never been built (no dataset is that large).
+    assignments: Vec<usize>,
+    /// One `(predicate, rect)` window per neighbour, in
+    /// `graph().neighbors(var)` order — the same order
+    /// [`find_best_value`](crate::find_best_value) builds.
+    windows: Vec<(Predicate, Rect)>,
+    /// Result of the last traversal with these windows, if still valid.
+    result: Option<Option<BestValue>>,
+    /// Penalty-table version the cached result was computed at.
+    penalty_version: u64,
+}
+
+/// Reusable window vectors + memoised results for repeated
+/// [`find_best_value`](crate::find_best_value) calls over one instance.
+///
+/// Create one per search run and route every best-value query through
+/// [`WindowCache::find_best_value`]; the answers are identical to the
+/// free function's, only cheaper.
+#[derive(Debug, Clone)]
+pub struct WindowCache {
+    vars: Vec<VarWindows>,
+}
+
+impl WindowCache {
+    /// An empty cache sized for `instance`.
+    pub fn new(instance: &Instance) -> Self {
+        let vars = (0..instance.n_vars())
+            .map(|var| {
+                let deg = instance.graph().neighbors(var).len();
+                VarWindows {
+                    assignments: vec![usize::MAX; deg],
+                    windows: Vec::with_capacity(deg),
+                    result: None,
+                    penalty_version: 0,
+                }
+            })
+            .collect();
+        WindowCache { vars }
+    }
+
+    /// Drops every cached window and result (e.g. after swapping in an
+    /// unrelated solution wholesale is *not* required — assignments are
+    /// re-checked per call — but callers may use this to bound memory on
+    /// huge instances).
+    pub fn clear(&mut self) {
+        for entry in &mut self.vars {
+            entry.assignments.fill(usize::MAX);
+            entry.windows.clear();
+            entry.result = None;
+        }
+    }
+
+    /// Cached equivalent of [`find_best_value`](crate::find_best_value):
+    /// same arguments, bit-identical result, fewer node accesses.
+    ///
+    /// The window vector for `var` is refreshed in place (only slots whose
+    /// neighbour assignment changed are rebuilt); if no slot changed and
+    /// the penalty version is unchanged, the memoised result is returned
+    /// without traversing the index (`node_accesses` is left untouched).
+    pub fn find_best_value(
+        &mut self,
+        instance: &Instance,
+        sol: &Solution,
+        var: VarId,
+        penalties: Option<(&PenaltyTable, f64)>,
+        node_accesses: &mut u64,
+    ) -> Option<BestValue> {
+        let neighbors = instance.graph().neighbors(var);
+        let entry = &mut self.vars[var];
+
+        let mut dirty = false;
+        if entry.windows.len() != neighbors.len() {
+            // First use of this variable: build the full vector.
+            entry.windows.clear();
+            for (slot, &(u, pred)) in neighbors.iter().enumerate() {
+                let assigned = sol.get(u);
+                entry.assignments[slot] = assigned;
+                entry.windows.push((pred, instance.rect(u, assigned)));
+            }
+            dirty = true;
+        } else {
+            for (slot, &(u, _)) in neighbors.iter().enumerate() {
+                let assigned = sol.get(u);
+                if entry.assignments[slot] != assigned {
+                    entry.assignments[slot] = assigned;
+                    entry.windows[slot].1 = instance.rect(u, assigned);
+                    dirty = true;
+                }
+            }
+        }
+
+        let penalty_version = penalties.map_or(0, |(table, _)| table.version());
+        if !dirty && entry.penalty_version == penalty_version {
+            if let Some(cached) = entry.result {
+                #[cfg(test)]
+                HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return cached;
+            }
+        }
+
+        let result = best_value_in_windows(instance, var, &entry.windows, penalties, node_accesses);
+        let entry = &mut self.vars[var];
+        entry.result = Some(result);
+        entry.penalty_version = penalty_version;
+        result
+    }
+}
+
+#[cfg(test)]
+pub(crate) static HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_best_value::find_best_value;
+    use mwsj_datagen::Dataset;
+    use mwsj_query::QueryGraph;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_instance(seed: u64, n: usize, cardinality: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = QueryGraph::clique(n);
+        let datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(cardinality, 0.3, &mut rng))
+            .collect();
+        Instance::new(graph, datasets).unwrap()
+    }
+
+    #[test]
+    fn cached_results_match_uncached_across_reassignments() {
+        let inst = random_instance(61, 4, 300);
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        for _ in 0..200 {
+            let var = rng.random_range(0..4);
+            let mut acc_fast = 0;
+            let mut acc_slow = 0;
+            let fast = cache.find_best_value(&inst, &sol, var, None, &mut acc_fast);
+            let slow = find_best_value(&inst, &sol, var, None, &mut acc_slow);
+            assert_eq!(fast, slow);
+            assert!(acc_fast <= acc_slow, "cache must not add node accesses");
+            // Mutate one assignment like a local-search step would.
+            let v = rng.random_range(0..4);
+            sol.set(v, rng.random_range(0..300));
+        }
+    }
+
+    #[test]
+    fn repeat_query_without_changes_skips_the_traversal() {
+        let inst = random_instance(63, 3, 200);
+        let mut rng = StdRng::seed_from_u64(64);
+        let sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        let mut acc = 0;
+        let first = cache.find_best_value(&inst, &sol, 0, None, &mut acc);
+        assert!(acc > 0);
+        let after_first = acc;
+        let second = cache.find_best_value(&inst, &sol, 0, None, &mut acc);
+        assert_eq!(first, second);
+        assert_eq!(acc, after_first, "full cache hit must not touch the index");
+    }
+
+    #[test]
+    fn own_assignment_change_keeps_the_cache_valid() {
+        // The query for `var` depends only on its neighbours' windows.
+        let inst = random_instance(65, 3, 200);
+        let mut rng = StdRng::seed_from_u64(66);
+        let mut sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        let mut acc = 0;
+        let first = cache.find_best_value(&inst, &sol, 1, None, &mut acc);
+        let after_first = acc;
+        sol.set(1, (sol.get(1) + 1) % 200);
+        let second = cache.find_best_value(&inst, &sol, 1, None, &mut acc);
+        assert_eq!(first, second);
+        assert_eq!(acc, after_first);
+    }
+
+    #[test]
+    fn penalty_version_change_invalidates_the_result() {
+        let inst = random_instance(67, 3, 200);
+        let mut rng = StdRng::seed_from_u64(68);
+        let sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        let mut table = PenaltyTable::new();
+        let lambda = 0.1;
+        let mut acc = 0;
+        let first = cache.find_best_value(&inst, &sol, 0, Some((&table, lambda)), &mut acc);
+        let mut check = 0;
+        assert_eq!(
+            first,
+            find_best_value(&inst, &sol, 0, Some((&table, lambda)), &mut check)
+        );
+        // Punish the current assignments; the cached result is now stale.
+        table.penalize_local_maximum(&sol);
+        let after_first = acc;
+        let second = cache.find_best_value(&inst, &sol, 0, Some((&table, lambda)), &mut acc);
+        assert!(acc > after_first, "version bump must force a re-traversal");
+        let mut check = 0;
+        assert_eq!(
+            second,
+            find_best_value(&inst, &sol, 0, Some((&table, lambda)), &mut check)
+        );
+    }
+
+    #[test]
+    fn clear_resets_to_cold_state() {
+        let inst = random_instance(69, 3, 200);
+        let mut rng = StdRng::seed_from_u64(70);
+        let sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        let mut acc = 0;
+        let first = cache.find_best_value(&inst, &sol, 0, None, &mut acc);
+        cache.clear();
+        let before = acc;
+        let again = cache.find_best_value(&inst, &sol, 0, None, &mut acc);
+        assert_eq!(first, again);
+        assert!(acc > before, "cleared cache must re-traverse");
+    }
+}
+
+#[cfg(test)]
+mod drive_integration {
+    use crate::{Ils, SearchBudget};
+    use mwsj_datagen::{hard_region_density, plant_solution, Dataset, QueryShape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// An end-to-end ILS run must actually *hit* the cache: the
+    /// local-maximum sweep re-queries variables whose neighbour windows
+    /// are unchanged (e.g. the variable improved last), so a real search
+    /// saves traversals, not just in principle.
+    #[test]
+    fn ils_run_produces_cache_hits() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let shape = QueryShape::Chain;
+        let (n, card) = (4, 200);
+        let d = hard_region_density(shape, n, card, 1.0);
+        let mut datasets: Vec<Dataset> = (0..n)
+            .map(|_| Dataset::uniform(card, d, &mut rng))
+            .collect();
+        let graph = shape.graph(n);
+        plant_solution(&mut datasets, &graph, &mut rng);
+        let inst = crate::Instance::new(graph, datasets).unwrap();
+        let before = super::HITS.load(std::sync::atomic::Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = Ils::default().run(&inst, &SearchBudget::iterations(3000), &mut rng);
+        let hits = super::HITS.load(std::sync::atomic::Ordering::Relaxed) - before;
+        assert!(hits > 0, "a full ILS run should produce window-cache hits");
+    }
+}

@@ -1,0 +1,220 @@
+//! Event-stream contract of the [`mwsj_core`] search driver: every
+//! top-level run emits exactly one `run_end`, every driver-run emits at
+//! most one stop-reason event, and portfolio restarts — including
+//! zero-step ones when `K` exceeds the step budget — always emit their
+//! `restart_start`/`restart_end` pair.
+
+use mwsj_core::{
+    Gils, Ibb, IbbConfig, Ils, IlsConfig, Instance, NaiveGa, NaiveGaConfig, NaiveLocalSearch,
+    ObsHandle, ParallelPortfolio, PortfolioConfig, RunEvent, SaConfig, Sea, SeaConfig,
+    SearchBudget, SearchContext, SimulatedAnnealing, TwoStep, TwoStepConfig, VecSink,
+};
+use mwsj_datagen::{hard_region_density, Dataset, QueryShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Hard-region instance with no planted solution, so heuristics run to
+/// budget exhaustion instead of stopping on an exact solution.
+fn hard_instance(seed: u64, n: usize, cardinality: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = QueryShape::Chain;
+    let d = hard_region_density(shape, n, cardinality, 1.0);
+    let datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::uniform(cardinality, d, &mut rng))
+        .collect();
+    Instance::new(shape.graph(n), datasets).unwrap()
+}
+
+fn sinked_obs() -> (Arc<VecSink>, ObsHandle) {
+    let sink = Arc::new(VecSink::new());
+    let obs = ObsHandle::enabled().with_sink(sink.clone());
+    (sink, obs)
+}
+
+fn count_run_ends(events: &[RunEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::RunEnd { .. }))
+        .count()
+}
+
+fn count_stop_reasons(events: &[RunEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                RunEvent::BudgetExhausted { .. } | RunEvent::CutoffFired { .. }
+            )
+        })
+        .count()
+}
+
+#[test]
+fn every_standalone_algorithm_emits_one_run_end_and_at_most_one_stop_reason() {
+    let inst = hard_instance(301, 4, 150);
+    let budget = SearchBudget::iterations(120);
+    type AlgoRun<'a> = Box<dyn Fn(&SearchContext, &mut StdRng) + 'a>;
+    let algos: Vec<(&str, AlgoRun)> = vec![
+        (
+            "ILS",
+            Box::new(|ctx: &SearchContext, rng: &mut StdRng| {
+                let _ = Ils::new(IlsConfig::default()).search(&inst, ctx, rng);
+            }),
+        ),
+        (
+            "GILS",
+            Box::new(|ctx, rng| {
+                let _ = Gils::default().search(&inst, ctx, rng);
+            }),
+        ),
+        (
+            "SEA",
+            Box::new(|ctx, rng| {
+                let _ = Sea::new(SeaConfig::default_for(&inst)).search(&inst, ctx, rng);
+            }),
+        ),
+        (
+            "naive-LS",
+            Box::new(|ctx, rng| {
+                let _ = NaiveLocalSearch::default().search(&inst, ctx, rng);
+            }),
+        ),
+        (
+            "naive-GA",
+            Box::new(|ctx, rng| {
+                let _ = NaiveGa::new(NaiveGaConfig::default()).search(&inst, ctx, rng);
+            }),
+        ),
+        (
+            "SA",
+            Box::new(|ctx, rng| {
+                let _ = SimulatedAnnealing::new(SaConfig::default()).search(&inst, ctx, rng);
+            }),
+        ),
+    ];
+    for (name, run) in &algos {
+        let (sink, obs) = sinked_obs();
+        let ctx = SearchContext::local(budget).with_obs(obs);
+        let mut rng = StdRng::seed_from_u64(302);
+        run(&ctx, &mut rng);
+        let events = sink.events();
+        assert_eq!(count_run_ends(&events), 1, "{name}: exactly one run_end");
+        assert!(
+            count_stop_reasons(&events) <= 1,
+            "{name}: at most one stop-reason event"
+        );
+    }
+}
+
+#[test]
+fn nested_runs_leave_run_end_to_the_composite() {
+    let inst = hard_instance(303, 4, 150);
+    let (sink, obs) = sinked_obs();
+    let ctx = SearchContext::local(SearchBudget::iterations(80))
+        .with_obs(obs)
+        .nested();
+    let mut rng = StdRng::seed_from_u64(304);
+    let _ = Ils::default().search(&inst, &ctx, &mut rng);
+    assert_eq!(
+        count_run_ends(&sink.events()),
+        0,
+        "nested run must not emit run_end"
+    );
+}
+
+#[test]
+fn ibb_emits_one_run_end() {
+    let inst = hard_instance(305, 3, 60);
+    let (sink, obs) = sinked_obs();
+    let _ = Ibb::new(IbbConfig::new()).run_with_obs(&inst, &SearchBudget::iterations(50), &obs);
+    let events = sink.events();
+    assert_eq!(count_run_ends(&events), 1, "IBB: exactly one run_end");
+    assert!(count_stop_reasons(&events) <= 1);
+}
+
+#[test]
+fn two_step_emits_one_combined_run_end() {
+    let inst = hard_instance(306, 4, 150);
+    let (sink, obs) = sinked_obs();
+    let mut rng = StdRng::seed_from_u64(307);
+    let two = TwoStep::new(TwoStepConfig::Ils(
+        IlsConfig::default(),
+        SearchBudget::iterations(100),
+    ));
+    let outcome = two.run_with_obs(&inst, &SearchBudget::iterations(200), &mut rng, &obs);
+    let events = sink.events();
+    assert_eq!(
+        count_run_ends(&events),
+        1,
+        "two-step pipeline: one combined run_end"
+    );
+    // Each stage is one driver-run, so at most one stop reason per stage.
+    let stages = 1 + usize::from(outcome.ran_systematic());
+    assert!(count_stop_reasons(&events) <= stages);
+    // The combined event carries the counters summed across both stages.
+    let total = outcome.total_stats();
+    let end = events
+        .iter()
+        .find(|e| matches!(e, RunEvent::RunEnd { .. }))
+        .unwrap();
+    if let RunEvent::RunEnd {
+        steps,
+        node_accesses,
+        ..
+    } = end
+    {
+        assert_eq!(*steps, total.steps);
+        assert_eq!(*node_accesses, total.node_accesses);
+    }
+}
+
+#[test]
+fn portfolio_with_more_restarts_than_steps_emits_all_restart_pairs() {
+    // K = 5 restarts sharing a 3-step budget: `SearchBudget::split` hands
+    // the last two restarts zero steps. They must still run, emit their
+    // `restart_start`/`restart_end` pair, and merge cleanly.
+    let inst = hard_instance(308, 4, 120);
+    let (sink, obs) = sinked_obs();
+    let portfolio = ParallelPortfolio::new(Ils::default(), PortfolioConfig::new(5, 1));
+    let outcome = portfolio.run_with_obs(&inst, &SearchBudget::iterations(3), 309, &obs);
+
+    let events = sink.events();
+    let starts: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::RestartStart { restart, .. } => Some(*restart),
+            _ => None,
+        })
+        .collect();
+    let ends: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::RestartEnd { restart, steps, .. } => Some((*restart, *steps)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), 5, "every restart emits restart_start");
+    assert_eq!(ends.len(), 5, "every restart emits restart_end");
+    for i in 0..5u64 {
+        assert!(starts.contains(&i), "restart_start for restart {i}");
+    }
+    let zero_step = ends.iter().filter(|(_, steps)| *steps == 0).count();
+    assert_eq!(zero_step, 2, "split(3, 5) leaves two zero-step restarts");
+    assert_eq!(
+        ends.iter().map(|(_, steps)| steps).sum::<u64>(),
+        3,
+        "restart steps sum to the total budget"
+    );
+
+    // One merged run_end for the whole portfolio, none per restart.
+    assert_eq!(count_run_ends(&events), 1);
+    assert_eq!(outcome.merged.stats.steps, 3);
+    assert_eq!(outcome.restarts.len(), 5);
+    // Zero-step restarts still produce a (random fallback) outcome.
+    assert!(outcome
+        .restarts
+        .iter()
+        .all(|r| r.outcome.best.len() == inst.n_vars()));
+}

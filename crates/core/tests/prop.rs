@@ -4,10 +4,10 @@
 
 use mwsj_core::{
     find_best_value, Ibb, IbbConfig, Ils, IlsConfig, Instance, ParallelPortfolio, Pjm,
-    PortfolioConfig, SearchBudget, SynchronousTraversal, WindowReduction,
+    PortfolioConfig, SearchBudget, SynchronousTraversal, WindowCache, WindowReduction,
 };
 use mwsj_geom::Rect;
-use mwsj_query::{QueryGraph, Solution};
+use mwsj_query::{PenaltyTable, QueryGraph, Solution};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,6 +93,90 @@ proptest! {
                 None => prop_assert_eq!(slow_best, 0),
             }
         }
+    }
+
+    /// The multi-window traversal kernel returns the same `BestValue` as a
+    /// straightforward exhaustive scan over the dataset, in raw and in
+    /// λ-penalised mode. Scores must always agree; the winning object is
+    /// pinned only when the argmax is unique (ties may break either way).
+    #[test]
+    fn kernel_matches_exhaustive_scan((inst, seed) in arb_instance()) {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD00F);
+        let mut table = PenaltyTable::new();
+        for _ in 0..40 {
+            let var = rng.random_range(0..inst.n_vars());
+            table.penalize(var, rng.random_range(0..inst.cardinality(var)));
+        }
+        // A binary fraction keeps every score exact in f64, so equality
+        // comparisons below need no epsilon.
+        let lambda = 0.25;
+        let sol = inst.random_solution(&mut rng);
+        for var in 0..inst.n_vars() {
+            let windows: Vec<_> = inst
+                .graph()
+                .neighbors(var)
+                .iter()
+                .map(|&(u, pred)| (pred, inst.rect(u, sol.get(u))))
+                .collect();
+            for penalties in [None, Some((&table, lambda))] {
+                let mut acc = 0u64;
+                let fast = find_best_value(&inst, &sol, var, penalties, &mut acc);
+                // Exhaustive scan: first strict maximum, counting ties.
+                let mut best: Option<(usize, u32, f64)> = None;
+                let mut ties = 0usize;
+                for obj in 0..inst.cardinality(var) {
+                    let r = inst.rect(var, obj);
+                    let count = windows.iter().filter(|(p, w)| p.eval(&r, w)).count() as u32;
+                    if count == 0 {
+                        continue;
+                    }
+                    let eff = match penalties {
+                        Some((t, l)) => count as f64 - l * t.get(var, obj) as f64,
+                        None => count as f64,
+                    };
+                    match best {
+                        None => { best = Some((obj, count, eff)); ties = 1; }
+                        Some((_, _, b)) if eff > b => { best = Some((obj, count, eff)); ties = 1; }
+                        Some((_, _, b)) if eff == b => ties += 1,
+                        _ => {}
+                    }
+                }
+                match (fast, best) {
+                    (None, None) => {}
+                    (Some(f), Some((obj, count, eff))) => {
+                        prop_assert_eq!(f.effective, eff, "var {}: score mismatch", var);
+                        if ties == 1 {
+                            prop_assert_eq!(f.object, obj);
+                            prop_assert_eq!(f.satisfied, count);
+                        }
+                    }
+                    (f, s) => prop_assert!(false, "kernel {:?} vs scan {:?}", f, s),
+                }
+            }
+        }
+    }
+
+    /// `WindowCache` is transparent: across an arbitrary mutation sequence
+    /// it returns exactly what a fresh `find_best_value` returns, while
+    /// never visiting more nodes.
+    #[test]
+    fn window_cache_is_transparent((inst, seed) in arb_instance()) {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xACE5);
+        let mut sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        let mut cached_acc = 0u64;
+        let mut fresh_acc = 0u64;
+        for _ in 0..30 {
+            let var = rng.random_range(0..inst.n_vars());
+            let cached = cache.find_best_value(&inst, &sol, var, None, &mut cached_acc);
+            let fresh = find_best_value(&inst, &sol, var, None, &mut fresh_acc);
+            prop_assert_eq!(cached, fresh);
+            let v = rng.random_range(0..inst.n_vars());
+            sol.set(v, rng.random_range(0..inst.cardinality(v)));
+        }
+        prop_assert!(cached_acc <= fresh_acc, "cache may only save node accesses");
     }
 
     /// Exhaustive IBB equals the brute-force optimum on every instance.

@@ -9,10 +9,13 @@
 //!   floating-point round-off (derived values). Any drift means the
 //!   algorithms themselves changed and fails the gate outright.
 //! * **Measured fields** — the wall-clock medians — are compared with a
-//!   relative tolerance band (default +25%). Only the median of the
-//!   recorded repetitions is gated; per-rep values and the wall-axis AUC
-//!   are reported for context but never fail the comparison, since they
-//!   are too noisy on shared CI runners.
+//!   relative tolerance band (default +25%) widened by an absolute slack
+//!   (default +5ms): a candidate fails only when it exceeds both, so
+//!   sub-millisecond jitter on tiny workloads does not read as a
+//!   regression. Only the median of the recorded repetitions is gated;
+//!   per-rep values and the wall-axis AUC are reported for context but
+//!   never fail the comparison, since they are too noisy on shared CI
+//!   runners.
 //!
 //! Missing or extra (instance, algorithm) pairs fail the gate: a
 //! disappearing benchmark is a regression of coverage, not noise.
@@ -23,6 +26,15 @@ use std::fmt::Write as _;
 /// Relative wall-clock slowdown tolerated by default (0.25 = +25%).
 pub const DEFAULT_WALL_TOLERANCE: f64 = 0.25;
 
+/// Absolute wall-clock slack tolerated by default, in milliseconds.
+///
+/// Sub-10ms medians on shared runners jitter by fractions of a
+/// millisecond, which a purely relative band misreads as a regression
+/// (0.01ms on a 0.04ms median is +25%). A candidate therefore fails the
+/// wall gate only when it exceeds **both** the relative band and this
+/// absolute slack over the baseline.
+pub const DEFAULT_WALL_SLACK_MS: f64 = 5.0;
+
 /// Absolute tolerance for derived deterministic floats (round-off only).
 const FLOAT_EPS: f64 = 1e-9;
 
@@ -32,12 +44,18 @@ pub struct CompareConfig {
     /// Maximum tolerated relative wall-clock slowdown of the median
     /// (`0.25` fails candidates more than 25% slower than baseline).
     pub wall_tolerance: f64,
+    /// Absolute wall-clock slack in milliseconds; a candidate median
+    /// within `baseline + wall_slack_ms` never fails the wall gate even
+    /// when the relative band is exceeded (noise floor for tiny
+    /// workloads).
+    pub wall_slack_ms: f64,
 }
 
 impl Default for CompareConfig {
     fn default() -> Self {
         CompareConfig {
             wall_tolerance: DEFAULT_WALL_TOLERANCE,
+            wall_slack_ms: DEFAULT_WALL_SLACK_MS,
         }
     }
 }
@@ -239,16 +257,20 @@ fn compare_algo(
         }
     }
 
-    // Measured wall clock: median within the tolerance band.
+    // Measured wall clock: median within the tolerance band. The band is
+    // relative-OR-absolute — a candidate fails only when it exceeds both
+    // `baseline * (1 + tolerance)` and `baseline + slack`, so sub-slack
+    // jitter on tiny workloads never trips the gate.
     let (b, c) = (base.wall_ms_median, cand.wall_ms_median);
     if b > 0.0 {
         let ratio = c / b;
         let msg = format!(
-            "wall median {b:.2}ms -> {c:.2}ms ({:+.1}%, tolerance +{:.0}%)",
+            "wall median {b:.2}ms -> {c:.2}ms ({:+.1}%, tolerance +{:.0}% or +{:.1}ms)",
             (ratio - 1.0) * 100.0,
-            cfg.wall_tolerance * 100.0
+            cfg.wall_tolerance * 100.0,
+            cfg.wall_slack_ms
         );
-        let verdict = if ratio > 1.0 + cfg.wall_tolerance {
+        let verdict = if ratio > 1.0 + cfg.wall_tolerance && c > b + cfg.wall_slack_ms {
             Verdict::Fail
         } else {
             Verdict::Ok
@@ -333,14 +355,16 @@ mod tests {
 
     #[test]
     fn wall_slowdown_within_band_passes_beyond_fails() {
-        let a = snapshot("a", vec![record("ILS", 100, 10.0)]);
-        let mut fast = record("ILS", 100, 10.0);
-        fast.wall_ms_median = 12.0; // +20% < +25%
+        // Baselines well above the absolute slack, so the relative band
+        // is what decides.
+        let a = snapshot("a", vec![record("ILS", 100, 100.0)]);
+        let mut fast = record("ILS", 100, 100.0);
+        fast.wall_ms_median = 120.0; // +20% < +25%
         let report = compare(&a, &snapshot("b", vec![fast]), CompareConfig::default());
         assert!(report.passed(), "{}", report.render());
 
-        let mut slow = record("ILS", 100, 10.0);
-        slow.wall_ms_median = 13.0; // +30% > +25%
+        let mut slow = record("ILS", 100, 100.0);
+        slow.wall_ms_median = 130.0; // +30% > +25%, +30ms > slack
         let report = compare(&a, &snapshot("b", vec![slow]), CompareConfig::default());
         assert!(!report.passed());
         assert!(
@@ -350,16 +374,46 @@ mod tests {
         );
 
         // A wider band admits it.
-        let mut slow = record("ILS", 100, 10.0);
-        slow.wall_ms_median = 13.0;
+        let mut slow = record("ILS", 100, 100.0);
+        slow.wall_ms_median = 130.0;
         let report = compare(
             &a,
             &snapshot("b", vec![slow]),
             CompareConfig {
                 wall_tolerance: 0.5,
+                ..CompareConfig::default()
             },
         );
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn absolute_slack_floors_the_relative_band_on_tiny_workloads() {
+        // +75% relative, but only +0.03ms absolute: inside the slack.
+        let a = snapshot("a", vec![record("ILS", 100, 0.04)]);
+        let mut jittery = record("ILS", 100, 0.04);
+        jittery.wall_ms_median = 0.07;
+        let report = compare(&a, &snapshot("b", vec![jittery]), CompareConfig::default());
+        assert!(report.passed(), "{}", report.render());
+
+        // The slack is additive, not a substitute: past both bounds fails.
+        let mut slow = record("ILS", 100, 0.04);
+        slow.wall_ms_median = 8.0;
+        let report = compare(&a, &snapshot("b", vec![slow]), CompareConfig::default());
+        assert!(!report.passed(), "{}", report.render());
+
+        // Zero slack restores the purely relative gate.
+        let mut jittery = record("ILS", 100, 0.04);
+        jittery.wall_ms_median = 0.07;
+        let report = compare(
+            &a,
+            &snapshot("b", vec![jittery]),
+            CompareConfig {
+                wall_slack_ms: 0.0,
+                ..CompareConfig::default()
+            },
+        );
+        assert!(!report.passed(), "{}", report.render());
     }
 
     #[test]

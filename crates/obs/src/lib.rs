@@ -11,8 +11,9 @@
 //!   atomic cells) or *disabled* (every operation is a single `Option`
 //!   check), so instrumented code pays near-zero cost when observability
 //!   is off.
-//! * [`PhaseTimer`] — hierarchical wall-clock spans (`solve > restart[3]
-//!   > find_best_value`) with per-phase call counts and step attribution.
+//! * [`PhaseTimer`] — hierarchical wall-clock spans
+//!   (`solve > restart[3] > find_best_value`) with per-phase call counts
+//!   and step attribution.
 //!   Disabled timers never call [`std::time::Instant::now`].
 //! * [`RunEvent`] / [`EventSink`] — a structured run-event stream (run
 //!   start/end, incumbent improvements, restart lifecycle, budget
@@ -27,8 +28,8 @@
 //! similarity-vs-cost convergence curves (with quality-AUC and
 //! time-to-τ summaries), [`BenchSnapshot`] is the schema-validated
 //! `BENCH_<label>.json` format produced by `mwsj bench snapshot`,
-//! [`compare`] is the noise-aware regression gate behind `mwsj bench
-//! compare`, and [`profile::to_folded`] exports phase timers as
+//! [`compare`](mod@compare) is the noise-aware regression gate behind
+//! `mwsj bench compare`, and [`profile::to_folded`] exports phase timers as
 //! flamegraph-ready folded stacks.
 //!
 //! **Determinism contract.** Metric *values* flushed by the search layer
@@ -51,7 +52,9 @@ pub mod schema;
 pub mod snapshot;
 pub mod timer;
 
-pub use compare::{compare, CompareConfig, CompareReport, Verdict, DEFAULT_WALL_TOLERANCE};
+pub use compare::{
+    compare, CompareConfig, CompareReport, Verdict, DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
+};
 pub use curve::{AnytimeCurve, CurvePoint};
 pub use events::{EventSink, JsonlSink, RunEvent, VecSink};
 pub use handle::ObsHandle;

@@ -1,6 +1,6 @@
 //! Phase-profile export as folded stacks.
 //!
-//! [`PhaseTimer`] aggregates *inclusive* wall time per phase path
+//! [`PhaseTimer`](crate::PhaseTimer) aggregates *inclusive* wall time per phase path
 //! (`solve > restart[3] > find_best_value`). Flamegraph tooling instead
 //! consumes the **folded stack** format — one line per stack holding its
 //! *self* value:

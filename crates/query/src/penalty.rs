@@ -13,6 +13,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct PenaltyTable {
     penalties: HashMap<(VarId, usize), u32>,
+    version: u64,
 }
 
 impl PenaltyTable {
@@ -30,6 +31,17 @@ impl PenaltyTable {
     /// Increments the penalty of `v ← obj`.
     pub fn penalize(&mut self, v: VarId, obj: usize) {
         *self.penalties.entry((v, obj)).or_insert(0) += 1;
+        self.version += 1;
+    }
+
+    /// Monotone change counter: bumped on every [`penalize`] call.
+    /// Caches keyed on penalty state (e.g. the search layer's window
+    /// cache) compare versions instead of hashing the table.
+    ///
+    /// [`penalize`]: PenaltyTable::penalize
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Sum of penalties over all assignments of `sol`.
@@ -135,6 +147,21 @@ mod tests {
         assert_eq!(t.get(0, 10), 2);
         assert_eq!(t.get(1, 20), 2);
         assert_eq!(t.get(2, 30), 2);
+    }
+
+    #[test]
+    fn version_bumps_on_every_punishment() {
+        let mut t = PenaltyTable::new();
+        assert_eq!(t.version(), 0);
+        t.penalize(0, 1);
+        assert_eq!(t.version(), 1);
+        let sol = Solution::new(vec![1, 2]);
+        let punished = t.penalize_local_maximum(&sol);
+        assert_eq!(t.version(), 1 + punished.len() as u64);
+        // Reads do not bump the version.
+        let _ = t.get(0, 1);
+        let _ = t.total_for(&sol);
+        assert_eq!(t.version(), 1 + punished.len() as u64);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   algorithms in `mwsj-core` use to drive custom branch-and-bound
 //!   traversals (the paper's *find best value*, synchronous traversal and
 //!   IBB) while counting node accesses themselves.
+//! * A **multi-window branch-and-bound kernel** ([`find_best_leaf`]):
+//!   the best-first, prune-by-potential traversal of the paper's *find
+//!   best value* (Fig. 5) with a caller-supplied leaf scorer, shared by
+//!   the raw (ILS/SEA/IBB) and λ-penalised (GILS) search paths.
 //! * A shared **access-accounting hook** ([`AccessCounter`]): every
 //!   traversal path — insertion, window/point/predicate queries, k-NN,
 //!   bulk load and the visit API — has a `*_counted` variant that records
@@ -41,6 +45,7 @@ mod bulk_hilbert;
 mod delete;
 mod insert;
 mod knn;
+pub mod multiwindow;
 mod node;
 mod params;
 mod query;
@@ -52,6 +57,7 @@ mod visit;
 
 pub use access::AccessCounter;
 pub use knn::Neighbor;
+pub use multiwindow::{find_best_leaf, BestLeaf};
 pub use params::RTreeParams;
 pub use stats::TreeStats;
 pub use tree::RTree;
