@@ -22,21 +22,26 @@ fn items(n: usize, seed: u64) -> Vec<(Rect, u32)> {
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree_build");
     group.sample_size(10);
-    for &n in &[1_000usize, 10_000] {
+    for &n in &[1_000usize, 10_000, 100_000] {
         let data = items(n, 1);
-        group.bench_with_input(BenchmarkId::new("insert", n), &data, |b, data| {
-            b.iter_batched(
-                || data.clone(),
-                |data| {
-                    let mut tree = RTree::with_params(RTreeParams::new(32));
-                    for (r, v) in data {
-                        tree.insert(r, v);
-                    }
-                    black_box(tree.len())
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        // Incremental insert at 100k is dominated by reinsertion churn and
+        // would swamp the group's time budget; the bulk loaders are the
+        // paper-scale story.
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("insert", n), &data, |b, data| {
+                b.iter_batched(
+                    || data.clone(),
+                    |data| {
+                        let mut tree = RTree::with_params(RTreeParams::new(32));
+                        for (r, v) in data {
+                            tree.insert(r, v);
+                        }
+                        black_box(tree.len())
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
         group.bench_with_input(BenchmarkId::new("bulk_load_str", n), &data, |b, data| {
             b.iter_batched(
                 || data.clone(),

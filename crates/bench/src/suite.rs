@@ -15,7 +15,8 @@
 
 use crate::Algo;
 use mwsj_core::{
-    IlsConfig, Instance, RunStats, SearchBudget, SearchContext, TracePoint, TwoStep, TwoStepConfig,
+    IlsConfig, Instance, LeafLayout, RunStats, SearchBudget, SearchContext, TracePoint, TwoStep,
+    TwoStepConfig,
 };
 use mwsj_datagen::{QueryShape, WorkloadSpec};
 use mwsj_obs::snapshot::AlgoRecord;
@@ -37,6 +38,100 @@ const TWO_STEP_IBB_STEPS: u64 = 2_000;
 /// RNG seed every suite run uses (fixed: the suite measures code, not
 /// seeds).
 const RUN_SEED: u64 = 7;
+
+/// Large-tier step budget for ILS/GILS: scaled up so the planted optimum
+/// stays reachable at N = 10⁴–10⁵ objects per variable.
+const LARGE_LOCAL_SEARCH_STEPS: u64 = 8_000;
+/// Large-tier SEA generations.
+const LARGE_SEA_STEPS: u64 = 60;
+/// Large-tier two-step heuristic budget.
+const LARGE_TWO_STEP_HEURISTIC_STEPS: u64 = 2_000;
+/// Large-tier two-step systematic (IBB) budget.
+const LARGE_TWO_STEP_IBB_STEPS: u64 = 3_000;
+
+/// Per-tier step budgets handed to [`run_once`].
+#[derive(Debug, Clone, Copy)]
+struct TierBudgets {
+    local_search: u64,
+    sea: u64,
+    two_step_heuristic: u64,
+    two_step_ibb: u64,
+}
+
+/// The pinned suite tiers behind `mwsj bench snapshot --tier`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchTier {
+    /// The original toy-scale suite (n = 4, 200 objects/dataset) —
+    /// `BENCH_baseline.json`.
+    #[default]
+    Base,
+    /// Paper-scale workloads (N = 10⁴–10⁵ objects, n up to 10, all five
+    /// query shapes) — `BENCH_large.json`. Adds an entry-layout ILS
+    /// A/B record so node-access parity and the flat-leaf wall-time win
+    /// are visible in the snapshot itself.
+    Large,
+}
+
+impl BenchTier {
+    /// All tiers, in definition order.
+    pub const ALL: [BenchTier; 2] = [BenchTier::Base, BenchTier::Large];
+
+    /// CLI name (`--tier base|large`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchTier::Base => "base",
+            BenchTier::Large => "large",
+        }
+    }
+
+    /// Parses a CLI tier name.
+    pub fn parse(s: &str) -> Option<BenchTier> {
+        match s {
+            "base" => Some(BenchTier::Base),
+            "large" => Some(BenchTier::Large),
+            _ => None,
+        }
+    }
+
+    /// The tier's pinned workloads.
+    pub fn suite(&self) -> Vec<SuiteCase> {
+        match self {
+            BenchTier::Base => pinned_suite(),
+            BenchTier::Large => pinned_suite_large(),
+        }
+    }
+
+    /// The algorithms the tier snapshots, in record order.
+    pub fn algos(&self) -> Vec<SuiteAlgo> {
+        match self {
+            BenchTier::Base => SuiteAlgo::ALL.to_vec(),
+            BenchTier::Large => vec![
+                SuiteAlgo::Ils,
+                SuiteAlgo::IlsEntryLayout,
+                SuiteAlgo::Gils,
+                SuiteAlgo::Sea,
+                SuiteAlgo::TwoStep,
+            ],
+        }
+    }
+
+    fn budgets(&self) -> TierBudgets {
+        match self {
+            BenchTier::Base => TierBudgets {
+                local_search: LOCAL_SEARCH_STEPS,
+                sea: SEA_STEPS,
+                two_step_heuristic: TWO_STEP_HEURISTIC_STEPS,
+                two_step_ibb: TWO_STEP_IBB_STEPS,
+            },
+            BenchTier::Large => TierBudgets {
+                local_search: LARGE_LOCAL_SEARCH_STEPS,
+                sea: LARGE_SEA_STEPS,
+                two_step_heuristic: LARGE_TWO_STEP_HEURISTIC_STEPS,
+                two_step_ibb: LARGE_TWO_STEP_IBB_STEPS,
+            },
+        }
+    }
+}
 
 /// One pinned suite workload.
 #[derive(Debug, Clone)]
@@ -71,21 +166,54 @@ pub fn pinned_suite() -> Vec<SuiteCase> {
     ]
 }
 
+/// The large tier: paper-scale pinned workloads — N = 10⁴–10⁵ objects per
+/// dataset, n up to 10, all five query shapes, every instance at the
+/// hard-region density with one solution planted (τ = 1 reachable, so
+/// time-to-τ stays well defined at scale).
+pub fn pinned_suite_large() -> Vec<SuiteCase> {
+    let case = |name, shape, n_vars, cardinality, seed| SuiteCase {
+        name,
+        spec: WorkloadSpec {
+            shape,
+            n_vars,
+            cardinality,
+            target_solutions: 1.0,
+            plant: true,
+            seed,
+        },
+    };
+    vec![
+        case("chain-n8-hard", QueryShape::Chain, 8, 10_000, 201),
+        case("chain-n10-hard", QueryShape::Chain, 10, 10_000, 202),
+        case("star-n8-hard", QueryShape::Star, 8, 10_000, 203),
+        case("cycle-n8-hard", QueryShape::Cycle, 8, 10_000, 204),
+        case("clique-n6-hard", QueryShape::Clique, 6, 10_000, 205),
+        case("random-n10-hard", QueryShape::Random, 10, 10_000, 206),
+        case("chain-n6-100k", QueryShape::Chain, 6, 100_000, 207),
+    ]
+}
+
 /// The algorithms the suite measures, in snapshot order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuiteAlgo {
-    /// Indexed local search under `LOCAL_SEARCH_STEPS`.
+    /// Indexed local search under the tier's local-search budget.
     Ils,
-    /// Guided indexed local search under `LOCAL_SEARCH_STEPS`.
+    /// ILS forced onto the reference entry leaf layout
+    /// ([`LeafLayout::Entry`]) — the large tier's A/B record: its
+    /// deterministic counters must equal the `ILS` record's exactly
+    /// (node-access parity), while its wall time shows what the flat
+    /// layout buys.
+    IlsEntryLayout,
+    /// Guided indexed local search under the tier's local-search budget.
     Gils,
-    /// Spatial evolutionary algorithm under `SEA_STEPS` generations.
+    /// Spatial evolutionary algorithm under the tier's generation budget.
     Sea,
     /// ILS heuristic + systematic IBB (§6 two-step processing).
     TwoStep,
 }
 
 impl SuiteAlgo {
-    /// All suite algorithms, in snapshot order.
+    /// The base tier's algorithms, in snapshot order.
     pub const ALL: [SuiteAlgo; 4] = [
         SuiteAlgo::Ils,
         SuiteAlgo::Gils,
@@ -97,6 +225,7 @@ impl SuiteAlgo {
     pub fn name(&self) -> &'static str {
         match self {
             SuiteAlgo::Ils => "ILS",
+            SuiteAlgo::IlsEntryLayout => "ILS-entry-layout",
             SuiteAlgo::Gils => "GILS",
             SuiteAlgo::Sea => "SEA",
             SuiteAlgo::TwoStep => "two-step",
@@ -113,18 +242,28 @@ struct SuiteRun {
     phases: Vec<PhaseSnapshot>,
 }
 
-fn run_once(algo: SuiteAlgo, instance: &Instance) -> SuiteRun {
+fn run_once(algo: SuiteAlgo, instance: &Instance, budgets: TierBudgets) -> SuiteRun {
     let mut rng = StdRng::seed_from_u64(RUN_SEED);
     let obs = ObsHandle::timer_only();
     match algo {
-        SuiteAlgo::Ils | SuiteAlgo::Gils | SuiteAlgo::Sea => {
-            let (algo, steps) = match algo {
-                SuiteAlgo::Ils => (Algo::Ils, LOCAL_SEARCH_STEPS),
-                SuiteAlgo::Gils => (Algo::Gils, LOCAL_SEARCH_STEPS),
-                _ => (Algo::Sea, SEA_STEPS),
+        SuiteAlgo::Ils | SuiteAlgo::IlsEntryLayout | SuiteAlgo::Gils | SuiteAlgo::Sea => {
+            let (runner, steps) = match algo {
+                SuiteAlgo::Ils | SuiteAlgo::IlsEntryLayout => (Algo::Ils, budgets.local_search),
+                SuiteAlgo::Gils => (Algo::Gils, budgets.local_search),
+                _ => (Algo::Sea, budgets.sea),
+            };
+            // The A/B record runs the same search over the reference
+            // entry layout; a shallow clone retargets the kernel (the
+            // Arc'd datasets are shared, not copied).
+            let entry_instance;
+            let instance = if algo == SuiteAlgo::IlsEntryLayout {
+                entry_instance = instance.clone().with_leaf_layout(LeafLayout::Entry);
+                &entry_instance
+            } else {
+                instance
             };
             let ctx = SearchContext::local(SearchBudget::iterations(steps)).with_obs(obs.clone());
-            let outcome = algo.search(instance, &ctx, &mut rng);
+            let outcome = runner.search(instance, &ctx, &mut rng);
             SuiteRun {
                 stats: outcome.stats,
                 best_violations: outcome.best_violations,
@@ -136,11 +275,11 @@ fn run_once(algo: SuiteAlgo, instance: &Instance) -> SuiteRun {
         SuiteAlgo::TwoStep => {
             let pipeline = TwoStep::new(TwoStepConfig::Ils(
                 IlsConfig::default(),
-                SearchBudget::iterations(TWO_STEP_HEURISTIC_STEPS),
+                SearchBudget::iterations(budgets.two_step_heuristic),
             ));
             let outcome = pipeline.run_with_obs(
                 instance,
-                &SearchBudget::iterations(TWO_STEP_IBB_STEPS),
+                &SearchBudget::iterations(budgets.two_step_ibb),
                 &mut rng,
                 &obs,
             );
@@ -196,8 +335,15 @@ pub fn curve_from_trace(trace: &[TracePoint], stats: &RunStats) -> AnytimeCurve 
     curve
 }
 
-fn measure(algo: SuiteAlgo, instance: &Instance, reps: usize) -> Result<AlgoRecord, String> {
-    let runs: Vec<SuiteRun> = (0..reps.max(1)).map(|_| run_once(algo, instance)).collect();
+fn measure(
+    algo: SuiteAlgo,
+    instance: &Instance,
+    budgets: TierBudgets,
+    reps: usize,
+) -> Result<AlgoRecord, String> {
+    let runs: Vec<SuiteRun> = (0..reps.max(1))
+        .map(|_| run_once(algo, instance, budgets))
+        .collect();
 
     // Every repetition re-runs the same seeded search under a step budget:
     // any counter disagreement is a determinism bug, not noise.
@@ -237,24 +383,36 @@ fn measure(algo: SuiteAlgo, instance: &Instance, reps: usize) -> Result<AlgoReco
     ))
 }
 
-/// Runs the pinned suite and assembles the snapshot. `reps` is the number
-/// of wall-clock repetitions per algorithm (clamped to ≥ 1). `progress`
-/// is called once per (instance, algorithm) before it runs, for CLI
-/// progress output.
+/// Runs the base-tier pinned suite ([`BenchTier::Base`]) and assembles
+/// the snapshot. See [`run_suite`].
 pub fn run_pinned_suite(
+    label: &str,
+    reps: usize,
+    progress: impl FnMut(&str, &str),
+) -> Result<BenchSnapshot, String> {
+    run_suite(BenchTier::Base, label, reps, progress)
+}
+
+/// Runs one tier's pinned suite and assembles the snapshot. `reps` is the
+/// number of wall-clock repetitions per algorithm (clamped to ≥ 1).
+/// `progress` is called once per (instance, algorithm) before it runs,
+/// for CLI progress output.
+pub fn run_suite(
+    tier: BenchTier,
     label: &str,
     reps: usize,
     mut progress: impl FnMut(&str, &str),
 ) -> Result<BenchSnapshot, String> {
+    let budgets = tier.budgets();
     let mut instances = Vec::new();
-    for case in pinned_suite() {
+    for case in tier.suite() {
         let workload = case.spec.generate();
         let instance =
             Instance::new(workload.graph, workload.datasets).map_err(|e| format!("{e:?}"))?;
         let mut algos = Vec::new();
-        for algo in SuiteAlgo::ALL {
+        for algo in tier.algos() {
             progress(case.name, algo.name());
-            algos.push(measure(algo, &instance, reps)?);
+            algos.push(measure(algo, &instance, budgets, reps)?);
         }
         instances.push(InstanceRecord {
             name: case.name.to_string(),
@@ -298,6 +456,21 @@ mod tests {
         let a = suite[0].spec.generate();
         let b = suite[0].spec.generate();
         assert_eq!(a.datasets[0].rects(), b.datasets[0].rects());
+    }
+
+    #[test]
+    fn every_tier_case_name_is_a_truthful_suite_key() {
+        // Snapshot tooling groups and validates records through
+        // `mwsj_obs::SuiteKey`; a case whose name contradicts its spec
+        // would fail every future `bench compare`.
+        for tier in BenchTier::ALL {
+            for case in tier.suite() {
+                let key = mwsj_obs::SuiteKey::parse(case.name)
+                    .unwrap_or_else(|| panic!("{}: not a valid suite key", case.name));
+                assert_eq!(key.n_vars as usize, case.spec.n_vars, "{}", case.name);
+                assert_eq!(key.shape, case.spec.shape.name(), "{}", case.name);
+            }
+        }
     }
 
     #[test]

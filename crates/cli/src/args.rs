@@ -79,7 +79,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "profile-out",
     "label",
     "reps",
+    "tier",
     "wall-tolerance",
+    "wall-slack-ms",
 ];
 
 impl Args {
@@ -219,8 +221,10 @@ mod tests {
 
     #[test]
     fn multiple_positionals_are_kept_in_order() {
-        let a =
-            parse("bench compare BENCH_baseline.json BENCH_ci.json --wall-tolerance 0.5").unwrap();
+        let a = parse(
+            "bench compare BENCH_baseline.json BENCH_ci.json --wall-tolerance 0.5 --wall-slack-ms 0",
+        )
+        .unwrap();
         assert_eq!(a.command.as_deref(), Some("bench"));
         assert_eq!(
             a.positionals,
@@ -228,6 +232,15 @@ mod tests {
         );
         assert_eq!(a.arg(), Some("compare"));
         assert_eq!(a.value("wall-tolerance"), Some("0.5"));
+        assert_eq!(a.value("wall-slack-ms"), Some("0"));
+    }
+
+    #[test]
+    fn tier_takes_a_value() {
+        let a = parse("bench snapshot --tier large --reps 1").unwrap();
+        assert_eq!(a.value("tier"), Some("large"));
+        assert_eq!(a.value("reps"), Some("1"));
+        assert!(a.positionals.len() == 1, "{:?}", a.positionals);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //!               [--algo ils|gils|sea|sea-hybrid|ibb|two-step] [--seconds 2] [--iterations N]
 //!               [--seed 42] [--top 5] [--restarts K] [--threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
-//! mwsj report   run.jsonl
-//! mwsj bench    snapshot [--label ci] [--reps 3] [--out FILE]
+//! mwsj report   run.jsonl|BENCH_label.json
+//! mwsj bench    snapshot [--tier base|large] [--label ci] [--reps 3] [--out FILE]
 //! mwsj bench    compare BENCH_baseline.json BENCH_ci.json [--wall-tolerance 0.25] [--wall-slack-ms 5.0]
-//! mwsj hard-density --shape chain|clique|star|cycle --vars 5 --n 100000 [--target 1]
+//! mwsj hard-density --shape chain|clique|star|cycle|random --vars 5 --n 100000 [--target 1]
 //! ```
 //!
 //! Datasets are CSV files of `min_x,min_y,max_x,max_y` rows (see
@@ -92,15 +92,18 @@ USAGE:
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
             [--metrics-out FILE]
   mwsj report FILE                          validate + summarise a metrics JSONL file
-  mwsj bench snapshot [--label L] [--reps N] [--out FILE]
-                                            run the pinned suite (ILS/GILS/SEA/two-step on
-                                            chain+clique) into BENCH_<L>.json: anytime curves,
-                                            quality AUC, time-to-tau, counters, phase timings
+                                            (or a BENCH_*.json bench snapshot)
+  mwsj bench snapshot [--tier base|large] [--label L] [--reps N] [--out FILE]
+                                            run a pinned suite tier (ILS/GILS/SEA/two-step)
+                                            into BENCH_<L>.json: anytime curves, quality AUC,
+                                            time-to-tau, counters, phase timings. base = n=4
+                                            toy scale; large = paper scale (N>=10k, n<=10,
+                                            all shapes, plus an ILS entry-layout A/B record)
   mwsj bench compare BASELINE CANDIDATE [--wall-tolerance T] [--wall-slack-ms S]
                                             regression gate: deterministic counters must match
                                             exactly, wall medians within tolerance (default +25%
                                             or +5ms absolute, whichever is larger)
-  mwsj hard-density --shape chain|clique|star|cycle --vars N --n CARD [--target SOL]
+  mwsj hard-density --shape chain|clique|star|cycle|random --vars N --n CARD [--target SOL]
 
 QUERY SPECS:
   chain | clique | cycle | star            sized by the number of --data files
@@ -509,7 +512,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
 fn cmd_report(args: &Args) -> Result<(), String> {
     let path = args
         .arg()
-        .ok_or("usage: mwsj report FILE (a --metrics-out JSONL file)")?;
+        .ok_or("usage: mwsj report FILE (a --metrics-out JSONL file or a bench snapshot)")?;
     if let Some(extra) = args.positionals.get(1) {
         return Err(format!(
             "unexpected argument '{extra}' (mwsj report takes exactly one file)"
@@ -521,6 +524,11 @@ fn cmd_report(args: &Args) -> Result<(), String> {
             "{path}: empty metrics file — the run wrote no events \
              (interrupted before the first event, or the wrong file?)"
         ));
+    }
+    // A bench snapshot is a single pretty-printed JSON object, not JSONL;
+    // summarise it directly instead of failing schema validation.
+    if let Ok(snapshot) = BenchSnapshot::parse(&text) {
+        return report_snapshot(path, &snapshot);
     }
     let events = schema::validate_jsonl(&text).map_err(|(line, e)| {
         // A file cut off mid-write ends in a partial JSON line with no
@@ -642,9 +650,57 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Summarises a `BENCH_*.json` snapshot for `mwsj report`, ordered by
+/// parsed suite key — numeric on the variable count, so `chain-n10-…`
+/// sorts after `chain-n4-…` instead of between `n1` and `n2` as a naive
+/// lexicographic (single-digit-assuming) ordering would.
+fn report_snapshot(path: &str, snapshot: &BenchSnapshot) -> Result<(), String> {
+    use mwsj_core::obs::SuiteKey;
+    println!(
+        "{path}: bench snapshot '{}', {} instances, {} reps",
+        snapshot.label,
+        snapshot.instances.len(),
+        snapshot.reps
+    );
+    let mut order: Vec<usize> = (0..snapshot.instances.len()).collect();
+    order.sort_by_key(|&i| {
+        let inst = &snapshot.instances[i];
+        match SuiteKey::parse(&inst.name) {
+            Some(k) => (k.shape, k.n_vars, k.qualifier),
+            // Unkeyed instances sort after keyed ones, by raw name.
+            None => ("~".to_string(), u64::MAX, inst.name.clone()),
+        }
+    });
+    for &i in &order {
+        let inst = &snapshot.instances[i];
+        if let Some(key) = SuiteKey::parse(&inst.name) {
+            if key.n_vars != inst.n_vars || key.shape != inst.shape {
+                println!(
+                    "warning: {} — suite key ({} n={}) contradicts record metadata ({} n={})",
+                    inst.name, key.shape, key.n_vars, inst.shape, inst.n_vars
+                );
+            }
+        }
+        println!(
+            "  {} ({} n={} N={} seed={})",
+            inst.name, inst.shape, inst.n_vars, inst.cardinality, inst.seed
+        );
+        for algo in &inst.algos {
+            let steps = algo.counter("steps").unwrap_or(0);
+            let accesses = algo.counter("node_accesses").unwrap_or(0);
+            println!(
+                "    {:<18} similarity {:.3}  {steps} steps  {accesses} node accesses  {:.2}ms",
+                algo.algo, algo.best_similarity, algo.wall_ms_median
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Dispatches `mwsj bench <snapshot|compare>`.
 fn cmd_bench(args: &Args) -> Result<(), String> {
-    const USAGE: &str = "usage: mwsj bench snapshot [--label L] [--reps N] [--out FILE]\n   \
+    const USAGE: &str =
+        "usage: mwsj bench snapshot [--tier base|large] [--label L] [--reps N] [--out FILE]\n   \
                          or: mwsj bench compare BASELINE.json CANDIDATE.json \
                          [--wall-tolerance T] [--wall-slack-ms S]";
     match args.arg() {
@@ -663,7 +719,18 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
             "unexpected argument '{extra}' (bench snapshot takes options only)"
         ));
     }
-    let label = args.value("label").unwrap_or("snapshot");
+    let tier = match args.value("tier") {
+        None => mwsj_bench::BenchTier::Base,
+        Some(name) => mwsj_bench::BenchTier::parse(name)
+            .ok_or_else(|| format!("unknown tier '{name}' (expected 'base' or 'large')"))?,
+    };
+    // The default label/output track the tier, so `--tier large` writes
+    // BENCH_large.json next to the base tier's BENCH_baseline.json.
+    let default_label = match tier {
+        mwsj_bench::BenchTier::Base => "snapshot",
+        mwsj_bench::BenchTier::Large => "large",
+    };
+    let label = args.value("label").unwrap_or(default_label);
     let reps: usize = args
         .parse_or("reps", mwsj_bench::DEFAULT_REPS, "a repetition count")
         .map_err(|e| e.to_string())?;
@@ -674,7 +741,7 @@ fn cmd_bench_snapshot(args: &Args) -> Result<(), String> {
         .value("out")
         .map(str::to_string)
         .unwrap_or_else(|| format!("BENCH_{label}.json"));
-    let snapshot = mwsj_bench::run_pinned_suite(label, reps, |case, algo| {
+    let snapshot = mwsj_bench::run_suite(tier, label, reps, |case, algo| {
         eprintln!("bench: {case} / {algo}");
     })?;
     std::fs::write(&out, snapshot.to_string_pretty()).map_err(|e| format!("{out}: {e}"))?;
@@ -758,6 +825,7 @@ fn cmd_hard_density(args: &Args) -> Result<(), String> {
         "clique" => QueryShape::Clique,
         "star" => QueryShape::Star,
         "cycle" => QueryShape::Cycle,
+        "random" => QueryShape::Random,
         other => return Err(format!("unknown shape '{other}'")),
     };
     let vars: usize = args

@@ -22,7 +22,7 @@
 //! which reuses the window vector across calls and skips the traversal
 //! entirely when nothing relevant changed.
 
-use crate::instance::Instance;
+use crate::instance::{Instance, LeafLayout};
 use mwsj_geom::{Predicate, Rect};
 use mwsj_query::{PenaltyTable, Solution, VarId};
 use mwsj_rtree::multiwindow;
@@ -78,21 +78,51 @@ pub(crate) fn best_value_in_windows(
     penalties: Option<(&PenaltyTable, f64)>,
     node_accesses: &mut u64,
 ) -> Option<BestValue> {
-    let root = instance.tree(var).root_node();
     let best = match penalties {
-        Some((table, lambda)) => multiwindow::find_best_leaf(
-            root,
+        Some((table, lambda)) => run_kernel(
+            instance,
+            var,
             windows,
             |&object, count| count as f64 - lambda * table.get(var, object as usize) as f64,
             node_accesses,
         ),
-        None => multiwindow::find_best_leaf(root, windows, |_, count| count as f64, node_accesses),
+        None => run_kernel(
+            instance,
+            var,
+            windows,
+            |_, count| count as f64,
+            node_accesses,
+        ),
     }?;
     Some(BestValue {
         object: best.value as usize,
         satisfied: best.satisfied,
         effective: best.score,
     })
+}
+
+/// Dispatches the traversal to the leaf layout the instance selects. The
+/// two kernels are bit-identical in results and node accesses (DESIGN.md
+/// §5f); [`LeafLayout::Flat`] scans the frozen SoA arrays and is the
+/// default hot path.
+fn run_kernel(
+    instance: &Instance,
+    var: VarId,
+    windows: &[(Predicate, Rect)],
+    score: impl FnMut(&u32, u32) -> f64,
+    node_accesses: &mut u64,
+) -> Option<multiwindow::BestLeaf<u32>> {
+    let root = instance.tree(var).root_node();
+    match instance.leaf_layout() {
+        LeafLayout::Flat => multiwindow::find_best_leaf_flat(
+            root,
+            instance.flat_leaves(var),
+            windows,
+            score,
+            node_accesses,
+        ),
+        LeafLayout::Entry => multiwindow::find_best_leaf(root, windows, score, node_accesses),
+    }
 }
 
 #[cfg(test)]

@@ -2,24 +2,44 @@
 
 use mwsj_geom::Rect;
 use mwsj_query::{ConflictState, QueryGraph, Solution, VarId};
-use mwsj_rtree::{RTree, RTreeParams};
+use mwsj_rtree::{FlatLeaves, RTree, RTreeParams};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use std::fmt;
 use std::sync::Arc;
+
+/// Which leaf representation the multi-window kernel scans.
+///
+/// Both layouts are bit-identical in results and node-access counts
+/// (DESIGN.md §5f); [`LeafLayout::Flat`] reads the frozen SoA coordinate
+/// arrays and is the default — the entry layout stays selectable for A/B
+/// benchmarking and the scale-invariance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafLayout {
+    /// Contiguous SoA leaf arrays ([`FlatLeaves`]); the fast path.
+    #[default]
+    Flat,
+    /// The slab's array-of-structs entry vectors; the reference path.
+    Entry,
+}
 
 /// One dataset with its R*-tree index (payloads are object indices).
 #[derive(Debug)]
 pub(crate) struct IndexedDataset {
     pub rects: Vec<Rect>,
     pub tree: RTree<u32>,
+    /// Frozen SoA view of `tree`'s leaf level (the kernel's fast path).
+    /// Valid for the instance's lifetime: instance trees are bulk-loaded
+    /// once and never mutated.
+    pub flat: FlatLeaves<u32>,
 }
 
 impl IndexedDataset {
     fn build(rects: Vec<Rect>, params: RTreeParams) -> Self {
         let items: Vec<(Rect, u32)> = rects.iter().copied().zip(0u32..).collect();
         let tree = RTree::bulk_load_with_params(params, items);
-        IndexedDataset { rects, tree }
+        let flat = tree.flat_leaves();
+        IndexedDataset { rects, tree, flat }
     }
 }
 
@@ -60,6 +80,7 @@ impl std::error::Error for InstanceError {}
 pub struct Instance {
     graph: QueryGraph,
     data: Vec<Arc<IndexedDataset>>,
+    leaf_layout: LeafLayout,
 }
 
 impl Instance {
@@ -98,7 +119,11 @@ impl Instance {
         if let Some(v) = data.iter().position(|d| d.rects.is_empty()) {
             return Err(InstanceError::EmptyDataset(v));
         }
-        Ok(Instance { graph, data })
+        Ok(Instance {
+            graph,
+            data,
+            leaf_layout: LeafLayout::default(),
+        })
     }
 
     /// Builds a **self-join** instance: every query variable ranges over
@@ -119,7 +144,22 @@ impl Instance {
         Ok(Instance {
             graph,
             data: vec![shared; n],
+            leaf_layout: LeafLayout::default(),
         })
+    }
+
+    /// Selects the leaf representation the multi-window kernel scans
+    /// (builder style). Defaults to [`LeafLayout::Flat`]; the entry layout
+    /// exists for A/B benchmarking and layout-equivalence tests.
+    pub fn with_leaf_layout(mut self, layout: LeafLayout) -> Self {
+        self.leaf_layout = layout;
+        self
+    }
+
+    /// The leaf representation the multi-window kernel scans.
+    #[inline]
+    pub fn leaf_layout(&self) -> LeafLayout {
+        self.leaf_layout
     }
 
     /// The query graph.
@@ -156,6 +196,12 @@ impl Instance {
     #[inline]
     pub fn tree(&self, v: VarId) -> &RTree<u32> {
         &self.data[v].tree
+    }
+
+    /// The flat SoA leaf snapshot of variable `v`'s tree.
+    #[inline]
+    pub(crate) fn flat_leaves(&self, v: VarId) -> &FlatLeaves<u32> {
+        &self.data[v].flat
     }
 
     /// Closure resolving `(variable, object)` to its MBR, the shape the

@@ -13,11 +13,16 @@
 //! Setting `Sol = 1` puts the instance at the phase transition where both
 //! systematic and heuristic search are hardest [CA93, CFG+98].
 
-use mwsj_query::QueryGraph;
+use mwsj_geom::Predicate;
+use mwsj_query::{Edge, QueryGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// The query topologies with closed-form hard-region densities. `Chain` and
 /// `Clique` are the paper's two extremes of constrainedness (§6 fn. 2);
-/// `Star` and `Cycle` round out the common shapes.
+/// `Star` and `Cycle` round out the common shapes, and `Random` covers the
+/// paper's random-graph workloads (a seeded random connected graph between
+/// the tree and clique extremes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryShape {
     /// Path `v₀ — v₁ — … — vₙ₋₁` (acyclic, most under-constrained).
@@ -28,16 +33,30 @@ pub enum QueryShape {
     Star,
     /// Closed chain.
     Cycle,
+    /// Seeded random connected graph with `min(2(n−1), n(n−1)/2)` edges:
+    /// a random spanning tree plus random extra edges. The topology is a
+    /// pure function of `(n, seed)` (see [`QueryShape::graph_seeded`]).
+    Random,
 }
 
 impl QueryShape {
     /// Builds the corresponding [`QueryGraph`] with *overlap* predicates.
+    /// [`QueryShape::Random`] uses seed 0; prefer
+    /// [`QueryShape::graph_seeded`] when the workload carries a seed.
     pub fn graph(&self, n: usize) -> QueryGraph {
+        self.graph_seeded(n, 0)
+    }
+
+    /// [`QueryShape::graph`] with an explicit topology seed. The fixed
+    /// shapes ignore the seed; `Random` derives its edge set from it, so a
+    /// given `(n, seed)` pair always names the same graph.
+    pub fn graph_seeded(&self, n: usize, seed: u64) -> QueryGraph {
         match self {
             QueryShape::Chain => QueryGraph::chain(n),
             QueryShape::Clique => QueryGraph::clique(n),
             QueryShape::Star => QueryGraph::star(n),
             QueryShape::Cycle => QueryGraph::cycle(n),
+            QueryShape::Random => random_connected_graph(n, seed),
         }
     }
 
@@ -47,6 +66,7 @@ impl QueryShape {
             QueryShape::Chain | QueryShape::Star => n - 1,
             QueryShape::Clique => n * (n - 1) / 2,
             QueryShape::Cycle => n,
+            QueryShape::Random => (2 * (n - 1)).min(n * (n - 1) / 2),
         }
     }
 
@@ -57,8 +77,44 @@ impl QueryShape {
             QueryShape::Clique => "clique",
             QueryShape::Star => "star",
             QueryShape::Cycle => "cycle",
+            QueryShape::Random => "random",
         }
     }
+}
+
+/// Builds the seeded random connected graph behind [`QueryShape::Random`]:
+/// a uniform random spanning tree (each vertex `i > 0` attaches to a
+/// random earlier vertex) topped up with distinct random extra edges until
+/// [`QueryShape::edge_count`] edges exist, all with *overlap* predicates.
+fn random_connected_graph(n: usize, seed: u64) -> QueryGraph {
+    assert!(n >= 2, "a join needs at least two variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = QueryShape::Random.edge_count(n);
+    let mut present = vec![false; n * n];
+    let mut edges: Vec<Edge> = Vec::with_capacity(target);
+    let add = |a: usize, b: usize, present: &mut Vec<bool>, edges: &mut Vec<Edge>| {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if lo == hi || present[lo * n + hi] {
+            return false;
+        }
+        present[lo * n + hi] = true;
+        edges.push(Edge {
+            a: lo,
+            b: hi,
+            pred: Predicate::Intersects,
+        });
+        true
+    };
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        add(parent, i, &mut present, &mut edges);
+    }
+    while edges.len() < target {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        add(a, b, &mut present, &mut edges);
+    }
+    QueryGraph::from_edges(n, edges).expect("spanning tree keeps the graph connected")
 }
 
 /// Average per-axis extent `|r|` for cardinality `N` and density `d`
@@ -80,9 +136,10 @@ pub fn expected_solutions(shape: QueryShape, n: usize, cardinality: usize, densi
         }
         // Clique [PMT99]: Sol = N · n² · d^{n−1}.
         QueryShape::Clique => big_n * (n as f64).powi(2) * density.powi(n as i32 - 1),
-        // Cycle: independence approximation over E = n edges.
-        QueryShape::Cycle => {
-            let e = n as i32;
+        // Cycle / random: independence approximation over the shape's E
+        // edges (E = n for cycles).
+        QueryShape::Cycle | QueryShape::Random => {
+            let e = shape.edge_count(n) as i32;
             big_n.powi(n as i32) * (4.0 * density / big_n).powi(e)
         }
     }
@@ -103,9 +160,9 @@ pub fn hard_region_density(shape: QueryShape, n: usize, cardinality: usize, targ
             (target / (big_n * 4f64.powi(n as i32 - 1))).powf(inv)
         }
         QueryShape::Clique => (target / (big_n * (n as f64).powi(2))).powf(inv),
-        QueryShape::Cycle => {
-            // Solve N^n (4d/N)^n = target for d.
-            let e = n as f64;
+        QueryShape::Cycle | QueryShape::Random => {
+            // Solve N^n (4d/N)^E = target for d (E = n for cycles).
+            let e = shape.edge_count(n) as f64;
             (target.powf(1.0 / e) / big_n.powf(n as f64 / e)) * big_n / 4.0
         }
     }
@@ -158,6 +215,7 @@ mod tests {
             QueryShape::Clique,
             QueryShape::Star,
             QueryShape::Cycle,
+            QueryShape::Random,
         ] {
             for target in [1.0, 10.0, 1e4] {
                 let d = hard_region_density(shape, 8, 50_000, target);
@@ -220,6 +278,68 @@ mod tests {
         let d = 0.04;
         let r = extent_for_density(n, d);
         assert!((n as f64 * r * r - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_graph_is_a_pure_function_of_n_and_seed() {
+        for n in [2usize, 3, 5, 8, 10] {
+            for seed in [0u64, 1, 7, 0xfeed] {
+                let a = QueryShape::Random.graph_seeded(n, seed);
+                let b = QueryShape::Random.graph_seeded(n, seed);
+                assert_eq!(a.edges(), b.edges(), "n={n} seed={seed}");
+            }
+        }
+        // Different seeds must be able to produce different topologies
+        // (otherwise the seed is dead weight).
+        let base = QueryShape::Random.graph_seeded(8, 0);
+        assert!(
+            (1..10).any(|s| QueryShape::Random.graph_seeded(8, s).edges() != base.edges()),
+            "every seed produced the same random graph"
+        );
+    }
+
+    #[test]
+    fn random_graph_is_connected_with_pinned_edge_count() {
+        for n in 2usize..=10 {
+            let want = (2 * (n - 1)).min(n * (n - 1) / 2);
+            assert_eq!(QueryShape::Random.edge_count(n), want);
+            for seed in 0u64..6 {
+                // `QueryGraph::from_edges` rejects disconnected graphs, so
+                // construction succeeding is the connectivity proof.
+                let g = QueryShape::Random.graph_seeded(n, seed);
+                assert_eq!(g.n_vars(), n, "n={n} seed={seed}");
+                assert_eq!(g.edge_count(), want, "n={n} seed={seed}");
+                // Edges are canonical: a < b, no duplicates.
+                let mut seen = std::collections::HashSet::new();
+                for e in g.edges() {
+                    assert!(e.a < e.b, "edge not canonicalised");
+                    assert!(seen.insert((e.a, e.b)), "duplicate edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_density_agrees_with_the_general_graph_solver() {
+        // The shape solver and the arbitrary-graph solver use the same
+        // independence approximation `Sol = Nⁿ·(4d/N)^E`; for a concrete
+        // random graph (neither tree nor clique) they must agree.
+        let (n, big_n) = (8usize, 10_000usize);
+        let graph = QueryShape::Random.graph_seeded(n, 3);
+        assert!(!graph.is_acyclic() && !graph.is_clique());
+        for target in [1.0, 10.0] {
+            let by_shape = hard_region_density(QueryShape::Random, n, big_n, target);
+            let by_graph = hard_region_density_graph(&graph, big_n, target);
+            assert!(
+                (by_shape / by_graph - 1.0).abs() < 1e-12,
+                "target {target}: {by_shape} vs {by_graph}"
+            );
+        }
+        // More edges mean more constraints: the E = 2(n−1) random shape
+        // needs denser data than the E = n−1 chain.
+        let d_tree = hard_region_density(QueryShape::Chain, n, big_n, 1.0);
+        let d_rand = hard_region_density(QueryShape::Random, n, big_n, 1.0);
+        assert!(d_tree < d_rand, "expected {d_tree} < {d_rand}");
     }
 
     /// Monte-Carlo check of the analytic model: generate pairs of uniform

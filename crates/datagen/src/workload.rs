@@ -40,6 +40,12 @@ impl WorkloadSpec {
     }
 
     /// Materialises the workload.
+    ///
+    /// The query topology is derived from the spec seed
+    /// ([`QueryShape::graph_seeded`]) — only [`QueryShape::Random`]
+    /// actually consumes it, and it uses a dedicated `StdRng` stream, so
+    /// the datasets of the fixed shapes are byte-identical to earlier
+    /// (unseeded-topology) releases.
     pub fn generate(&self) -> Workload {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let density = hard_region_density(
@@ -48,7 +54,7 @@ impl WorkloadSpec {
             self.cardinality,
             self.target_solutions,
         );
-        let graph = self.shape.graph(self.n_vars);
+        let graph = self.shape.graph_seeded(self.n_vars, self.seed);
         let mut datasets: Vec<Dataset> = (0..self.n_vars)
             .map(|_| Dataset::uniform(self.cardinality, density, &mut rng))
             .collect();

@@ -50,6 +50,7 @@ pub mod profile;
 pub mod registry;
 pub mod schema;
 pub mod snapshot;
+pub mod suite_key;
 pub mod timer;
 
 pub use compare::{
@@ -66,4 +67,5 @@ pub use registry::{
 pub use snapshot::{
     AlgoRecord, BenchSnapshot, InstanceRecord, SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
+pub use suite_key::SuiteKey;
 pub use timer::{merge_phase_snapshots, PhaseSnapshot, PhaseSpan, PhaseTimer};

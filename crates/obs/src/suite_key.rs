@@ -1,0 +1,107 @@
+//! Structured parsing of bench-suite instance keys.
+//!
+//! Suite cases are named `<shape>-n<vars>-<qualifier>`, e.g.
+//! `chain-n4-hard`, `random-n10-hard` or `chain-n6-100k`. Tools that
+//! group, sort or validate snapshot records must go through this parser
+//! instead of slicing the string: ad-hoc `name[7..8]`-style extraction
+//! silently misreads multi-digit variable counts (`n10` parses as `n1`)
+//! the moment the large tier enters the picture.
+
+use std::fmt;
+
+/// A parsed suite instance key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteKey {
+    /// Query shape segment (`"chain"`, `"clique"`, `"random"`, …).
+    pub shape: String,
+    /// Variable count from the `n<digits>` segment — multi-digit safe.
+    pub n_vars: u64,
+    /// Trailing qualifier (`"hard"`, `"easy"`, `"100k"`, …); may contain
+    /// further dashes.
+    pub qualifier: String,
+}
+
+impl SuiteKey {
+    /// Parses `<shape>-n<vars>-<qualifier>`. Returns `None` for names
+    /// that do not follow the suite convention (the caller decides
+    /// whether that is an error or merely an unkeyed instance).
+    pub fn parse(name: &str) -> Option<SuiteKey> {
+        let (shape, rest) = name.split_once('-')?;
+        let (nvars, qualifier) = rest.split_once('-')?;
+        let digits = nvars.strip_prefix('n')?;
+        if shape.is_empty() || qualifier.is_empty() || digits.is_empty() {
+            return None;
+        }
+        if !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        Some(SuiteKey {
+            shape: shape.to_string(),
+            n_vars: digits.parse().ok()?,
+            qualifier: qualifier.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for SuiteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-n{}-{}", self.shape, self.n_vars, self.qualifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_digit_keys() {
+        let k = SuiteKey::parse("chain-n4-hard").unwrap();
+        assert_eq!(k.shape, "chain");
+        assert_eq!(k.n_vars, 4);
+        assert_eq!(k.qualifier, "hard");
+    }
+
+    #[test]
+    fn parses_multi_digit_variable_counts() {
+        // The large tier's n ≥ 10 keys are the regression this module
+        // exists for.
+        let k = SuiteKey::parse("random-n10-hard").unwrap();
+        assert_eq!(k.n_vars, 10);
+        assert_eq!(k.shape, "random");
+        let k = SuiteKey::parse("chain-n128-easy").unwrap();
+        assert_eq!(k.n_vars, 128);
+    }
+
+    #[test]
+    fn qualifier_keeps_embedded_dashes_and_digits() {
+        let k = SuiteKey::parse("chain-n6-100k").unwrap();
+        assert_eq!(k.n_vars, 6);
+        assert_eq!(k.qualifier, "100k");
+        let k = SuiteKey::parse("cycle-n8-hard-rerun").unwrap();
+        assert_eq!(k.qualifier, "hard-rerun");
+    }
+
+    #[test]
+    fn rejects_malformed_keys() {
+        for bad in [
+            "",
+            "chain",
+            "chain-n4",
+            "chain-4-hard",
+            "chain-nx-hard",
+            "chain-n-hard",
+            "chain-n4x-hard",
+            "-n4-hard",
+            "chain-n4-",
+        ] {
+            assert!(SuiteKey::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for name in ["chain-n4-hard", "random-n10-hard", "chain-n6-100k"] {
+            assert_eq!(SuiteKey::parse(name).unwrap().to_string(), name);
+        }
+    }
+}

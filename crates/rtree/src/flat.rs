@@ -1,0 +1,200 @@
+//! Flat contiguous leaf-entry storage (structure-of-arrays).
+//!
+//! The slab layout of [`RTree`] stores leaf entries as
+//! `Vec<Entry<T>>` per node — an array-of-structs whose 40-byte stride
+//! (MBR + payload enum) and per-entry discriminant check make the
+//! multi-window kernel's leaf scans branch-heavy and cache-unfriendly at
+//! paper scale (10⁴–10⁵ objects per dataset). [`FlatLeaves`] is a frozen
+//! side-car view of the same leaf level: four contiguous `f64` coordinate
+//! arrays plus one value array, indexed per node by a `(start, len)` span,
+//! so a leaf scan is a tight loop over adjacent memory with no enum
+//! branches — the layout in-memory spatial join engines use for their
+//! scan phases.
+//!
+//! A `FlatLeaves` is a **snapshot**: it is built from the current tree
+//! contents ([`RTree::flat_leaves`]) and does not observe later inserts or
+//! deletes. The intended use is bulk-load-once read-many workloads (all of
+//! `mwsj-core`'s search instances); rebuild after mutating.
+//!
+//! The counter-compatibility contract (DESIGN.md §5f) requires scans over
+//! this layout to be bit-identical to the entry layout: same coordinates,
+//! same values, same entry order per node. [`FlatLeaves::new`] copies all
+//! three verbatim, and the round-trip test below locks the guarantee.
+
+use crate::node::{NodeId, Payload};
+use crate::tree::RTree;
+use mwsj_geom::{Point, Rect};
+
+/// Frozen SoA copy of an [`RTree`]'s leaf level. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlatLeaves<T> {
+    /// Lower-left x of every leaf entry, in (node, slot) order.
+    lo_x: Vec<f64>,
+    /// Lower-left y.
+    lo_y: Vec<f64>,
+    /// Upper-right x.
+    hi_x: Vec<f64>,
+    /// Upper-right y.
+    hi_y: Vec<f64>,
+    /// Leaf payloads, parallel to the coordinate arrays.
+    values: Vec<T>,
+    /// Per node-id `(start, len)` span into the arrays; `(0, 0)` for
+    /// internal (and free-listed) nodes.
+    spans: Vec<(u32, u32)>,
+}
+
+impl<T: Copy> FlatLeaves<T> {
+    /// Builds the flat view by walking the tree from its root and copying
+    /// every leaf node's entries in entry order.
+    pub(crate) fn new(tree: &RTree<T>) -> Self {
+        let mut flat = FlatLeaves {
+            lo_x: Vec::with_capacity(tree.len()),
+            lo_y: Vec::with_capacity(tree.len()),
+            hi_x: Vec::with_capacity(tree.len()),
+            hi_y: Vec::with_capacity(tree.len()),
+            values: Vec::with_capacity(tree.len()),
+            spans: vec![(0, 0); tree.node_count_slab()],
+        };
+        let mut stack = vec![tree.root_id()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                let start = flat.values.len() as u32;
+                for entry in &node.entries {
+                    let Payload::Data(v) = &entry.payload else {
+                        unreachable!("leaf entry without data payload");
+                    };
+                    flat.lo_x.push(entry.mbr.min.x);
+                    flat.lo_y.push(entry.mbr.min.y);
+                    flat.hi_x.push(entry.mbr.max.x);
+                    flat.hi_y.push(entry.mbr.max.y);
+                    flat.values.push(*v);
+                }
+                flat.spans[id.index()] = (start, node.entries.len() as u32);
+            } else {
+                for entry in &node.entries {
+                    stack.push(entry.child_id());
+                }
+            }
+        }
+        flat
+    }
+}
+
+impl<T> FlatLeaves<T> {
+    /// Total number of leaf entries captured by the snapshot.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the snapshot holds no leaf entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Bytes occupied by the SoA arrays (coordinates + values + spans) —
+    /// the memory cost of keeping the fast path resident.
+    pub fn memory_bytes(&self) -> usize {
+        4 * self.lo_x.len() * std::mem::size_of::<f64>()
+            + self.values.len() * std::mem::size_of::<T>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// The `(start, len)` span of leaf node `id`, as usizes.
+    #[inline]
+    pub(crate) fn span(&self, id: NodeId) -> (usize, usize) {
+        let (start, len) = self.spans[id.index()];
+        (start as usize, len as usize)
+    }
+
+    /// Reconstructs the MBR of flat entry `i`. Coordinates were stored
+    /// normalised (`min ≤ max`), so this is branch-free.
+    #[inline]
+    pub(crate) fn rect(&self, i: usize) -> Rect {
+        Rect {
+            min: Point::new(self.lo_x[i], self.lo_y[i]),
+            max: Point::new(self.hi_x[i], self.hi_y[i]),
+        }
+    }
+
+    /// The value of flat entry `i`.
+    #[inline]
+    pub(crate) fn value(&self, i: usize) -> &T {
+        &self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeParams};
+    use mwsj_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_items(seed: u64, n: usize) -> Vec<(Rect, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.random_range(0.0..1.0);
+                let y = rng.random_range(0.0..1.0);
+                (Rect::new(x, y, x + 0.02, y + 0.02), i as u32)
+            })
+            .collect()
+    }
+
+    /// Every leaf node's span reproduces its entries verbatim, for both
+    /// bulk-load flavours and an incremental build.
+    #[test]
+    fn flat_view_matches_entry_layout_per_node() {
+        let items = random_items(3, 2_000);
+        let mut incremental = RTree::with_params(RTreeParams::new(8));
+        for (r, v) in &items {
+            incremental.insert(*r, *v);
+        }
+        let trees = [
+            RTree::bulk_load_with_params(RTreeParams::new(8), items.clone()),
+            RTree::bulk_load_hilbert_with_params(RTreeParams::new(8), items.clone()),
+            incremental,
+        ];
+        for tree in &trees {
+            let flat = tree.flat_leaves();
+            assert_eq!(flat.len(), tree.len());
+            assert!(flat.memory_bytes() > 0);
+            // Walk the tree; at each leaf, the span must mirror the node.
+            let mut stack = vec![tree.root_id()];
+            let mut seen = 0usize;
+            while let Some(id) = stack.pop() {
+                let node = tree.node(id);
+                if node.is_leaf() {
+                    let (start, len) = flat.span(id);
+                    assert_eq!(len, node.entries.len());
+                    for (slot, entry) in node.entries.iter().enumerate() {
+                        assert_eq!(flat.rect(start + slot), entry.mbr);
+                        match &entry.payload {
+                            crate::node::Payload::Data(v) => {
+                                assert_eq!(flat.value(start + slot), v)
+                            }
+                            _ => panic!("leaf entry without data"),
+                        }
+                        seen += 1;
+                    }
+                } else {
+                    for entry in &node.entries {
+                        stack.push(entry.child_id());
+                    }
+                }
+            }
+            assert_eq!(seen, tree.len());
+        }
+    }
+
+    #[test]
+    fn empty_tree_yields_empty_view() {
+        let tree: RTree<u32> = RTree::new();
+        let flat = tree.flat_leaves();
+        assert!(flat.is_empty());
+        assert_eq!(flat.len(), 0);
+    }
+}

@@ -43,6 +43,7 @@ pub mod access;
 mod bulk;
 mod bulk_hilbert;
 mod delete;
+mod flat;
 mod insert;
 mod knn;
 pub mod multiwindow;
@@ -56,8 +57,9 @@ mod validate;
 mod visit;
 
 pub use access::AccessCounter;
+pub use flat::FlatLeaves;
 pub use knn::Neighbor;
-pub use multiwindow::{find_best_leaf, BestLeaf};
+pub use multiwindow::{find_best_leaf, find_best_leaf_flat, BestLeaf};
 pub use params::RTreeParams;
 pub use stats::TreeStats;
 pub use tree::RTree;

@@ -21,6 +21,7 @@
 //! subtract), so a subtree whose potential count does not exceed the best
 //! score found so far cannot contain a better leaf.
 
+use crate::flat::FlatLeaves;
 use crate::visit::NodeRef;
 use mwsj_geom::{Predicate, Rect};
 
@@ -64,12 +65,45 @@ pub fn find_best_leaf<T: Copy>(
         return None;
     }
     let mut best: Option<BestLeaf<T>> = None;
-    descend(root, windows, &mut score, &mut best, node_accesses);
+    descend(root, None, windows, &mut score, &mut best, node_accesses);
+    best
+}
+
+/// [`find_best_leaf`] over the flat leaf layout (see
+/// [`FlatLeaves`]): internal-node traversal, ordering and pruning are
+/// byte-for-byte the same, but leaf nodes are scanned through the frozen
+/// SoA coordinate arrays instead of the per-node entry vectors. Results
+/// (winner, satisfied count, score) and the `node_accesses` total are
+/// bit-identical to the entry-layout kernel — the counter-compatibility
+/// contract of DESIGN.md §5f, locked by property tests.
+///
+/// `flat` must be a snapshot of the tree `root` belongs to, taken after
+/// its last mutation; spans of a stale snapshot address the wrong data.
+pub fn find_best_leaf_flat<T: Copy>(
+    root: NodeRef<'_, T>,
+    flat: &FlatLeaves<T>,
+    windows: &[(Predicate, Rect)],
+    mut score: impl FnMut(&T, u32) -> f64,
+    node_accesses: &mut u64,
+) -> Option<BestLeaf<T>> {
+    if windows.is_empty() {
+        return None;
+    }
+    let mut best: Option<BestLeaf<T>> = None;
+    descend(
+        root,
+        Some(flat),
+        windows,
+        &mut score,
+        &mut best,
+        node_accesses,
+    );
     best
 }
 
 fn descend<T: Copy>(
     node: NodeRef<'_, T>,
+    flat: Option<&FlatLeaves<T>>,
     windows: &[(Predicate, Rect)],
     score: &mut impl FnMut(&T, u32) -> f64,
     best: &mut Option<BestLeaf<T>>,
@@ -77,54 +111,119 @@ fn descend<T: Copy>(
 ) {
     *node_accesses += 1;
 
-    // Count (potentially) satisfied windows per entry; keep only entries
+    if node.is_leaf() {
+        match flat {
+            Some(flat) => scan_leaf_flat(node, flat, windows, score, best),
+            None => scan_leaf_entries(node, windows, score, best),
+        }
+        return;
+    }
+
+    // Count potentially satisfied windows per entry; keep only entries
     // with a positive count, sorted descending (Fig. 5).
     let mut scored: Vec<(u32, usize)> = Vec::with_capacity(node.len());
     for (i, entry) in node.entries().enumerate() {
         let mbr = entry.mbr();
-        let count = if node.is_leaf() {
-            windows.iter().filter(|(pred, w)| pred.eval(mbr, w)).count() as u32
-        } else {
-            windows
-                .iter()
-                .filter(|(pred, w)| pred.possible(mbr, w))
-                .count() as u32
-        };
+        let count = windows
+            .iter()
+            .filter(|(pred, w)| pred.possible(mbr, w))
+            .count() as u32;
         if count > 0 {
             scored.push((count, i));
         }
     }
     scored.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
 
-    if node.is_leaf() {
-        for (count, i) in scored {
-            let value = *node.entry(i).value().expect("leaf entry");
-            let leaf_score = score(&value, count);
-            let better = match best {
-                None => true,
-                Some(b) => leaf_score > b.score,
-            };
-            if better {
-                *best = Some(BestLeaf {
-                    value,
-                    satisfied: count,
-                    score: leaf_score,
-                });
+    for (count, i) in scored {
+        // The potential count bounds every leaf score below this entry
+        // (scorers never exceed the raw count), so a subtree that
+        // cannot beat the incumbent score is pruned.
+        if let Some(b) = best {
+            if (count as f64) <= b.score {
+                continue;
             }
         }
-    } else {
-        for (count, i) in scored {
-            // The potential count bounds every leaf score below this entry
-            // (scorers never exceed the raw count), so a subtree that
-            // cannot beat the incumbent score is pruned.
-            if let Some(b) = best {
-                if (count as f64) <= b.score {
-                    continue;
-                }
-            }
-            let child = node.entry(i).child().expect("internal entry");
-            descend(child, windows, score, best, node_accesses);
+        let child = node.entry(i).child().expect("internal entry");
+        descend(child, flat, windows, score, best, node_accesses);
+    }
+}
+
+/// Leaf scan over the slab entry layout: count satisfied windows per
+/// entry, drop zero counts, visit in descending count order, keep the
+/// first strict score improvement.
+fn scan_leaf_entries<T: Copy>(
+    node: NodeRef<'_, T>,
+    windows: &[(Predicate, Rect)],
+    score: &mut impl FnMut(&T, u32) -> f64,
+    best: &mut Option<BestLeaf<T>>,
+) {
+    let mut scored: Vec<(u32, usize)> = Vec::with_capacity(node.len());
+    for (i, entry) in node.entries().enumerate() {
+        let mbr = entry.mbr();
+        let count = windows.iter().filter(|(pred, w)| pred.eval(mbr, w)).count() as u32;
+        if count > 0 {
+            scored.push((count, i));
         }
+    }
+    scored.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
+    for (count, i) in scored {
+        let value = *node.entry(i).value().expect("leaf entry");
+        offer(best, value, count, score);
+    }
+}
+
+/// Leaf scan over the flat SoA layout: the same count/sort/offer sequence
+/// as [`scan_leaf_entries`] — identical inputs through an identical sort
+/// give identical visit order, hence bit-identical winners — but the
+/// counting loop reads four contiguous coordinate arrays with no payload
+/// branch, which is what makes large-tier leaf scans cheap.
+fn scan_leaf_flat<T: Copy>(
+    node: NodeRef<'_, T>,
+    flat: &FlatLeaves<T>,
+    windows: &[(Predicate, Rect)],
+    score: &mut impl FnMut(&T, u32) -> f64,
+    best: &mut Option<BestLeaf<T>>,
+) {
+    let (start, len) = flat.span(node.id());
+    debug_assert_eq!(len, node.len(), "stale flat-leaf snapshot");
+    let mut scored: Vec<(u32, usize)> = Vec::with_capacity(len);
+    for i in 0..len {
+        let mbr = flat.rect(start + i);
+        let count = windows
+            .iter()
+            .filter(|(pred, w)| pred.eval(&mbr, w))
+            .count() as u32;
+        if count > 0 {
+            scored.push((count, i));
+        }
+    }
+    scored.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
+    for (count, i) in scored {
+        let value = *flat.value(start + i);
+        offer(best, value, count, score);
+    }
+}
+
+/// Offers one leaf candidate to the incumbent: strictly greater score
+/// wins, ties keep the earlier visit.
+#[inline]
+fn offer<T: Copy>(
+    best: &mut Option<BestLeaf<T>>,
+    value: T,
+    count: u32,
+    score: &mut impl FnMut(&T, u32) -> f64,
+) {
+    let leaf_score = score(&value, count);
+    let better = match best {
+        None => true,
+        Some(b) => leaf_score > b.score,
+    };
+    if better {
+        *best = Some(BestLeaf {
+            value,
+            satisfied: count,
+            score: leaf_score,
+        });
     }
 }
 

@@ -115,6 +115,18 @@ impl<T> RTree<T> {
         NodeRef::counted(self, self.root, counter)
     }
 
+    /// Builds a frozen structure-of-arrays snapshot of the leaf level for
+    /// scan-heavy read paths (see [`FlatLeaves`](crate::FlatLeaves) and
+    /// [`multiwindow::find_best_leaf_flat`](crate::find_best_leaf_flat)).
+    /// The snapshot does not observe later mutations; rebuild after
+    /// inserting or deleting.
+    pub fn flat_leaves(&self) -> crate::FlatLeaves<T>
+    where
+        T: Copy,
+    {
+        crate::FlatLeaves::new(self)
+    }
+
     /// Iterates over every stored `(mbr, payload)` pair, in tree order.
     pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> + '_ {
         let mut stack = vec![self.root];
@@ -140,6 +152,20 @@ impl<T> RTree<T> {
     #[inline]
     pub(crate) fn node(&self, id: NodeId) -> &Node<T> {
         &self.nodes[id.index()]
+    }
+
+    /// Id of the root node (for crate-internal traversals that need to
+    /// address nodes, e.g. the flat-leaf snapshot).
+    #[inline]
+    pub(crate) fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// Size of the node slab including free-listed slots — the bound for
+    /// per-node side tables indexed by [`NodeId`].
+    #[inline]
+    pub(crate) fn node_count_slab(&self) -> usize {
+        self.nodes.len()
     }
 
     #[inline]

@@ -53,6 +53,13 @@ impl<'a, T> NodeRef<'a, T> {
         }
     }
 
+    /// Slab id of the node (crate-internal: keys per-node side tables
+    /// such as the flat-leaf spans).
+    #[inline]
+    pub(crate) fn id(&self) -> NodeId {
+        self.id
+    }
+
     /// Level of this node (0 = leaf).
     #[inline]
     pub fn level(&self) -> u32 {

@@ -1,0 +1,79 @@
+//! Bulk-load equivalence at paper scale: STR and Hilbert packing over the
+//! same 100k-entry dataset must produce structurally valid trees holding
+//! exactly the same entry set and answering window queries identically.
+//! (The trees themselves differ — the packings order leaves differently —
+//! but they index the same data.)
+
+use mwsj_geom::Rect;
+use mwsj_rtree::{RTree, RTreeParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const N: usize = 100_000;
+
+fn dataset(seed: u64) -> Vec<(Rect, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N as u32)
+        .map(|i| {
+            let x = rng.random_range(0.0..1.0);
+            let y = rng.random_range(0.0..1.0);
+            let w = rng.random_range(0.0..0.01);
+            let h = rng.random_range(0.0..0.01);
+            (Rect::new(x, y, x + w, y + h), i)
+        })
+        .collect()
+}
+
+/// Every entry of the tree, as `(id, rect)` sorted by id.
+fn sorted_entries(tree: &RTree<u32>) -> Vec<(u32, Rect)> {
+    let everything = Rect::new(
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+    );
+    let mut out: Vec<(u32, Rect)> = tree.window(&everything).map(|(r, v)| (*v, *r)).collect();
+    out.sort_unstable_by_key(|(v, _)| *v);
+    out
+}
+
+#[test]
+fn str_and_hilbert_index_the_same_hundred_thousand_entries() {
+    let items = dataset(0xb01d);
+    let str_tree = RTree::bulk_load_with_params(RTreeParams::new(32), items.clone());
+    let hil_tree = RTree::bulk_load_hilbert_with_params(RTreeParams::new(32), items.clone());
+
+    // Both packings must yield structurally valid R-trees.
+    str_tree.check_invariants().expect("STR invariants");
+    hil_tree.check_invariants().expect("Hilbert invariants");
+    assert_eq!(str_tree.len(), N);
+    assert_eq!(hil_tree.len(), N);
+
+    // Same entry set, id for id, rect for rect.
+    let str_entries = sorted_entries(&str_tree);
+    let hil_entries = sorted_entries(&hil_tree);
+    assert_eq!(str_entries.len(), N);
+    assert_eq!(str_entries, hil_entries);
+    for (i, (id, rect)) in str_entries.iter().enumerate() {
+        assert_eq!(*id, i as u32, "ids must be dense 0..N");
+        assert_eq!(*rect, items[i].0);
+    }
+
+    // Window queries agree across a sweep of sizes and positions.
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    for trial in 0..40 {
+        let side = [0.001, 0.01, 0.05, 0.25][trial % 4];
+        let x = rng.random_range(0.0..1.0 - side);
+        let y = rng.random_range(0.0..1.0 - side);
+        let window = Rect::new(x, y, x + side, y + side);
+        let mut a: Vec<u32> = str_tree.window(&window).map(|(_, v)| *v).collect();
+        let mut b: Vec<u32> = hil_tree.window(&window).map(|(_, v)| *v).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "window {window:?} diverges");
+    }
+
+    // The frozen flat snapshots mirror their trees entry-for-entry.
+    assert_eq!(str_tree.flat_leaves().len(), N);
+    assert_eq!(hil_tree.flat_leaves().len(), N);
+}
