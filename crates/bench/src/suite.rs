@@ -15,12 +15,15 @@
 
 use crate::Algo;
 use mwsj_core::{
-    IlsConfig, Instance, LeafLayout, RunStats, SearchBudget, SearchContext, TracePoint, TwoStep,
-    TwoStepConfig,
+    CacheStats, IlsConfig, Instance, LeafLayout, RunStats, SearchBudget, SearchContext, TracePoint,
+    TwoStep, TwoStepConfig,
 };
 use mwsj_datagen::{QueryShape, WorkloadSpec};
 use mwsj_obs::snapshot::AlgoRecord;
-use mwsj_obs::{AnytimeCurve, BenchSnapshot, InstanceRecord, ObsHandle, PhaseSnapshot};
+use mwsj_obs::{
+    AnytimeCurve, BenchSnapshot, CacheRecord, InstanceRecord, MemoryRecord, ObsHandle,
+    PhaseSnapshot, ResourceReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -340,19 +343,26 @@ fn measure(
     instance: &Instance,
     budgets: TierBudgets,
     reps: usize,
-) -> Result<AlgoRecord, String> {
+) -> Result<(AlgoRecord, CacheStats), String> {
     let runs: Vec<SuiteRun> = (0..reps.max(1))
         .map(|_| run_once(algo, instance, budgets))
         .collect();
 
     // Every repetition re-runs the same seeded search under a step budget:
-    // any counter disagreement is a determinism bug, not noise.
+    // any counter disagreement is a determinism bug, not noise. The
+    // window-cache telemetry obeys the same contract.
     let expected = counters_of(&runs[0]);
     for (rep, run) in runs.iter().enumerate().skip(1) {
         let got = counters_of(run);
         if got != expected {
             return Err(format!(
                 "{}: deterministic counters diverged between rep 0 ({expected:?}) and rep {rep} ({got:?})",
+                algo.name()
+            ));
+        }
+        if run.stats.cache != runs[0].stats.cache {
+            return Err(format!(
+                "{}: cache telemetry diverged between rep 0 and rep {rep}",
                 algo.name()
             ));
         }
@@ -373,14 +383,15 @@ fn measure(
     let median_rep = &runs[order[order.len() / 2]];
     let curve = curve_from_trace(&median_rep.trace, &median_rep.stats);
 
-    Ok(AlgoRecord::from_curve(
+    let record = AlgoRecord::from_curve(
         algo.name(),
         expected,
         median_rep.best_similarity,
         &curve,
         wall_ms_reps,
         median_rep.phases.clone(),
-    ))
+    );
+    Ok((record, runs[0].stats.cache.clone()))
 }
 
 /// Runs the base-tier pinned suite ([`BenchTier::Base`]) and assembles
@@ -405,14 +416,36 @@ pub fn run_suite(
 ) -> Result<BenchSnapshot, String> {
     let budgets = tier.budgets();
     let mut instances = Vec::new();
+    let mut memory = Vec::new();
+    let mut cache = Vec::new();
     for case in tier.suite() {
         let workload = case.spec.generate();
         let instance =
             Instance::new(workload.graph, workload.datasets).map_err(|e| format!("{e:?}"))?;
+        // The memory table is a property of the built instance alone:
+        // deterministic bytes per resident structure (length-based, so
+        // identical on every machine and every run).
+        let mut report = ResourceReport::new();
+        instance.fill_resource_report(&mut report);
+        memory.push(MemoryRecord {
+            instance: case.name.to_string(),
+            components: report.components().to_vec(),
+            total_bytes: report.total_bytes(),
+        });
         let mut algos = Vec::new();
         for algo in tier.algos() {
             progress(case.name, algo.name());
-            algos.push(measure(algo, &instance, budgets, reps)?);
+            let (record, cache_stats) = measure(algo, &instance, budgets, reps)?;
+            cache.push(CacheRecord {
+                instance: case.name.to_string(),
+                algo: algo.name().to_string(),
+                hits: cache_stats.hits(),
+                misses: cache_stats.misses(),
+                invalidations_reassign: cache_stats.invalidations_reassign(),
+                invalidations_penalty: cache_stats.invalidations_penalty(),
+                bytes: cache_stats.bytes,
+            });
+            algos.push(record);
         }
         instances.push(InstanceRecord {
             name: case.name.to_string(),
@@ -427,6 +460,8 @@ pub fn run_suite(
         label: label.to_string(),
         reps: reps.max(1) as u64,
         instances,
+        memory,
+        cache,
     })
 }
 
@@ -516,6 +551,26 @@ mod tests {
                 assert_eq!(algo.wall_ms_reps.len(), 2);
             }
         }
+        // Memory section: one deterministic table per instance, with the
+        // per-variable index components present.
+        assert_eq!(snap.memory.len(), 4);
+        for mem in &snap.memory {
+            assert_eq!(mem.components.len(), 12, "{}", mem.instance); // 3 per var × 4 vars
+            assert!(mem.total_bytes > 0);
+            assert_eq!(
+                mem.total_bytes,
+                mem.components.iter().map(|(_, b)| b).sum::<u64>()
+            );
+        }
+        // Cache section: one record per (instance, algo); the local-search
+        // algorithms must show real cache traffic.
+        assert_eq!(snap.cache.len(), 16);
+        for rec in snap.cache.iter().filter(|r| r.algo == "ILS") {
+            assert!(rec.hits > 0, "{}/ILS no cache hits", rec.instance);
+            assert!(rec.misses > 0, "{}/ILS no cache misses", rec.instance);
+            assert!(rec.bytes > 0, "{}/ILS no cache bytes", rec.instance);
+        }
+
         let text = snap.to_string_pretty();
         let parsed = BenchSnapshot::parse(&text).expect("snapshot validates");
         assert_eq!(parsed, snap);
@@ -530,5 +585,7 @@ mod tests {
                 assert_eq!(ra.steps_to, rb.steps_to);
             }
         }
+        assert_eq!(snap.memory, again.memory);
+        assert_eq!(snap.cache, again.cache);
     }
 }

@@ -77,6 +77,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "metrics-out",
     "trace-out",
     "profile-out",
+    "flight-recorder-out",
     "label",
     "reps",
     "tier",

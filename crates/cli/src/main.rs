@@ -17,9 +17,11 @@
 //! `mwsj-datagen`); `generate` produces them synthetically. `solve` and
 //! `join` accept `--metrics-out FILE` (structured JSONL run events, see
 //! `DESIGN.md` "Observability") and `solve` additionally `--trace-out
-//! FILE` (the convergence trace as `trace_point` lines) and
-//! `--profile-out FILE` (the per-phase wall-clock breakdown as folded
-//! stacks); `report` validates and summarises a JSONL file. `bench
+//! FILE` (the convergence trace as `trace_point` lines), `--profile-out
+//! FILE` (the per-phase wall-clock breakdown as folded stacks) and
+//! `--flight-recorder-out FILE` (a byte-bounded ring of the most recent
+//! run events, drained after the run — see `DESIGN.md` "Resource
+//! observability"); `report` validates and summarises a JSONL file. `bench
 //! snapshot` runs the pinned benchmark suite into a schema-validated
 //! `BENCH_<label>.json` performance snapshot, and `bench compare` is the
 //! noise-aware regression gate over two such snapshots.
@@ -33,10 +35,10 @@ use mwsj_core::obs::{
     DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 use mwsj_core::{
-    AnytimeSearch, EventSink, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance,
-    JsonlSink, ObsHandle, ParallelPortfolio, Pjm, PortfolioConfig, RunEvent, RunOutcome, Sea,
-    SeaConfig, SearchBudget, SearchContext, SynchronousTraversal, TwoStep, TwoStepConfig,
-    WindowReduction,
+    AnytimeSearch, EventSink, FanoutSink, FlightRecorder, Gils, GilsConfig, Ibb, IbbConfig, Ils,
+    IlsConfig, Instance, JsonlSink, ObsHandle, ParallelPortfolio, Pjm, PortfolioConfig, RunEvent,
+    RunOutcome, Sea, SeaConfig, SearchBudget, SearchContext, SynchronousTraversal, TwoStep,
+    TwoStepConfig, WindowReduction,
 };
 use mwsj_datagen::{Dataset, DatasetSpec, Distribution, QueryShape};
 use rand::rngs::StdRng;
@@ -89,6 +91,8 @@ USAGE:
              [--trace-out FILE]             convergence trace as JSONL trace points
              [--profile-out FILE]           per-phase wall-clock profile (folded stacks,
                                             flamegraph-ready)
+             [--flight-recorder-out FILE]   byte-bounded ring of the most recent run
+                                            events, drained to JSONL after the run
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
             [--metrics-out FILE]
   mwsj report FILE                          validate + summarise a metrics JSONL file
@@ -223,15 +227,27 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let metrics_path = args.value("metrics-out").map(str::to_string);
     let trace_path = args.value("trace-out").map(str::to_string);
     let profile_path = args.value("profile-out").map(str::to_string);
-    let obs = match &metrics_path {
-        Some(path) => {
+    let flight_path = args.value("flight-recorder-out").map(str::to_string);
+    // The flight recorder rides alongside any JSONL sink (or alone): a
+    // byte-bounded ring of the most recent run events, drained after the
+    // run (see DESIGN.md "Resource observability").
+    let recorder = flight_path
+        .as_ref()
+        .map(|_| Arc::new(FlightRecorder::new()));
+    let obs = match (&metrics_path, &recorder) {
+        (Some(path), recorder) => {
             let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
-            ObsHandle::enabled().with_sink(Arc::new(sink))
+            match recorder {
+                Some(rec) => ObsHandle::enabled()
+                    .with_sink(Arc::new(FanoutSink::new(vec![Arc::new(sink), rec.clone()]))),
+                None => ObsHandle::enabled().with_sink(Arc::new(sink)),
+            }
         }
+        (None, Some(rec)) => ObsHandle::enabled().with_sink(rec.clone()),
         // No event sink requested, but the profile still needs live phase
         // timers; a fully disabled handle records nothing.
-        None if profile_path.is_some() => ObsHandle::timer_only(),
-        None => ObsHandle::disabled(),
+        (None, None) if profile_path.is_some() => ObsHandle::timer_only(),
+        (None, None) => ObsHandle::disabled(),
     };
     obs.emit(RunEvent::RunStart {
         algo: algo.to_string(),
@@ -378,6 +394,14 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     }
     if let Some(path) = &trace_path {
         println!("wrote {} trace points to {path}", outcome.trace.len());
+    }
+    if let (Some(path), Some(rec)) = (&flight_path, &recorder) {
+        let written = rec.write_jsonl(path).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {written} recent run events to {path} (flight recorder, \
+             {} byte budget)",
+            rec.capacity_bytes()
+        );
     }
     if let Some(path) = &profile_path {
         let phases = if portfolio {
@@ -589,6 +613,16 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                     }
                 }
             }
+            Some("resource_report") => {
+                let total = ev.get("total_bytes").and_then(Json::as_u64).unwrap_or(0);
+                if let Some(components) = ev.get("components").and_then(Json::as_object) {
+                    println!("memory:");
+                    for (name, bytes) in components {
+                        println!("  {name:<24} {:>12} bytes", bytes.as_u64().unwrap_or(0));
+                    }
+                    println!("  {:<24} {total:>12} bytes", "total");
+                }
+            }
             Some("phases") => {
                 if let Some(phases) = ev.get("phases").and_then(Json::as_array) {
                     if !phases.is_empty() {
@@ -691,6 +725,21 @@ fn report_snapshot(path: &str, snapshot: &BenchSnapshot) -> Result<(), String> {
             println!(
                 "    {:<18} similarity {:.3}  {steps} steps  {accesses} node accesses  {:.2}ms",
                 algo.algo, algo.best_similarity, algo.wall_ms_median
+            );
+        }
+        for mem in snapshot.memory.iter().filter(|m| m.instance == inst.name) {
+            println!("    memory: {} bytes resident", mem.total_bytes);
+        }
+        for cache in snapshot.cache.iter().filter(|c| c.instance == inst.name) {
+            println!(
+                "    {:<18} cache: {} hits, {} misses, {} reassign / {} penalty \
+                 invalidations, {} bytes",
+                cache.algo,
+                cache.hits,
+                cache.misses,
+                cache.invalidations_reassign,
+                cache.invalidations_penalty,
+                cache.bytes
             );
         }
     }

@@ -212,6 +212,94 @@ fn profile_out_works_without_metrics_out_and_with_portfolio() {
 }
 
 #[test]
+fn report_renders_resource_report_as_memory_table() {
+    let dir = temp_dir("report_memory");
+    let (metrics, _) = solve_with_metrics(&dir, &[]);
+    let out = report(&metrics);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("memory:"), "{text}");
+    // One rects/rtree/flat_leaves row per variable, plus the totals line.
+    for component in [
+        "rects.var000",
+        "rtree.var001",
+        "flat_leaves.var000",
+        "total",
+    ] {
+        assert!(text.contains(component), "missing {component}:\n{text}");
+    }
+    assert!(text.contains("bytes"), "{text}");
+}
+
+#[test]
+fn flight_recorder_out_writes_schema_valid_jsonl() {
+    let dir = temp_dir("flight");
+    let flight = dir.join("flight.jsonl");
+    let (metrics, out) =
+        solve_with_metrics(&dir, &["--flight-recorder-out", flight.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("flight recorder"), "{text}");
+
+    // The recorded ring is itself a valid metrics file; with a 64 KiB
+    // budget and a short run it holds the complete event stream, so it
+    // reports identically to the JSONL sink's file.
+    let out = report(&flight);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let flight_text = std::fs::read_to_string(&flight).unwrap();
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert_eq!(
+        flight_text, metrics_text,
+        "short-run flight recording must equal the full event stream"
+    );
+}
+
+#[test]
+fn flight_recorder_works_without_metrics_out() {
+    let dir = temp_dir("flight_solo");
+    let a = generate(&dir, "a.csv", 200, 5);
+    let b = generate(&dir, "b.csv", 200, 6);
+    let flight = dir.join("flight.jsonl");
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--query",
+            "chain",
+            "--iterations",
+            "200",
+            "--flight-recorder-out",
+            flight.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report_out = report(&flight);
+    assert!(
+        report_out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report_out.stderr)
+    );
+    let text = String::from_utf8_lossy(&report_out.stdout);
+    assert!(text.contains("schema OK"), "{text}");
+    assert!(text.contains("memory:"), "{text}");
+}
+
+#[test]
 fn bench_snapshot_then_compare_passes_and_detects_tampering() {
     let dir = temp_dir("bench_roundtrip");
     let snap = dir.join("BENCH_t1.json");

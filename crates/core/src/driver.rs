@@ -260,6 +260,7 @@ impl SearchDriver {
             self.edges,
             false,
             self.emit_end,
+            instance,
         )
     }
 
@@ -286,6 +287,7 @@ impl SearchDriver {
             self.edges,
             proven_optimal,
             self.emit_end,
+            instance,
         )
     }
 
@@ -296,6 +298,7 @@ impl SearchDriver {
         edges: usize,
         proven_optimal: bool,
         emit_end: bool,
+        instance: &Instance,
     ) -> RunOutcome {
         stats.elapsed = clock.elapsed();
         stats.steps = clock.steps();
@@ -312,6 +315,7 @@ impl SearchDriver {
             top_solutions: incumbent.top.into_vec(),
         };
         if emit_end {
+            crate::observe::emit_resource_report(clock.obs(), instance, &outcome);
             crate::observe::emit_run_end(clock.obs(), &outcome);
         }
         outcome

@@ -188,6 +188,7 @@ impl DriveSearch for Gils {
                 driver.offer(&sol, cs.total_violations());
             }
         }
+        driver.stats_mut().cache.absorb(&cache.stats());
     }
 }
 

@@ -98,6 +98,7 @@ impl DriveSearch for Ils {
                 }
             }
         }
+        driver.stats_mut().cache.absorb(&cache.stats());
     }
 }
 
@@ -112,6 +113,7 @@ pub(crate) fn collect_local_maxima(
     step_cap: u64,
     rng: &mut StdRng,
     node_accesses: &mut u64,
+    cache_stats: &mut crate::window_cache::CacheStats,
 ) -> Vec<mwsj_query::Solution> {
     let graph = instance.graph();
     let mut cache = WindowCache::new(instance);
@@ -144,6 +146,7 @@ pub(crate) fn collect_local_maxima(
         }
         maxima.push(sol);
     }
+    cache_stats.absorb(&cache.stats());
     maxima
 }
 

@@ -1,6 +1,7 @@
 //! A join instance: query graph plus indexed datasets.
 
 use mwsj_geom::Rect;
+use mwsj_obs::{MemoryFootprint, ResourceReport};
 use mwsj_query::{ConflictState, QueryGraph, Solution, VarId};
 use mwsj_rtree::{FlatLeaves, RTree, RTreeParams};
 use rand::rngs::StdRng;
@@ -235,6 +236,40 @@ impl Instance {
         )
     }
 
+    /// Yields `(first_var, dataset)` for every **unique** dataset, so
+    /// self-joins (one `Arc` aliased under several variables) are counted
+    /// once, named after the first variable bound to them.
+    fn unique_datasets(&self) -> impl Iterator<Item = (VarId, &IndexedDataset)> {
+        self.data.iter().enumerate().filter_map(|(v, d)| {
+            let first = self
+                .data
+                .iter()
+                .position(|other| Arc::ptr_eq(other, d))
+                .unwrap_or(v);
+            (first == v).then_some((v, &**d))
+        })
+    }
+
+    /// Records per-structure byte counts into `report`: for each unique
+    /// dataset, the raw rectangles (`rects.varNNN`), the R*-tree arena
+    /// (`rtree.varNNN`) and the frozen SoA leaves (`flat_leaves.varNNN`),
+    /// named after the first variable bound to that dataset. The same
+    /// table backs the `resource_report` run event and the `memory`
+    /// section of bench snapshots.
+    pub fn fill_resource_report(&self, report: &mut ResourceReport) {
+        for (v, d) in self.unique_datasets() {
+            report.record(
+                &format!("rects.var{v:03}"),
+                d.rects.len() as u64 * std::mem::size_of::<Rect>() as u64,
+            );
+            report.record(&format!("rtree.var{v:03}"), d.tree.memory_bytes());
+            report.record(
+                &format!("flat_leaves.var{v:03}"),
+                MemoryFootprint::memory_bytes(&d.flat),
+            );
+        }
+    }
+
     /// Evaluates a solution from scratch.
     pub fn evaluate(&self, sol: &Solution) -> ConflictState {
         ConflictState::evaluate(&self.graph, sol, self.rect_of())
@@ -248,6 +283,22 @@ impl Instance {
     /// Similarity of `sol` (`1 − violations / edges`).
     pub fn similarity(&self, sol: &Solution) -> f64 {
         self.graph.similarity_of_violations(self.violations(sol))
+    }
+}
+
+impl MemoryFootprint for Instance {
+    /// Resident bytes of the indexed datasets (rectangles, R*-tree arenas
+    /// and frozen SoA leaves), with `Arc`-shared self-join datasets counted
+    /// once. Deterministic: the same logical instance always reports the
+    /// same total.
+    fn memory_bytes(&self) -> u64 {
+        self.unique_datasets()
+            .map(|(_, d)| {
+                d.rects.len() as u64 * std::mem::size_of::<Rect>() as u64
+                    + d.tree.memory_bytes()
+                    + MemoryFootprint::memory_bytes(&d.flat)
+            })
+            .sum()
     }
 }
 
@@ -325,6 +376,36 @@ mod tests {
                 assert!(sol.get(v) < inst.cardinality(v));
             }
         }
+    }
+
+    #[test]
+    fn resource_report_is_deterministic_and_dedupes_self_joins() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = Dataset::uniform(80, 0.2, &mut rng);
+        let inst = Instance::self_join(QueryGraph::clique(4), data.rects()).unwrap();
+        let again = Instance::self_join(QueryGraph::clique(4), data.rects()).unwrap();
+        assert_eq!(inst.memory_bytes(), again.memory_bytes());
+
+        let mut report = ResourceReport::new();
+        inst.fill_resource_report(&mut report);
+        // Four aliased variables, one shared dataset: var000 components only.
+        let names: Vec<&str> = report
+            .components()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["flat_leaves.var000", "rects.var000", "rtree.var000"]
+        );
+        assert_eq!(report.total_bytes(), inst.memory_bytes());
+
+        // Distinct datasets report one component set per variable.
+        let distinct = tiny_instance();
+        let mut report = ResourceReport::new();
+        distinct.fill_resource_report(&mut report);
+        assert_eq!(report.components().len(), 9);
+        assert_eq!(report.total_bytes(), distinct.memory_bytes());
     }
 
     #[test]

@@ -69,13 +69,14 @@ pub use result::{RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
 pub use sea::{Sea, SeaConfig};
 pub use st::SynchronousTraversal;
 pub use two_step::{TwoStep, TwoStepConfig, TwoStepOutcome};
-pub use window_cache::WindowCache;
+pub use window_cache::{CacheStats, VarCacheStats, WindowCache};
 pub use wr::{ExactJoinOutcome, WindowReduction};
 
 // Observability building blocks, re-exported so downstream crates can wire
 // search runs to sinks without depending on `mwsj-obs` directly.
 pub use mwsj_obs as obs;
 pub use mwsj_obs::{
-    merge_phase_snapshots, EventSink, JsonlSink, MetricsRegistry, MetricsSnapshot, ObsHandle,
-    PhaseSnapshot, PhaseTimer, RunEvent, VecSink,
+    merge_phase_snapshots, EventSink, FanoutSink, FlightRecorder, JsonlSink, MemoryFootprint,
+    MetricsRegistry, MetricsSnapshot, ObsHandle, PhaseSnapshot, PhaseTimer, ResourceReport,
+    RunEvent, VecSink, DEFAULT_FLIGHT_RECORDER_BYTES,
 };

@@ -292,8 +292,10 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         let mut merged =
             merge_outcomes(&outcomes, instance.graph().edge_count(), self.config.top_k);
         merged.stats.elapsed = start.elapsed();
-        // One `run_end` for the whole portfolio: the restarts themselves run
-        // under restart-scoped handles, which suppresses their own emission.
+        // One `resource_report` + `run_end` for the whole portfolio: the
+        // restarts themselves run under restart-scoped handles, which
+        // suppresses their own emission.
+        crate::observe::emit_resource_report(obs, instance, &merged);
         crate::observe::emit_run_end(obs, &merged);
 
         // Seed-ordered reduction of the per-restart snapshots: the fold
@@ -419,6 +421,7 @@ fn merge_outcomes(outcomes: &[RestartOutcome], edges: usize, top_k: usize) -> Ru
         stats.local_maxima += s.local_maxima;
         stats.node_accesses += s.node_accesses;
         stats.improvements += s.improvements;
+        stats.cache.absorb(&s.cache);
     }
 
     RunOutcome {
@@ -536,6 +539,36 @@ mod tests {
             .metrics
             .counter(crate::observe::metric::NODE_ACCESSES)
             .is_some_and(|n| n > 0));
+        // Cache-efficiency telemetry obeys the same determinism contract:
+        // counters are present, meaningful, and independent of threads.
+        for name in [
+            crate::observe::metric::CACHE_HITS,
+            crate::observe::metric::CACHE_MISSES,
+            crate::observe::metric::CACHE_BYTES,
+        ] {
+            assert_eq!(
+                sequential.metrics.counter(name),
+                parallel.metrics.counter(name),
+                "{name} differs across thread counts"
+            );
+            assert!(
+                sequential.metrics.counter(name).is_some_and(|n| n > 0),
+                "{name} missing or zero"
+            );
+        }
+        assert_eq!(
+            sequential
+                .metrics
+                .counter(crate::observe::metric::CACHE_HITS),
+            Some(sequential.merged.stats.cache.hits())
+        );
+        assert_eq!(
+            sequential
+                .metrics
+                .counter(crate::observe::metric::CACHE_MISSES),
+            Some(sequential.merged.stats.cache.misses())
+        );
+        assert_eq!(sequential.merged.stats.cache, parallel.merged.stats.cache);
     }
 
     #[test]

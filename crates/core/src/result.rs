@@ -1,5 +1,7 @@
 //! Run outcomes: best solution, counters and convergence traces.
 
+use crate::window_cache::CacheStats;
+use mwsj_obs::MemoryFootprint;
 use mwsj_query::Solution;
 use std::time::Duration;
 
@@ -18,6 +20,9 @@ pub struct RunStats {
     pub node_accesses: u64,
     /// Number of times the incumbent best solution improved.
     pub improvements: u64,
+    /// [`WindowCache`](crate::WindowCache) efficiency telemetry (empty for
+    /// algorithms that run without the cache).
+    pub cache: CacheStats,
 }
 
 /// One point of the convergence trace: the best similarity known at a given
@@ -98,6 +103,27 @@ impl TopSolutions {
     /// best-first.
     pub fn into_vec(self) -> Vec<(Solution, usize)> {
         self.entries
+    }
+}
+
+/// Length-based resident bytes of retained `(solution, violations)` pairs:
+/// one pair header plus the solution's assignment vector per entry. Shared
+/// by [`TopSolutions`] and the flattened [`RunOutcome::top_solutions`].
+pub(crate) fn solutions_bytes(entries: &[(Solution, usize)]) -> u64 {
+    entries
+        .iter()
+        .map(|(sol, _)| {
+            (std::mem::size_of::<(Solution, usize)>() + std::mem::size_of_val(sol.as_slice()))
+                as u64
+        })
+        .sum()
+}
+
+impl MemoryFootprint for TopSolutions {
+    /// Length-based resident bytes of the retained `(solution,
+    /// violations)` pairs.
+    fn memory_bytes(&self) -> u64 {
+        solutions_bytes(&self.entries)
     }
 }
 

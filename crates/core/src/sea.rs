@@ -178,19 +178,23 @@ impl DriveSearch for Sea {
         let mut pop: Vec<Individual> = {
             let _seed_phase = driver.obs().timer.span("seed");
             let mut pop: Vec<Individual> = if self.config.seed_with_ils {
-                crate::ils::collect_local_maxima(
+                let mut seed_cache = crate::window_cache::CacheStats::default();
+                let maxima = crate::ils::collect_local_maxima(
                     instance,
                     p,
                     20 * p as u64,
                     rng,
                     driver.node_accesses_mut(),
-                )
-                .into_iter()
-                .map(|sol| {
-                    let cs = instance.evaluate(&sol);
-                    Individual { sol, cs }
-                })
-                .collect()
+                    &mut seed_cache,
+                );
+                driver.stats_mut().cache.absorb(&seed_cache);
+                maxima
+                    .into_iter()
+                    .map(|sol| {
+                        let cs = instance.evaluate(&sol);
+                        Individual { sol, cs }
+                    })
+                    .collect()
             } else {
                 Vec::new()
             };
@@ -221,13 +225,17 @@ impl DriveSearch for Sea {
                 // Re-diversify: fresh ILS local maxima in hybrid mode,
                 // otherwise fresh random solutions.
                 let seeds = if self.config.seed_with_ils {
-                    crate::ils::collect_local_maxima(
+                    let mut seed_cache = crate::window_cache::CacheStats::default();
+                    let maxima = crate::ils::collect_local_maxima(
                         instance,
                         p,
                         20 * p as u64,
                         rng,
                         driver.node_accesses_mut(),
-                    )
+                        &mut seed_cache,
+                    );
+                    driver.stats_mut().cache.absorb(&seed_cache);
+                    maxima
                 } else {
                     Vec::new()
                 };
@@ -344,6 +352,7 @@ impl DriveSearch for Sea {
         for ind in &pop {
             driver.offer(&ind.sol, ind.cs.total_violations());
         }
+        driver.stats_mut().cache.absorb(&cache.stats());
     }
 }
 

@@ -59,6 +59,7 @@ impl TwoStepOutcome {
             total.local_maxima += sys.stats.local_maxima;
             total.node_accesses += sys.stats.node_accesses;
             total.improvements += sys.stats.improvements;
+            total.cache.absorb(&sys.stats.cache);
         }
         total
     }
@@ -145,7 +146,7 @@ impl TwoStep {
                 systematic: None,
                 best,
             };
-            emit_combined_run_end(obs, &outcome);
+            emit_combined_run_end(obs, instance, &outcome);
             return outcome;
         }
 
@@ -168,19 +169,21 @@ impl TwoStep {
             systematic: Some(systematic),
             best,
         };
-        emit_combined_run_end(obs, &outcome);
+        emit_combined_run_end(obs, instance, &outcome);
         outcome
     }
 }
 
-/// Emits the pipeline's single `run_end`: the overall best outcome with
-/// counters aggregated across both stages (no-op without a sink).
-fn emit_combined_run_end(obs: &ObsHandle, outcome: &TwoStepOutcome) {
+/// Emits the pipeline's single `resource_report` + `run_end`: the overall
+/// best outcome with counters aggregated across both stages (no-op without
+/// a sink).
+fn emit_combined_run_end(obs: &ObsHandle, instance: &Instance, outcome: &TwoStepOutcome) {
     if !obs.has_sink() {
         return;
     }
     let mut combined = outcome.best.clone();
     combined.stats = outcome.total_stats();
+    crate::observe::emit_resource_report(obs, instance, &combined);
     crate::observe::emit_run_end(obs, &combined);
 }
 

@@ -21,11 +21,101 @@
 //! traversal, node-access counts under the cache are ≤ the uncached
 //! counts and every other counter (steps, improvements, trajectories) is
 //! unchanged — the counter-compatibility contract of DESIGN.md §5e.
+//!
+//! Every query is classified into the cache's own telemetry
+//! ([`CacheStats`]: hits, misses, invalidations by cause, per variable) as
+//! plain `u64` increments — no atomics, no registry lookups in the hot
+//! loop. Drives absorb the counters into
+//! [`RunStats`](crate::RunStats) when the run finishes, from where they
+//! follow the same deterministic flush-and-merge path as every other work
+//! counter (DESIGN.md §5g).
 
 use crate::find_best_value::{best_value_in_windows, BestValue};
 use crate::instance::Instance;
 use mwsj_geom::{Predicate, Rect};
+use mwsj_obs::MemoryFootprint;
 use mwsj_query::{PenaltyTable, Solution, VarId};
+
+/// Cache telemetry for one variable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarCacheStats {
+    /// Queries answered from the memoised result without a traversal.
+    pub hits: u64,
+    /// Queries that ran the index traversal (cold or invalidated).
+    pub misses: u64,
+    /// Misses caused by a neighbour-assignment change that invalidated a
+    /// previously memoised result.
+    pub invalidations_reassign: u64,
+    /// Misses caused by a [`PenaltyTable::version`] bump alone (all
+    /// neighbour windows unchanged).
+    pub invalidations_penalty: u64,
+}
+
+impl VarCacheStats {
+    fn absorb(&mut self, other: &VarCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations_reassign += other.invalidations_reassign;
+        self.invalidations_penalty += other.invalidations_penalty;
+    }
+}
+
+/// [`WindowCache`] efficiency telemetry: per-variable hit/miss/invalidation
+/// counters plus the cache's resident bytes.
+///
+/// All fields are counters of deterministic algorithmic work, so they obey
+/// the same merge rules as every other metric: pointwise sums are
+/// bit-identical across thread counts under step budgets
+/// ([`CacheStats::absorb`] is the portfolio/two-step reduction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Per-variable breakdown, indexed by variable id.
+    pub per_var: Vec<VarCacheStats>,
+    /// Resident bytes of the cache(s) at the end of the run
+    /// ([`MemoryFootprint`] accounting; sums across merged runs).
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Total hits across variables.
+    pub fn hits(&self) -> u64 {
+        self.per_var.iter().map(|v| v.hits).sum()
+    }
+
+    /// Total misses across variables.
+    pub fn misses(&self) -> u64 {
+        self.per_var.iter().map(|v| v.misses).sum()
+    }
+
+    /// Total reassignment-caused invalidations across variables.
+    pub fn invalidations_reassign(&self) -> u64 {
+        self.per_var.iter().map(|v| v.invalidations_reassign).sum()
+    }
+
+    /// Total penalty-version-caused invalidations across variables.
+    pub fn invalidations_penalty(&self) -> u64 {
+        self.per_var.iter().map(|v| v.invalidations_penalty).sum()
+    }
+
+    /// `true` when no cache was ever consulted.
+    pub fn is_empty(&self) -> bool {
+        self.per_var.is_empty() && self.bytes == 0
+    }
+
+    /// Pointwise sum of `other` into `self` (extending the per-variable
+    /// vector as needed); bytes add up. Associative and commutative, so a
+    /// seed-ordered fold is independent of thread scheduling.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        if self.per_var.len() < other.per_var.len() {
+            self.per_var
+                .resize(other.per_var.len(), VarCacheStats::default());
+        }
+        for (mine, theirs) in self.per_var.iter_mut().zip(&other.per_var) {
+            mine.absorb(theirs);
+        }
+        self.bytes += other.bytes;
+    }
+}
 
 /// Cached window state for one variable.
 #[derive(Debug, Clone)]
@@ -48,10 +138,12 @@ struct VarWindows {
 ///
 /// Create one per search run and route every best-value query through
 /// [`WindowCache::find_best_value`]; the answers are identical to the
-/// free function's, only cheaper.
+/// free function's, only cheaper. [`WindowCache::stats`] reports how much
+/// cheaper.
 #[derive(Debug, Clone)]
 pub struct WindowCache {
     vars: Vec<VarWindows>,
+    stats: Vec<VarCacheStats>,
 }
 
 impl WindowCache {
@@ -68,18 +160,29 @@ impl WindowCache {
                 }
             })
             .collect();
-        WindowCache { vars }
+        let stats = vec![VarCacheStats::default(); instance.n_vars()];
+        WindowCache { vars, stats }
     }
 
     /// Drops every cached window and result (e.g. after swapping in an
     /// unrelated solution wholesale is *not* required — assignments are
     /// re-checked per call — but callers may use this to bound memory on
-    /// huge instances).
+    /// huge instances). Telemetry is cumulative and survives a clear.
     pub fn clear(&mut self) {
         for entry in &mut self.vars {
             entry.assignments.fill(usize::MAX);
             entry.windows.clear();
             entry.result = None;
+        }
+    }
+
+    /// Freezes the cache's telemetry: the per-variable counters recorded
+    /// so far plus the cache's current [`MemoryFootprint`] bytes. Drives
+    /// absorb this into [`RunStats`](crate::RunStats) when the run ends.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            per_var: self.stats.clone(),
+            bytes: self.memory_bytes(),
         }
     }
 
@@ -122,13 +225,25 @@ impl WindowCache {
             }
         }
 
+        let had_result = entry.result.is_some();
         let penalty_version = penalties.map_or(0, |(table, _)| table.version());
         if !dirty && entry.penalty_version == penalty_version {
             if let Some(cached) = entry.result {
-                #[cfg(test)]
-                HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.stats[var].hits += 1;
                 return cached;
             }
+        }
+
+        // Traversal required; classify why a memoised result didn't serve.
+        let var_stats = &mut self.stats[var];
+        var_stats.misses += 1;
+        if had_result {
+            if dirty {
+                var_stats.invalidations_reassign += 1;
+            } else if entry.penalty_version != penalty_version {
+                var_stats.invalidations_penalty += 1;
+            }
+            // (neither: the memoised result was dropped by `clear`)
         }
 
         let result = best_value_in_windows(instance, var, &entry.windows, penalties, node_accesses);
@@ -139,8 +254,24 @@ impl WindowCache {
     }
 }
 
-#[cfg(test)]
-pub(crate) static HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+impl MemoryFootprint for WindowCache {
+    /// Length-based resident bytes: the per-variable window/assignment
+    /// vectors, the telemetry counters and the per-variable headers.
+    fn memory_bytes(&self) -> u64 {
+        let per_entry: u64 = self
+            .vars
+            .iter()
+            .map(|e| {
+                (e.assignments.len() * std::mem::size_of::<usize>()
+                    + e.windows.len() * std::mem::size_of::<(Predicate, Rect)>())
+                    as u64
+            })
+            .sum();
+        let headers = (self.vars.len() * std::mem::size_of::<VarWindows>()) as u64;
+        let stats = (self.stats.len() * std::mem::size_of::<VarCacheStats>()) as u64;
+        per_entry + headers + stats
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -178,6 +309,8 @@ mod tests {
             let v = rng.random_range(0..4);
             sol.set(v, rng.random_range(0..300));
         }
+        let stats = cache.stats();
+        assert_eq!(stats.hits() + stats.misses(), 200, "every query classified");
     }
 
     #[test]
@@ -193,6 +326,11 @@ mod tests {
         let second = cache.find_best_value(&inst, &sol, 0, None, &mut acc);
         assert_eq!(first, second);
         assert_eq!(acc, after_first, "full cache hit must not touch the index");
+        let stats = cache.stats();
+        assert_eq!(stats.per_var[0].hits, 1);
+        assert_eq!(stats.per_var[0].misses, 1, "the cold build is a miss");
+        assert_eq!(stats.invalidations_reassign(), 0);
+        assert_eq!(stats.invalidations_penalty(), 0);
     }
 
     #[test]
@@ -209,6 +347,7 @@ mod tests {
         let second = cache.find_best_value(&inst, &sol, 1, None, &mut acc);
         assert_eq!(first, second);
         assert_eq!(acc, after_first);
+        assert_eq!(cache.stats().per_var[1].hits, 1);
     }
 
     #[test]
@@ -236,6 +375,28 @@ mod tests {
             second,
             find_best_value(&inst, &sol, 0, Some((&table, lambda)), &mut check)
         );
+        let stats = cache.stats();
+        assert_eq!(stats.per_var[0].invalidations_penalty, 1);
+        assert_eq!(stats.per_var[0].invalidations_reassign, 0);
+        assert_eq!(stats.per_var[0].misses, 2);
+    }
+
+    #[test]
+    fn reassignment_invalidation_is_classified_by_cause() {
+        let inst = random_instance(71, 3, 200);
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut sol = inst.random_solution(&mut rng);
+        let mut cache = WindowCache::new(&inst);
+        let mut acc = 0;
+        let _ = cache.find_best_value(&inst, &sol, 1, None, &mut acc);
+        // Move a neighbour of var 1 (clique: var 0 is a neighbour).
+        sol.set(0, (sol.get(0) + 1) % 200);
+        let _ = cache.find_best_value(&inst, &sol, 1, None, &mut acc);
+        let stats = cache.stats();
+        assert_eq!(stats.per_var[1].invalidations_reassign, 1);
+        assert_eq!(stats.per_var[1].invalidations_penalty, 0);
+        assert_eq!(stats.per_var[1].misses, 2);
+        assert_eq!(stats.per_var[1].hits, 0);
     }
 
     #[test]
@@ -251,6 +412,69 @@ mod tests {
         let again = cache.find_best_value(&inst, &sol, 0, None, &mut acc);
         assert_eq!(first, again);
         assert!(acc > before, "cleared cache must re-traverse");
+        let stats = cache.stats();
+        assert_eq!(stats.per_var[0].misses, 2);
+        assert_eq!(
+            stats.per_var[0].invalidations_reassign + stats.per_var[0].invalidations_penalty,
+            0,
+            "a cleared result is a cold miss, not an invalidation"
+        );
+    }
+
+    #[test]
+    fn cache_stats_absorb_sums_pointwise_and_extends() {
+        let a = CacheStats {
+            per_var: vec![VarCacheStats {
+                hits: 1,
+                misses: 2,
+                invalidations_reassign: 1,
+                invalidations_penalty: 0,
+            }],
+            bytes: 100,
+        };
+        let b = CacheStats {
+            per_var: vec![
+                VarCacheStats {
+                    hits: 10,
+                    misses: 20,
+                    invalidations_reassign: 3,
+                    invalidations_penalty: 4,
+                },
+                VarCacheStats {
+                    hits: 5,
+                    ..VarCacheStats::default()
+                },
+            ],
+            bytes: 50,
+        };
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba, "absorb is commutative");
+        assert_eq!(ab.hits(), 16);
+        assert_eq!(ab.misses(), 22);
+        assert_eq!(ab.invalidations_reassign(), 4);
+        assert_eq!(ab.invalidations_penalty(), 4);
+        assert_eq!(ab.bytes, 150);
+        assert_eq!(ab.per_var.len(), 2);
+    }
+
+    #[test]
+    fn memory_bytes_is_deterministic_and_grows_with_use() {
+        let inst = random_instance(73, 4, 300);
+        let cache_a = WindowCache::new(&inst);
+        let cache_b = WindowCache::new(&inst);
+        assert_eq!(cache_a.memory_bytes(), cache_b.memory_bytes());
+        let mut rng = StdRng::seed_from_u64(74);
+        let sol = inst.random_solution(&mut rng);
+        let mut used = WindowCache::new(&inst);
+        let mut acc = 0;
+        let _ = used.find_best_value(&inst, &sol, 0, None, &mut acc);
+        assert!(
+            used.memory_bytes() > cache_a.memory_bytes(),
+            "built windows must count"
+        );
     }
 }
 
@@ -264,7 +488,8 @@ mod drive_integration {
     /// An end-to-end ILS run must actually *hit* the cache: the
     /// local-maximum sweep re-queries variables whose neighbour windows
     /// are unchanged (e.g. the variable improved last), so a real search
-    /// saves traversals, not just in principle.
+    /// saves traversals, not just in principle. The counters ride along in
+    /// [`crate::RunStats::cache`] — per run, not process-wide.
     #[test]
     fn ils_run_produces_cache_hits() {
         let mut rng = StdRng::seed_from_u64(101);
@@ -277,10 +502,28 @@ mod drive_integration {
         let graph = shape.graph(n);
         plant_solution(&mut datasets, &graph, &mut rng);
         let inst = crate::Instance::new(graph, datasets).unwrap();
-        let before = super::HITS.load(std::sync::atomic::Ordering::Relaxed);
         let mut rng = StdRng::seed_from_u64(7);
-        let _ = Ils::default().run(&inst, &SearchBudget::iterations(3000), &mut rng);
-        let hits = super::HITS.load(std::sync::atomic::Ordering::Relaxed) - before;
-        assert!(hits > 0, "a full ILS run should produce window-cache hits");
+        let outcome = Ils::default().run(&inst, &SearchBudget::iterations(3000), &mut rng);
+        let cache = &outcome.stats.cache;
+        assert!(
+            cache.hits() > 0,
+            "a full ILS run should produce window-cache hits: {cache:?}"
+        );
+        assert!(cache.misses() > 0);
+        assert!(
+            cache.invalidations_reassign() > 0,
+            "local search reassigns neighbours, so reassignment invalidations must show"
+        );
+        assert_eq!(
+            cache.invalidations_penalty(),
+            0,
+            "ILS runs without penalties"
+        );
+        assert_eq!(
+            cache.per_var.len(),
+            n,
+            "per-variable breakdown sized to the query"
+        );
+        assert!(cache.bytes > 0, "the cache footprint is recorded");
     }
 }

@@ -241,7 +241,145 @@ pub fn compare(
             );
         }
     }
+    compare_memory(&mut report, baseline, candidate);
+    compare_cache(&mut report, baseline, candidate);
     report
+}
+
+/// Gates the `memory` section: byte counts are deterministic
+/// (`MemoryFootprint` contract), so every component must match exactly.
+/// Records present on one side only fail, like missing algorithm records.
+fn compare_memory(report: &mut CompareReport, baseline: &BenchSnapshot, candidate: &BenchSnapshot) {
+    for base in &baseline.memory {
+        let scope = format!("{}/memory", base.instance);
+        let Some(cand) = candidate
+            .memory
+            .iter()
+            .find(|m| m.instance == base.instance)
+        else {
+            report.push(
+                &scope,
+                Verdict::Fail,
+                "memory record missing from candidate snapshot".into(),
+            );
+            continue;
+        };
+        if base == cand {
+            report.push(
+                &scope,
+                Verdict::Ok,
+                format!(
+                    "memory identical ({} components, {} bytes)",
+                    base.components.len(),
+                    base.total_bytes
+                ),
+            );
+        } else {
+            let mut drift = Vec::new();
+            for (name, base_v) in &base.components {
+                match cand.components.iter().find(|(n, _)| n == name) {
+                    Some((_, cand_v)) if cand_v == base_v => {}
+                    Some((_, cand_v)) => drift.push(format!("{name} {base_v} -> {cand_v}")),
+                    None => drift.push(format!("{name} {base_v} -> <absent>")),
+                }
+            }
+            for (name, cand_v) in &cand.components {
+                if !base.components.iter().any(|(n, _)| n == name) {
+                    drift.push(format!("{name} <absent> -> {cand_v}"));
+                }
+            }
+            if base.total_bytes != cand.total_bytes {
+                drift.push(format!(
+                    "total_bytes {} -> {}",
+                    base.total_bytes, cand.total_bytes
+                ));
+            }
+            report.push(
+                &scope,
+                Verdict::Fail,
+                format!("memory drift: {}", drift.join(", ")),
+            );
+        }
+    }
+    for cand in &candidate.memory {
+        if !baseline.memory.iter().any(|m| m.instance == cand.instance) {
+            report.push(
+                &format!("{}/memory", cand.instance),
+                Verdict::Fail,
+                "memory record not present in baseline (re-snapshot the baseline)".into(),
+            );
+        }
+    }
+}
+
+/// Gates the `cache` section: hit/miss/invalidation counters are
+/// deterministic work counters, compared with exact equality like every
+/// other counter. Records present on one side only fail.
+fn compare_cache(report: &mut CompareReport, baseline: &BenchSnapshot, candidate: &BenchSnapshot) {
+    for base in &baseline.cache {
+        let scope = format!("{}/{}/cache", base.instance, base.algo);
+        let Some(cand) = candidate
+            .cache
+            .iter()
+            .find(|c| c.instance == base.instance && c.algo == base.algo)
+        else {
+            report.push(
+                &scope,
+                Verdict::Fail,
+                "cache record missing from candidate snapshot".into(),
+            );
+            continue;
+        };
+        if base == cand {
+            report.push(
+                &scope,
+                Verdict::Ok,
+                format!(
+                    "cache counters identical ({} hits, {} misses)",
+                    base.hits, base.misses
+                ),
+            );
+        } else {
+            let mut drift = Vec::new();
+            for (name, base_v, cand_v) in [
+                ("hits", base.hits, cand.hits),
+                ("misses", base.misses, cand.misses),
+                (
+                    "invalidations_reassign",
+                    base.invalidations_reassign,
+                    cand.invalidations_reassign,
+                ),
+                (
+                    "invalidations_penalty",
+                    base.invalidations_penalty,
+                    cand.invalidations_penalty,
+                ),
+                ("bytes", base.bytes, cand.bytes),
+            ] {
+                if base_v != cand_v {
+                    drift.push(format!("{name} {base_v} -> {cand_v}"));
+                }
+            }
+            report.push(
+                &scope,
+                Verdict::Fail,
+                format!("cache counter drift: {}", drift.join(", ")),
+            );
+        }
+    }
+    for cand in &candidate.cache {
+        if !baseline
+            .cache
+            .iter()
+            .any(|c| c.instance == cand.instance && c.algo == cand.algo)
+        {
+            report.push(
+                &format!("{}/{}/cache", cand.instance, cand.algo),
+                Verdict::Fail,
+                "cache record not present in baseline (re-snapshot the baseline)".into(),
+            );
+        }
+    }
 }
 
 fn compare_algo(
@@ -388,6 +526,8 @@ mod tests {
                 seed: 1,
                 algos,
             }],
+            memory: vec![],
+            cache: vec![],
         }
     }
 
@@ -524,6 +664,8 @@ mod tests {
             label: "e".into(),
             reps: 1,
             instances: vec![],
+            memory: vec![],
+            cache: vec![],
         };
         let report = compare(&a, &empty, CompareConfig::default());
         assert!(!report.passed());
@@ -557,6 +699,8 @@ mod tests {
                 seed: 1,
                 algos: vec![record("ILS", 100, 10.0)],
             }],
+            memory: vec![],
+            cache: vec![],
         }
     }
 
@@ -586,6 +730,80 @@ mod tests {
             "{}",
             report.render()
         );
+    }
+
+    fn with_sections(mut snap: BenchSnapshot) -> BenchSnapshot {
+        snap.memory = vec![crate::snapshot::MemoryRecord {
+            instance: "chain-4".into(),
+            components: vec![("rtree.var000".into(), 4096)],
+            total_bytes: 4096,
+        }];
+        snap.cache = vec![crate::snapshot::CacheRecord {
+            instance: "chain-4".into(),
+            algo: "ILS".into(),
+            hits: 10,
+            misses: 20,
+            invalidations_reassign: 3,
+            invalidations_penalty: 0,
+            bytes: 512,
+        }];
+        snap
+    }
+
+    #[test]
+    fn identical_memory_and_cache_sections_pass() {
+        let a = with_sections(snapshot("a", vec![record("ILS", 100, 10.0)]));
+        let b = with_sections(snapshot("b", vec![record("ILS", 100, 10.0)]));
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        let rendered = report.render();
+        assert!(rendered.contains("memory identical"), "{rendered}");
+        assert!(rendered.contains("cache counters identical"), "{rendered}");
+    }
+
+    #[test]
+    fn memory_byte_drift_fails_exactly() {
+        let a = with_sections(snapshot("a", vec![record("ILS", 100, 10.0)]));
+        let mut b = with_sections(snapshot("b", vec![record("ILS", 100, 10.0)]));
+        b.memory[0].components[0].1 += 1;
+        b.memory[0].total_bytes += 1;
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(!report.passed());
+        let rendered = report.render();
+        assert!(
+            rendered.contains("memory drift") && rendered.contains("rtree.var000 4096 -> 4097"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn cache_counter_drift_fails_exactly() {
+        let a = with_sections(snapshot("a", vec![record("ILS", 100, 10.0)]));
+        let mut b = with_sections(snapshot("b", vec![record("ILS", 100, 10.0)]));
+        b.cache[0].hits += 1;
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report
+                .render()
+                .contains("cache counter drift: hits 10 -> 11"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn missing_memory_or_cache_section_fails_both_ways() {
+        let with = with_sections(snapshot("a", vec![record("ILS", 100, 10.0)]));
+        let without = snapshot("b", vec![record("ILS", 100, 10.0)]);
+        // Baseline has the sections, candidate lost them: regression.
+        let report = compare(&with, &without, CompareConfig::default());
+        assert_eq!(report.failures(), 2, "{}", report.render());
+        assert!(report.render().contains("missing from candidate"));
+        // Candidate grew sections the baseline lacks: re-snapshot.
+        let report = compare(&without, &with, CompareConfig::default());
+        assert_eq!(report.failures(), 2, "{}", report.render());
+        assert!(report.render().contains("not present in baseline"));
     }
 
     #[test]

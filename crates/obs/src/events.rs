@@ -109,6 +109,12 @@ pub enum RunEvent {
         /// Per-phase aggregates, sorted by path.
         phases: Vec<PhaseSnapshot>,
     },
+    /// Deterministic memory footprint of the run's resident structures
+    /// (see [`crate::resource::MemoryFootprint`]).
+    ResourceReport {
+        /// The component → bytes table.
+        report: crate::resource::ResourceReport,
+    },
     /// The run finished.
     RunEnd {
         /// Violations of the best solution found.
@@ -146,6 +152,7 @@ impl RunEvent {
             RunEvent::TracePoint { .. } => "trace_point",
             RunEvent::Metrics { .. } => "metrics",
             RunEvent::Phases { .. } => "phases",
+            RunEvent::ResourceReport { .. } => "resource_report",
             RunEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -239,6 +246,10 @@ impl RunEvent {
             }
             RunEvent::Phases { phases } => {
                 obj.raw("phases", &phases_json(phases));
+            }
+            RunEvent::ResourceReport { report } => {
+                obj.u64("total_bytes", report.total_bytes());
+                obj.raw("components", &counters_json(report.components()));
             }
             RunEvent::RunEnd {
                 best_violations,
@@ -418,6 +429,37 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Forwards every event to each inner sink, in order. Lets one run stream
+/// to a JSONL file and feed a [`FlightRecorder`](crate::FlightRecorder)
+/// at the same time.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl FanoutSink {
+    /// Creates a fanout over the given sinks.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn EventSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn emit(&self, event: &RunEvent) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+}
+
 /// Captures events in memory (for tests and the bench harness).
 #[derive(Debug, Default)]
 pub struct VecSink {
@@ -513,6 +555,14 @@ mod tests {
                     steps: 5,
                     wall: Duration::from_millis(2),
                 }],
+            },
+            RunEvent::ResourceReport {
+                report: {
+                    let mut r = crate::resource::ResourceReport::new();
+                    r.record("rtree.var000", 1024);
+                    r.record("window_cache", 96);
+                    r
+                },
             },
             RunEvent::RunEnd {
                 best_violations: 0,

@@ -48,6 +48,7 @@ pub mod handle;
 pub mod json;
 pub mod profile;
 pub mod registry;
+pub mod resource;
 pub mod schema;
 pub mod snapshot;
 pub mod suite_key;
@@ -57,15 +58,19 @@ pub use compare::{
     compare, CompareConfig, CompareReport, Verdict, DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 pub use curve::{AnytimeCurve, CurvePoint};
-pub use events::{EventSink, JsonlSink, RunEvent, VecSink};
+pub use events::{EventSink, FanoutSink, JsonlSink, RunEvent, VecSink};
 pub use handle::ObsHandle;
 pub use json::Json;
 pub use profile::{folded_root_totals, parse_folded, to_folded};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
+pub use resource::{
+    FlightRecorder, MemoryFootprint, ResourceReport, DEFAULT_FLIGHT_RECORDER_BYTES,
+};
 pub use snapshot::{
-    AlgoRecord, BenchSnapshot, InstanceRecord, SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+    AlgoRecord, BenchSnapshot, CacheRecord, InstanceRecord, MemoryRecord, SnapshotError,
+    SNAPSHOT_FORMAT, SNAPSHOT_SECTIONS, SNAPSHOT_VERSION,
 };
 pub use suite_key::SuiteKey;
 pub use timer::{merge_phase_snapshots, PhaseSnapshot, PhaseSpan, PhaseTimer};

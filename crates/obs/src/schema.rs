@@ -107,6 +107,13 @@ const REQUIRED: &[(&str, &[(&str, FieldType)])] = &[
     ),
     ("phases", &[("phases", FieldType::Arr)]),
     (
+        "resource_report",
+        &[
+            ("total_bytes", FieldType::U64),
+            ("components", FieldType::Obj),
+        ],
+    ),
+    (
         "run_end",
         &[
             ("best_violations", FieldType::U64),
@@ -280,6 +287,13 @@ mod tests {
                 snapshot: MetricsRegistry::new().snapshot(),
             },
             RunEvent::Phases { phases: vec![] },
+            RunEvent::ResourceReport {
+                report: {
+                    let mut r = crate::resource::ResourceReport::new();
+                    r.record("rtree.var000", 2048);
+                    r
+                },
+            },
             RunEvent::RunEnd {
                 best_violations: 1,
                 best_similarity: 0.66,

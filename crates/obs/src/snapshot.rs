@@ -33,6 +33,13 @@ pub fn tau_key(tau: f64) -> String {
     format!("{tau:.2}")
 }
 
+/// The top-level sections a snapshot document may contain; anything else
+/// is rejected by [`BenchSnapshot::parse`] with an error naming the
+/// offending section.
+pub const SNAPSHOT_SECTIONS: [&str; 7] = [
+    "format", "version", "label", "reps", "suite", "memory", "cache",
+];
+
 /// One suite snapshot: the pinned instances and their per-algorithm
 /// records.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +50,50 @@ pub struct BenchSnapshot {
     pub reps: u64,
     /// Per-instance records.
     pub instances: Vec<InstanceRecord>,
+    /// Deterministic per-instance memory tables (the `memory` section;
+    /// empty for snapshots written before it existed). Compared with
+    /// exact equality by `mwsj bench compare`.
+    pub memory: Vec<MemoryRecord>,
+    /// Deterministic per-record cache-efficiency counters (the `cache`
+    /// section; empty for snapshots written before it existed). Compared
+    /// with exact equality by `mwsj bench compare`.
+    pub cache: Vec<CacheRecord>,
+}
+
+/// Deterministic memory footprint of one suite instance's resident
+/// structures, component by component (`rtree.var000`, `flat_leaves.var000`,
+/// …). Bytes are length-based (`MemoryFootprint` contract), so the same
+/// pinned instance always reports the same table on every machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryRecord {
+    /// The suite instance this table describes.
+    pub instance: String,
+    /// Component → bytes, ascending by component name.
+    pub components: Vec<(String, u64)>,
+    /// Sum over `components`.
+    pub total_bytes: u64,
+}
+
+/// Deterministic window-cache efficiency counters of one instance ×
+/// algorithm record. All-zero records (algorithms that run without the
+/// cache) are still recorded so regressions that silently disable the
+/// cache fail the gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheRecord {
+    /// The suite instance.
+    pub instance: String,
+    /// The algorithm name.
+    pub algo: String,
+    /// Queries answered from the memoised result without a traversal.
+    pub hits: u64,
+    /// Queries that ran the index traversal.
+    pub misses: u64,
+    /// Misses caused by a neighbour-assignment change.
+    pub invalidations_reassign: u64,
+    /// Misses caused by a penalty-version bump alone.
+    pub invalidations_penalty: u64,
+    /// Cache resident bytes at run end (summed across merged restarts).
+    pub bytes: u64,
 }
 
 /// One pinned suite instance and the algorithms measured on it.
@@ -217,6 +268,14 @@ impl BenchSnapshot {
                 "suite".into(),
                 Json::Arr(self.instances.iter().map(instance_json).collect()),
             ),
+            (
+                "memory".into(),
+                Json::Arr(self.memory.iter().map(memory_json).collect()),
+            ),
+            (
+                "cache".into(),
+                Json::Arr(self.cache.iter().map(cache_json).collect()),
+            ),
         ])
     }
 
@@ -231,6 +290,18 @@ impl BenchSnapshot {
             let truncated = error.offset >= text.trim_end().len();
             SnapshotError::Json { error, truncated }
         })?;
+        let top = doc
+            .as_object()
+            .ok_or_else(|| SnapshotError::Schema("snapshot must be a JSON object".into()))?;
+        if let Some((unknown, _)) = top
+            .iter()
+            .find(|(k, _)| !SNAPSHOT_SECTIONS.contains(&k.as_str()))
+        {
+            return schema_err(format!(
+                "unknown top-level section {unknown:?} (known sections: {})",
+                SNAPSHOT_SECTIONS.join(", ")
+            ));
+        }
         let format = req_str(&doc, "format", "snapshot")?;
         if format != SNAPSHOT_FORMAT {
             return schema_err(format!(
@@ -256,10 +327,32 @@ impl BenchSnapshot {
             .iter()
             .map(parse_instance)
             .collect::<Result<Vec<_>, _>>()?;
+        // `memory` and `cache` are optional so pre-section snapshots stay
+        // readable; when present they must be well-formed.
+        let memory = match doc.get("memory") {
+            None => Vec::new(),
+            Some(section) => section
+                .as_array()
+                .ok_or_else(|| SnapshotError::Schema("\"memory\" must be an array".into()))?
+                .iter()
+                .map(parse_memory)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let cache = match doc.get("cache") {
+            None => Vec::new(),
+            Some(section) => section
+                .as_array()
+                .ok_or_else(|| SnapshotError::Schema("\"cache\" must be an array".into()))?
+                .iter()
+                .map(parse_cache)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(BenchSnapshot {
             label,
             reps,
             instances,
+            memory,
+            cache,
         })
     }
 
@@ -368,6 +461,78 @@ fn algo_json(algo: &AlgoRecord) -> Json {
             ),
         ),
     ])
+}
+
+fn memory_json(rec: &MemoryRecord) -> Json {
+    Json::Obj(vec![
+        ("instance".into(), Json::Str(rec.instance.clone())),
+        (
+            "components".into(),
+            Json::Obj(
+                rec.components
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        ("total_bytes".into(), Json::Num(rec.total_bytes as f64)),
+    ])
+}
+
+fn cache_json(rec: &CacheRecord) -> Json {
+    Json::Obj(vec![
+        ("instance".into(), Json::Str(rec.instance.clone())),
+        ("algo".into(), Json::Str(rec.algo.clone())),
+        ("hits".into(), Json::Num(rec.hits as f64)),
+        ("misses".into(), Json::Num(rec.misses as f64)),
+        (
+            "invalidations_reassign".into(),
+            Json::Num(rec.invalidations_reassign as f64),
+        ),
+        (
+            "invalidations_penalty".into(),
+            Json::Num(rec.invalidations_penalty as f64),
+        ),
+        ("bytes".into(), Json::Num(rec.bytes as f64)),
+    ])
+}
+
+fn parse_memory(doc: &Json) -> Result<MemoryRecord, SnapshotError> {
+    let instance = req_str(doc, "instance", "memory record")?.to_string();
+    let ctx = format!("memory record {instance:?}");
+    let components_obj = req(doc, "components", &ctx)?
+        .as_object()
+        .ok_or_else(|| SnapshotError::Schema(format!("{ctx} \"components\" must be an object")))?;
+    let mut components = Vec::with_capacity(components_obj.len());
+    for (k, v) in components_obj {
+        let v = v.as_u64().ok_or_else(|| {
+            SnapshotError::Schema(format!(
+                "{ctx} component {k:?} must be a non-negative integer"
+            ))
+        })?;
+        components.push((k.clone(), v));
+    }
+    components.sort();
+    Ok(MemoryRecord {
+        total_bytes: req_u64(doc, "total_bytes", &ctx)?,
+        instance,
+        components,
+    })
+}
+
+fn parse_cache(doc: &Json) -> Result<CacheRecord, SnapshotError> {
+    let instance = req_str(doc, "instance", "cache record")?.to_string();
+    let algo = req_str(doc, "algo", "cache record")?.to_string();
+    let ctx = format!("cache record {instance}/{algo}");
+    Ok(CacheRecord {
+        hits: req_u64(doc, "hits", &ctx)?,
+        misses: req_u64(doc, "misses", &ctx)?,
+        invalidations_reassign: req_u64(doc, "invalidations_reassign", &ctx)?,
+        invalidations_penalty: req_u64(doc, "invalidations_penalty", &ctx)?,
+        bytes: req_u64(doc, "bytes", &ctx)?,
+        instance,
+        algo,
+    })
 }
 
 fn req<'a>(doc: &'a Json, field: &str, ctx: &str) -> Result<&'a Json, SnapshotError> {
@@ -554,6 +719,23 @@ mod tests {
                 seed: 101,
                 algos: vec![algo],
             }],
+            memory: vec![MemoryRecord {
+                instance: "chain-4x300-sol1".into(),
+                components: vec![
+                    ("flat_leaves.var000".into(), 4096),
+                    ("rtree.var000".into(), 8192),
+                ],
+                total_bytes: 12_288,
+            }],
+            cache: vec![CacheRecord {
+                instance: "chain-4x300-sol1".into(),
+                algo: "ILS".into(),
+                hits: 37,
+                misses: 63,
+                invalidations_reassign: 12,
+                invalidations_penalty: 0,
+                bytes: 2048,
+            }],
         }
     }
 
@@ -630,6 +812,44 @@ mod tests {
         let err = BenchSnapshot::parse(&text).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("auc_steps") && msg.contains("GILS"), "{msg}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_top_level_section() {
+        let text = sample_snapshot("x")
+            .to_string_pretty()
+            .replacen("\"memory\"", "\"memroy\"", 1);
+        let err = BenchSnapshot::parse(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown top-level section \"memroy\"") && msg.contains("suite"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn missing_memory_and_cache_sections_parse_as_empty() {
+        // Pre-section snapshots (no memory/cache keys) stay readable.
+        let mut snap = sample_snapshot("old");
+        snap.memory.clear();
+        snap.cache.clear();
+        let text = snap
+            .to_string_pretty()
+            .replace("  \"memory\": [],\n", "")
+            .replace("  \"cache\": [],\n", "");
+        assert!(!text.contains("\"memory\""), "{text}");
+        let parsed = BenchSnapshot::parse(&text).unwrap();
+        assert!(parsed.memory.is_empty() && parsed.cache.is_empty());
+    }
+
+    #[test]
+    fn memory_and_cache_sections_round_trip() {
+        let snap = sample_snapshot("m");
+        let parsed = BenchSnapshot::parse(&snap.to_string_pretty()).unwrap();
+        assert_eq!(parsed.memory, snap.memory);
+        assert_eq!(parsed.cache, snap.cache);
+        assert_eq!(parsed.memory[0].total_bytes, 12_288);
+        assert_eq!(parsed.cache[0].hits, 37);
     }
 
     #[test]

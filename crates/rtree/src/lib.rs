@@ -44,6 +44,7 @@ mod bulk;
 mod bulk_hilbert;
 mod delete;
 mod flat;
+mod footprint;
 mod insert;
 mod knn;
 pub mod multiwindow;
