@@ -78,6 +78,12 @@ const VALUE_OPTIONS: &[&str] = &[
     "trace-out",
     "profile-out",
     "flight-recorder-out",
+    "flight-recorder-bytes",
+    "progress-every",
+    "stall-steps",
+    "stall-secs",
+    "poll-ms",
+    "timeout-secs",
     "label",
     "reps",
     "tier",

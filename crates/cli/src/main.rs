@@ -8,6 +8,7 @@
 //!               [--seed 42] [--top 5] [--restarts K] [--threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
 //! mwsj report   run.jsonl|BENCH_label.json
+//! mwsj watch    run.jsonl [--poll-ms 50] [--timeout-secs 600] [--no-tty]
 //! mwsj bench    snapshot [--tier base|large] [--label ci] [--reps 3] [--out FILE]
 //! mwsj bench    compare BENCH_baseline.json BENCH_ci.json [--wall-tolerance 0.25] [--wall-slack-ms 5.0]
 //! mwsj hard-density --shape chain|clique|star|cycle|random --vars 5 --n 100000 [--target 1]
@@ -28,6 +29,7 @@
 
 mod args;
 mod query_spec;
+mod watch;
 
 use args::Args;
 use mwsj_core::obs::{
@@ -35,10 +37,10 @@ use mwsj_core::obs::{
     DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 use mwsj_core::{
-    AnytimeSearch, EventSink, FanoutSink, FlightRecorder, Gils, GilsConfig, Ibb, IbbConfig, Ils,
-    IlsConfig, Instance, JsonlSink, ObsHandle, ParallelPortfolio, Pjm, PortfolioConfig, RunEvent,
-    RunOutcome, Sea, SeaConfig, SearchBudget, SearchContext, SynchronousTraversal, TwoStep,
-    TwoStepConfig, WindowReduction,
+    AnytimeSearch, EventSink, FanoutSink, FlightRecorder, FlushPolicy, Gils, GilsConfig, Ibb,
+    IbbConfig, Ils, IlsConfig, Instance, JsonlSink, ObsHandle, ParallelPortfolio, Pjm,
+    PortfolioConfig, RunEvent, RunOutcome, Sea, SeaConfig, SearchBudget, SearchContext,
+    SynchronousTraversal, TelemetryConfig, TwoStep, TwoStepConfig, WindowReduction,
 };
 use mwsj_datagen::{Dataset, DatasetSpec, Distribution, QueryShape};
 use rand::rngs::StdRng;
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args),
         Some("join") => cmd_join(&args),
         Some("report") => cmd_report(&args),
+        Some("watch") => watch::cmd_watch(&args),
         Some("bench") => cmd_bench(&args),
         Some("hard-density") => cmd_hard_density(&args),
         Some("help") | None => {
@@ -93,10 +96,25 @@ USAGE:
                                             flamegraph-ready)
              [--flight-recorder-out FILE]   byte-bounded ring of the most recent run
                                             events, drained to JSONL after the run
+             [--flight-recorder-bytes N]    ring byte budget (default 65536, min 4096)
+             [--progress-every N]           emit a 'progress' heartbeat event every N
+                                            steps (requires --metrics-out)
+             [--stall-steps N | --stall-secs S]
+                                            watchdog: emit 'stall_detected' after N steps
+                                            (or S seconds) without improvement
+             [--stall-abort]                stop a stalled run via the cutoff machinery
+                                            (stop reason 'stall_aborted')
+             [--follow]                     flush each event line immediately so the
+                                            metrics file can be tailed live
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
             [--metrics-out FILE]
   mwsj report FILE                          validate + summarise a metrics JSONL file
                                             (or a BENCH_*.json bench snapshot)
+  mwsj watch FILE [--poll-ms MS] [--timeout-secs S] [--no-tty]
+                                            tail a live metrics JSONL file (written with
+                                            solve --follow): in-place status view on a
+                                            TTY, one line per update with --no-tty;
+                                            exits when the run ends
   mwsj bench snapshot [--tier base|large] [--label L] [--reps N] [--out FILE]
                                             run a pinned suite tier (ILS/GILS/SEA/two-step)
                                             into BENCH_<L>.json: anytime curves, quality AUC,
@@ -228,15 +246,70 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let trace_path = args.value("trace-out").map(str::to_string);
     let profile_path = args.value("profile-out").map(str::to_string);
     let flight_path = args.value("flight-recorder-out").map(str::to_string);
+
+    // Live telemetry: progress heartbeats and the stall watchdog.
+    let progress_every: u64 = args
+        .parse_or("progress-every", 0, "a step count")
+        .map_err(|e| e.to_string())?;
+    let stall_steps: u64 = args
+        .parse_or("stall-steps", 0, "a step count")
+        .map_err(|e| e.to_string())?;
+    let stall_secs: f64 = args
+        .parse_or("stall-secs", 0.0, "a number of seconds")
+        .map_err(|e| e.to_string())?;
+    let stall_abort = args.flag("stall-abort");
+    if stall_abort && stall_steps == 0 && stall_secs <= 0.0 {
+        return Err(
+            "--stall-abort needs a stall window (--stall-steps N or --stall-secs S)".into(),
+        );
+    }
+    let telemetry = TelemetryConfig {
+        progress_every: (progress_every > 0).then_some(progress_every),
+        stall_window_steps: (stall_steps > 0).then_some(stall_steps),
+        stall_window_secs: (stall_secs > 0.0).then_some(stall_secs),
+        stall_abort,
+    };
+    if telemetry.progress_every.is_some() && metrics_path.is_none() {
+        return Err("--progress-every needs --metrics-out FILE to stream to".into());
+    }
+    // `--follow` streams each event line the moment it happens (per-event
+    // flush) so `mwsj watch FILE` can tail the run live.
+    let follow = args.flag("follow");
+    if follow && metrics_path.is_none() {
+        return Err("--follow needs --metrics-out FILE to stream to".into());
+    }
+    let flush_policy = if follow {
+        FlushPolicy::PerEvent
+    } else {
+        FlushPolicy::Buffered
+    };
+
     // The flight recorder rides alongside any JSONL sink (or alone): a
     // byte-bounded ring of the most recent run events, drained after the
     // run (see DESIGN.md "Resource observability").
+    let recorder_bytes: u64 = args
+        .parse_or(
+            "flight-recorder-bytes",
+            mwsj_core::DEFAULT_FLIGHT_RECORDER_BYTES as u64,
+            "a byte budget",
+        )
+        .map_err(|e| e.to_string())?;
+    if recorder_bytes < 4096 {
+        return Err(format!(
+            "--flight-recorder-bytes {recorder_bytes}: the ring needs at least 4096 bytes \
+             to hold a useful event window"
+        ));
+    }
+    if args.value("flight-recorder-bytes").is_some() && flight_path.is_none() {
+        return Err("--flight-recorder-bytes needs --flight-recorder-out FILE".into());
+    }
     let recorder = flight_path
         .as_ref()
-        .map(|_| Arc::new(FlightRecorder::new()));
+        .map(|_| Arc::new(FlightRecorder::with_capacity_bytes(recorder_bytes as usize)));
     let obs = match (&metrics_path, &recorder) {
         (Some(path), recorder) => {
-            let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let sink =
+                JsonlSink::create_with(path, flush_policy).map_err(|e| format!("{path}: {e}"))?;
             match recorder {
                 Some(rec) => ObsHandle::enabled()
                     .with_sink(Arc::new(FanoutSink::new(vec![Arc::new(sink), rec.clone()]))),
@@ -259,7 +332,9 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         budget_steps: budget.max_steps,
         budget_secs: budget.time_limit.map(|d| d.as_secs_f64()),
     });
-    let ctx = SearchContext::local(budget).with_obs(obs.clone());
+    let ctx = SearchContext::local(budget)
+        .with_obs(obs.clone())
+        .with_telemetry(telemetry);
 
     // Portfolio runs merge per-restart phase timers themselves; keep the
     // merged snapshot around for `--profile-out`.
@@ -273,6 +348,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 seed,
                 restarts,
                 threads,
+                telemetry,
                 &obs,
             );
             portfolio_phases = phases;
@@ -286,6 +362,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 seed,
                 restarts,
                 threads,
+                telemetry,
                 &obs,
             );
             portfolio_phases = phases;
@@ -299,6 +376,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 seed,
                 restarts,
                 threads,
+                telemetry,
                 &obs,
             );
             portfolio_phases = phases;
@@ -312,6 +390,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 seed,
                 restarts,
                 threads,
+                telemetry,
                 &obs,
             );
             portfolio_phases = phases;
@@ -327,10 +406,11 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 "--restarts applies to the anytime heuristics, not '{algo}'"
             ))
         }
-        "ibb" => Ibb::new(IbbConfig::new()).run_with_obs(&instance, &budget, &obs),
+        "ibb" => Ibb::new(IbbConfig::new()).search(&instance, &ctx),
         "two-step" => {
             let heuristic_budget = SearchBudget::seconds(0.5);
-            let two = TwoStep::new(TwoStepConfig::Ils(IlsConfig::default(), heuristic_budget));
+            let two = TwoStep::new(TwoStepConfig::Ils(IlsConfig::default(), heuristic_budget))
+                .with_telemetry(telemetry);
             let out = two.run_with_obs(&instance, &budget, &mut rng, &obs);
             out.best
         }
@@ -427,9 +507,12 @@ fn run_portfolio<A: AnytimeSearch>(
     master_seed: u64,
     restarts: usize,
     threads: usize,
+    telemetry: TelemetryConfig,
     obs: &ObsHandle,
 ) -> (RunOutcome, Vec<PhaseSnapshot>) {
-    let portfolio = ParallelPortfolio::new(algo, PortfolioConfig::new(restarts, threads));
+    let mut config = PortfolioConfig::new(restarts, threads);
+    config.telemetry = telemetry;
+    let portfolio = ParallelPortfolio::new(algo, config);
     let outcome = portfolio.run_with_obs(instance, budget, master_seed, obs);
     obs.emit(RunEvent::Metrics {
         snapshot: outcome.metrics.clone(),
@@ -571,6 +654,10 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let mut budget_exhausted = 0usize;
     let mut cutoffs = 0usize;
     let mut trace_points = 0usize;
+    let mut progress_points = 0usize;
+    let mut stalls_detected = 0usize;
+    let mut stall_aborts = 0usize;
+    let mut reseeds = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let ev = Json::parse(line).map_err(|e| format!("{path}: {e}"))?;
         match ev.get("event").and_then(Json::as_str) {
@@ -597,6 +684,17 @@ fn cmd_report(args: &Args) -> Result<(), String> {
             Some("budget_exhausted") => budget_exhausted += 1,
             Some("cutoff_fired") => cutoffs += 1,
             Some("trace_point") => trace_points += 1,
+            Some("progress") => progress_points += 1,
+            Some("stall_detected") => stalls_detected += 1,
+            Some("stagnation_reseed") => reseeds += 1,
+            Some("stall_aborted") => {
+                stall_aborts += 1;
+                let steps = ev.get("steps").and_then(Json::as_u64).unwrap_or(0);
+                let secs = ev.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "stall abort: run stopped after {steps} steps ({secs:.3}s) without improvement"
+                );
+            }
             Some("metrics") => {
                 if let Some(counters) = ev.get("counters").and_then(Json::as_object) {
                     println!("counters:");
@@ -677,6 +775,18 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     }
     if trace_points > 0 {
         lifecycle.push(format!("{trace_points} trace points"));
+    }
+    if progress_points > 0 {
+        lifecycle.push(format!("{progress_points} progress heartbeats"));
+    }
+    if stalls_detected > 0 {
+        lifecycle.push(format!("{stalls_detected} stalls detected"));
+    }
+    if stall_aborts > 0 {
+        lifecycle.push(format!("{stall_aborts} stall aborts"));
+    }
+    if reseeds > 0 {
+        lifecycle.push(format!("{reseeds} stagnation reseeds"));
     }
     if !lifecycle.is_empty() {
         println!("events: {}", lifecycle.join(", "));

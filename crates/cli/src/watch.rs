@@ -1,0 +1,297 @@
+//! `mwsj watch` — tail a live metrics JSONL file (written by `mwsj solve
+//! --follow`) and render the run's progress as it happens.
+//!
+//! The watcher polls the file by byte offset, consuming only *complete*
+//! lines (the writer flushes per event, so a complete line is a complete
+//! JSON object), and keeps one status row per portfolio restart. On a TTY
+//! the status block is redrawn in place; with `--no-tty` (or when stdout
+//! is not a terminal) every update is one plain line, suitable for CI
+//! logs. The watcher exits successfully when the run's `run_end` event
+//! arrives, and fails after `--timeout-secs` without one.
+
+use crate::args::Args;
+use mwsj_core::obs::Json;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{IsTerminal, Read, Seek, SeekFrom, Write};
+use std::time::{Duration, Instant};
+
+/// Key for the untagged (non-portfolio) status row.
+const NO_RESTART: u64 = u64::MAX;
+
+pub fn cmd_watch(args: &Args) -> Result<(), String> {
+    let path = args
+        .arg()
+        .ok_or("usage: mwsj watch FILE [--poll-ms MS] [--timeout-secs S] [--no-tty]")?;
+    if let Some(extra) = args.positionals.get(1) {
+        return Err(format!(
+            "unexpected argument '{extra}' (mwsj watch takes exactly one file)"
+        ));
+    }
+    let poll_ms: u64 = args
+        .parse_or("poll-ms", 50, "a poll interval in milliseconds")
+        .map_err(|e| e.to_string())?;
+    let timeout_secs: f64 = args
+        .parse_or("timeout-secs", 600.0, "a timeout in seconds")
+        .map_err(|e| e.to_string())?;
+    if !timeout_secs.is_finite() || timeout_secs <= 0.0 {
+        return Err("--timeout-secs must be a positive number of seconds".into());
+    }
+    let plain = args.flag("no-tty") || !std::io::stdout().is_terminal();
+    watch_file(
+        path,
+        Duration::from_millis(poll_ms.max(1)),
+        Duration::from_secs_f64(timeout_secs),
+        plain,
+    )
+}
+
+fn watch_file(path: &str, poll: Duration, timeout: Duration, plain: bool) -> Result<(), String> {
+    let start = Instant::now();
+    let mut offset: u64 = 0;
+    let mut pending = String::new();
+    let mut view = View::default();
+    let mut drawn_lines = 0usize;
+    let stdout = std::io::stdout();
+
+    loop {
+        match read_appended(path, &mut offset)? {
+            // Tolerate the race with the writer: watch may start before
+            // solve has created the file.
+            None => {}
+            Some(chunk) => pending.push_str(&chunk),
+        }
+        let mut updated = false;
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            for log in view.ingest(line, path)? {
+                if plain {
+                    // A closed downstream pipe (e.g. `mwsj watch | head`)
+                    // just means nobody is reading any more: stop quietly.
+                    let mut out = stdout.lock();
+                    if writeln!(out, "{log}").is_err() {
+                        return Ok(());
+                    }
+                }
+            }
+            updated = true;
+        }
+        if !plain && updated {
+            let block = view.render(path);
+            let mut out = stdout.lock();
+            // Redraw in place: climb back over the previous block, then
+            // overwrite it line by line (\x1b[K clears each stale tail).
+            if drawn_lines > 0 {
+                let _ = write!(out, "\x1b[{drawn_lines}A");
+            }
+            for line in &block {
+                let _ = writeln!(out, "\x1b[K{line}");
+            }
+            let _ = out.flush();
+            drawn_lines = block.len();
+        }
+        if view.done {
+            return Ok(());
+        }
+        if start.elapsed() > timeout {
+            return Err(format!(
+                "{path}: no run_end after {:.0}s — the run is still going (raise \
+                 --timeout-secs) or was interrupted",
+                timeout.as_secs_f64()
+            ));
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Reads everything appended to `path` since `offset`, advancing it.
+/// Returns `None` while the file does not exist yet.
+fn read_appended(path: &str, offset: &mut u64) -> Result<Option<String>, String> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    let len = file.metadata().map_err(|e| format!("{path}: {e}"))?.len();
+    if len < *offset {
+        // Truncated or replaced under us: start over from the top.
+        *offset = 0;
+    }
+    if len == *offset {
+        return Ok(Some(String::new()));
+    }
+    file.seek(SeekFrom::Start(*offset))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut buf = Vec::with_capacity((len - *offset) as usize);
+    file.take(len - *offset)
+        .read_to_end(&mut buf)
+        .map_err(|e| format!("{path}: {e}"))?;
+    *offset += buf.len() as u64;
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Latest progress of one restart (or of the whole run when untagged).
+#[derive(Debug, Default, Clone)]
+struct Row {
+    step: u64,
+    steps_per_sec: f64,
+    similarity: Option<f64>,
+    violations: Option<u64>,
+    node_accesses: u64,
+    stalled: bool,
+    finished: bool,
+}
+
+/// Accumulated state of the run being watched.
+#[derive(Debug, Default)]
+struct View {
+    header: Option<String>,
+    rows: BTreeMap<u64, Row>,
+    improvements: u64,
+    stalls: u64,
+    aborts: u64,
+    reseeds: u64,
+    stop: Option<&'static str>,
+    final_line: Option<String>,
+    done: bool,
+}
+
+impl View {
+    /// Folds one JSONL event line into the view; returns the plain-mode
+    /// log lines it produced.
+    fn ingest(&mut self, line: &str, path: &str) -> Result<Vec<String>, String> {
+        let ev = Json::parse(line).map_err(|e| format!("{path}: {e}"))?;
+        let kind = ev.get("event").and_then(Json::as_str).unwrap_or("");
+        let restart = ev.get("restart").and_then(Json::as_u64);
+        let row_key = restart.unwrap_or(NO_RESTART);
+        let mut logs = Vec::new();
+        match kind {
+            "run_start" => {
+                let algo = ev.get("algo").and_then(Json::as_str).unwrap_or("?");
+                let n_vars = ev.get("n_vars").and_then(Json::as_u64).unwrap_or(0);
+                let edges = ev.get("edges").and_then(Json::as_u64).unwrap_or(0);
+                let seed = ev.get("seed").and_then(Json::as_u64).unwrap_or(0);
+                let restarts = ev.get("restarts").and_then(Json::as_u64).unwrap_or(1);
+                let header = format!(
+                    "{algo} on {n_vars} vars / {edges} edges, seed {seed}, {restarts} restart(s)"
+                );
+                logs.push(format!("run_start {header}"));
+                self.header = Some(header);
+            }
+            "progress" => {
+                let row = self.rows.entry(row_key).or_default();
+                row.step = ev.get("step").and_then(Json::as_u64).unwrap_or(0);
+                row.steps_per_sec = ev
+                    .get("steps_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                row.similarity = ev.get("best_similarity").and_then(Json::as_f64);
+                row.violations = ev.get("best_violations").and_then(Json::as_u64);
+                row.node_accesses = ev.get("node_accesses").and_then(Json::as_u64).unwrap_or(0);
+                row.stalled = false;
+                logs.push(format!(
+                    "progress{} step={} steps_per_sec={:.0} best_similarity={} node_accesses={}",
+                    restart_tag(restart),
+                    row.step,
+                    row.steps_per_sec,
+                    row.similarity
+                        .map(|s| format!("{s:.3}"))
+                        .unwrap_or_else(|| "-".into()),
+                    row.node_accesses
+                ));
+            }
+            "improvement" => self.improvements += 1,
+            "stall_detected" => {
+                self.stalls += 1;
+                self.rows.entry(row_key).or_default().stalled = true;
+                let since = ev
+                    .get("steps_since_improvement")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                logs.push(format!(
+                    "stall_detected{} steps_since_improvement={since}",
+                    restart_tag(restart)
+                ));
+            }
+            "stall_aborted" => {
+                self.aborts += 1;
+                self.stop = Some("stall_aborted");
+                logs.push(format!("stall_aborted{}", restart_tag(restart)));
+            }
+            "stagnation_reseed" => self.reseeds += 1,
+            "budget_exhausted" => self.stop = Some("budget_exhausted"),
+            "cutoff_fired" => self.stop = Some("cutoff_fired"),
+            "restart_end" => {
+                self.rows.entry(row_key).or_default().finished = true;
+            }
+            "run_end" => {
+                let similarity = ev
+                    .get("best_similarity")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let steps = ev.get("steps").and_then(Json::as_u64).unwrap_or(0);
+                let secs = ev.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0);
+                let final_line = format!(
+                    "run_end best_similarity={similarity:.3} steps={steps} elapsed={secs:.3}s{}",
+                    self.stop.map(|s| format!(" stop={s}")).unwrap_or_default()
+                );
+                logs.push(final_line.clone());
+                self.final_line = Some(final_line);
+                self.done = true;
+            }
+            _ => {}
+        }
+        Ok(logs)
+    }
+
+    /// The TTY status block, redrawn in place on every update.
+    fn render(&self, path: &str) -> Vec<String> {
+        let mut lines = Vec::new();
+        match &self.header {
+            Some(h) => lines.push(format!("watching {path} — {h}")),
+            None => lines.push(format!("watching {path} — waiting for run_start")),
+        }
+        for (key, row) in &self.rows {
+            let label = if *key == NO_RESTART {
+                "run        ".to_string()
+            } else {
+                format!("restart {key:<3}")
+            };
+            let state = if row.finished {
+                " [done]"
+            } else if row.stalled {
+                " [stalled]"
+            } else {
+                ""
+            };
+            lines.push(format!(
+                "  {label} step {:>8} ({:>7.0}/s)  best {} ({} violations)  {} node accesses{state}",
+                row.step,
+                row.steps_per_sec,
+                row.similarity
+                    .map(|s| format!("{s:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                row.violations
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                row.node_accesses
+            ));
+        }
+        lines.push(format!(
+            "  {} improvements · {} stalls · {} aborts · {} reseeds",
+            self.improvements, self.stalls, self.aborts, self.reseeds
+        ));
+        if let Some(final_line) = &self.final_line {
+            lines.push(final_line.clone());
+        }
+        lines
+    }
+}
+
+fn restart_tag(restart: Option<u64>) -> String {
+    restart.map(|r| format!(" restart={r}")).unwrap_or_default()
+}

@@ -162,6 +162,222 @@ fn hard_density_prints_formula_result() {
     assert!(text.contains("0.014"), "{text}");
 }
 
+/// Three sparse clique datasets: no exact solution exists, so heuristics
+/// run their full step budget — progress heartbeats and stalls happen.
+fn hard_trio(dir: &std::path::Path) -> [PathBuf; 3] {
+    [
+        generate(dir, "ha.csv", 400, 0.002, 11),
+        generate(dir, "hb.csv", 400, 0.002, 12),
+        generate(dir, "hc.csv", 400, 0.002, 13),
+    ]
+}
+
+#[test]
+fn follow_streams_progress_events_live() {
+    let dir = temp_dir("follow");
+    let [a, b, c] = hard_trio(&dir);
+    let metrics = dir.join("run.jsonl");
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--data",
+            c.to_str().unwrap(),
+            "--query",
+            "clique",
+            "--iterations",
+            "2000",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--follow",
+            "--progress-every",
+            "100",
+            "--stall-steps",
+            "400",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let progress = text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"progress\""))
+        .count();
+    assert_eq!(progress, 2000 / 100, "one heartbeat per cadence slot");
+    // The stream must satisfy the documented schema end to end.
+    let report = mwsj()
+        .args(["report", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let summary = String::from_utf8_lossy(&report.stdout);
+    assert!(summary.contains("schema OK"), "{summary}");
+    assert!(summary.contains("progress heartbeats"), "{summary}");
+}
+
+#[test]
+fn stall_abort_stops_a_hopeless_run_early() {
+    let dir = temp_dir("stallabort");
+    let [a, b, c] = hard_trio(&dir);
+    let metrics = dir.join("abort.jsonl");
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--data",
+            c.to_str().unwrap(),
+            "--query",
+            "clique",
+            "--iterations",
+            "500000",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--stall-steps",
+            "500",
+            "--stall-abort",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        text.contains("\"event\":\"stall_detected\""),
+        "detection precedes the abort"
+    );
+    assert!(
+        text.contains("\"event\":\"stall_aborted\""),
+        "the distinct stop reason is recorded"
+    );
+    assert!(
+        !text.contains("\"event\":\"budget_exhausted\""),
+        "the 500k budget was never reached"
+    );
+}
+
+#[test]
+fn watch_tails_a_finished_run_and_exits_cleanly() {
+    let dir = temp_dir("watch");
+    let [a, b, c] = hard_trio(&dir);
+    let metrics = dir.join("watched.jsonl");
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--data",
+            c.to_str().unwrap(),
+            "--query",
+            "clique",
+            "--iterations",
+            "1000",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--follow",
+            "--progress-every",
+            "100",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let watch = mwsj()
+        .args([
+            "watch",
+            metrics.to_str().unwrap(),
+            "--no-tty",
+            "--timeout-secs",
+            "30",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        watch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let text = String::from_utf8_lossy(&watch.stdout);
+    assert!(text.contains("run_start"), "{text}");
+    assert!(text.contains("progress step="), "{text}");
+    assert!(text.contains("run_end"), "{text}");
+}
+
+#[test]
+fn watch_times_out_without_a_run_end() {
+    let dir = temp_dir("watchtimeout");
+    let orphan = dir.join("orphan.jsonl");
+    std::fs::write(&orphan, "").unwrap();
+    let watch = mwsj()
+        .args([
+            "watch",
+            orphan.to_str().unwrap(),
+            "--no-tty",
+            "--poll-ms",
+            "10",
+            "--timeout-secs",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!watch.status.success());
+    assert!(
+        String::from_utf8_lossy(&watch.stderr).contains("no run_end"),
+        "{}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+}
+
+#[test]
+fn telemetry_flags_are_validated() {
+    let dir = temp_dir("telemval");
+    let a = generate(&dir, "a.csv", 50, 0.1, 1);
+    let fr = dir.join("fr.jsonl");
+    let run = |extra: &[&str]| {
+        let out = mwsj()
+            .args(["solve", "--data", a.to_str().unwrap(), "--data"])
+            .arg(a.to_str().unwrap())
+            .args(["--query", "0-1", "--iterations", "10"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "expected {extra:?} to be rejected");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert!(run(&["--follow"]).contains("--follow needs --metrics-out"));
+    assert!(run(&["--progress-every", "10"]).contains("needs --metrics-out"));
+    assert!(run(&["--stall-abort"]).contains("needs a stall window"));
+    assert!(run(&[
+        "--flight-recorder-bytes",
+        "100",
+        "--flight-recorder-out",
+        fr.to_str().unwrap(),
+    ])
+    .contains("at least 4096"));
+    assert!(run(&["--flight-recorder-bytes", "8192"]).contains("needs --flight-recorder-out"));
+}
+
 #[test]
 fn solve_with_mixed_predicates_via_edge_list() {
     let dir = temp_dir("mixed");

@@ -95,6 +95,40 @@ impl SearchBudget {
     }
 }
 
+/// Live-telemetry configuration threaded through a [`SearchContext`]:
+/// progress-heartbeat cadence and the stall watchdog.
+///
+/// The default is fully off, so existing call sites pay nothing. Progress
+/// emission is **step-indexed** (`steps % progress_every == 0`), which
+/// keeps every counter-valued field of the emitted `progress` events
+/// deterministic under step budgets; wall-clock fields are measured and
+/// exempt, like bench-snapshot wall columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TelemetryConfig {
+    /// Emit a `progress` event every this many steps (requires a sink).
+    pub progress_every: Option<u64>,
+    /// Declare a stall after this many steps without incumbent improvement.
+    pub stall_window_steps: Option<u64>,
+    /// Declare a stall after this many wall-clock seconds without
+    /// incumbent improvement (non-deterministic; opt-in).
+    pub stall_window_secs: Option<f64>,
+    /// When a stall is declared, stop the run through the cutoff machinery
+    /// (stop reason `stall_aborted`) instead of only reporting it.
+    pub stall_abort: bool,
+}
+
+impl TelemetryConfig {
+    /// `true` when any stall window is configured.
+    pub fn watches_stalls(&self) -> bool {
+        self.stall_window_steps.is_some() || self.stall_window_secs.is_some()
+    }
+
+    /// `true` when the config asks for any live telemetry at all.
+    pub fn is_active(&self) -> bool {
+        self.progress_every.is_some() || self.watches_stalls()
+    }
+}
+
 /// Coordination state shared by every restart of a parallel portfolio:
 /// an aggregate step counter and the best-known violation count (the
 /// portfolio's *bound*, mirroring how the two-step scheme of §6 feeds a
@@ -165,6 +199,7 @@ pub struct SearchContext {
     cutoff: bool,
     obs: ObsHandle,
     nested: bool,
+    telemetry: TelemetryConfig,
 }
 
 impl SearchContext {
@@ -179,6 +214,7 @@ impl SearchContext {
             cutoff: false,
             obs: ObsHandle::disabled(),
             nested: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -231,6 +267,18 @@ impl SearchContext {
         &self.obs
     }
 
+    /// Attaches a live-telemetry configuration (progress heartbeats and
+    /// the stall watchdog). Defaults to fully off.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached live-telemetry configuration.
+    pub fn telemetry(&self) -> &TelemetryConfig {
+        &self.telemetry
+    }
+
     /// The per-run budget.
     pub fn budget(&self) -> &SearchBudget {
         &self.budget
@@ -247,6 +295,10 @@ pub(crate) struct BudgetClock {
     shared: Option<SharedSearchState>,
     cutoff: bool,
     obs: ObsHandle,
+    /// Set by the stall watchdog (`--stall-abort`): the run stops through
+    /// the same exhaustion check as budget/cutoff, with its own distinct
+    /// stop reason.
+    stall_tripped: bool,
 }
 
 impl BudgetClock {
@@ -272,7 +324,16 @@ impl BudgetClock {
             shared: ctx.shared.clone(),
             cutoff: ctx.cutoff,
             obs: ctx.obs.clone(),
+            stall_tripped: false,
         }
+    }
+
+    /// Trips the stall watchdog: from now on [`BudgetClock::exhausted`]
+    /// returns `true` and the stop reason is `stall_aborted` (which takes
+    /// precedence over budget/cutoff reasons — the watchdog stopped the
+    /// run before either fired).
+    pub(crate) fn trip_stall(&mut self) {
+        self.stall_tripped = true;
     }
 
     /// Records one step (locally, in the shared aggregate, and against the
@@ -300,6 +361,14 @@ impl BudgetClock {
     /// stays branch-free.
     pub(crate) fn emit_stop_reason(&self) {
         if !self.obs.has_sink() {
+            return;
+        }
+        if self.stall_tripped {
+            self.obs.emit(RunEvent::StallAborted {
+                restart: self.obs.restart(),
+                steps: self.steps,
+                elapsed_secs: self.elapsed().as_secs_f64(),
+            });
             return;
         }
         let steps_out = self.max_steps.is_some_and(|max| self.steps >= max);
@@ -369,6 +438,9 @@ impl BudgetClock {
     /// published a similarity-1 solution.
     #[inline]
     pub(crate) fn exhausted(&self) -> bool {
+        if self.stall_tripped {
+            return true;
+        }
         if let Some(max) = self.max_steps {
             if self.steps >= max {
                 return true;

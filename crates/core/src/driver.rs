@@ -23,14 +23,81 @@
 //! [`ObsHandle`](mwsj_obs::ObsHandle)) and emit one merged event
 //! themselves.
 
-use crate::budget::{BudgetClock, SearchContext};
+use crate::budget::{BudgetClock, SearchContext, TelemetryConfig};
 use crate::instance::Instance;
 use crate::portfolio::AnytimeSearch;
 use crate::result::{Incumbent, RunOutcome, RunStats, TopSolutions, DEFAULT_TOP_K};
-use mwsj_obs::ObsHandle;
+use crate::window_cache::WindowCache;
+use mwsj_obs::{MemoryFootprint, ObsHandle, RunEvent};
 use mwsj_query::Solution;
 use rand::rngs::StdRng;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Live-telemetry state of one run: the progress-heartbeat cadence and the
+/// stall watchdog. Present only when the context's [`TelemetryConfig`]
+/// asked for something this run can deliver, so the per-step cost of the
+/// disabled path stays one `Option` check.
+#[derive(Debug)]
+struct WatchState {
+    /// Progress cadence in steps (`None` = no heartbeats; requires a sink).
+    progress_every: Option<u64>,
+    /// Stall window in steps.
+    stall_window_steps: Option<u64>,
+    /// Stall window in wall-clock seconds (opt-in: costs an
+    /// `Instant::now()` per step while armed).
+    stall_window_secs: Option<f64>,
+    /// Stop the run (via [`BudgetClock::trip_stall`]) when a stall fires.
+    stall_abort: bool,
+    /// Instance index-structure bytes, computed once (deterministic).
+    instance_bytes: u64,
+    /// Step count at the last incumbent improvement (or run start).
+    last_improvement_step: u64,
+    /// Wall clock at the last incumbent improvement (or run start).
+    last_improvement_time: Instant,
+    /// `true` while a declared stall episode is open (re-armed by the next
+    /// improvement), so each episode emits one `stall_detected`.
+    stalled: bool,
+    /// Latest deterministic window-cache sample (see
+    /// [`SearchDriver::sample_cache`]).
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_bytes: u64,
+}
+
+impl WatchState {
+    /// Builds the watch state for `telemetry`, or `None` when nothing is
+    /// asked for (or nothing can be delivered: progress and stall
+    /// *reporting* need a sink; stall-*abort* works sinkless).
+    fn new(telemetry: &TelemetryConfig, instance: &Instance, obs: &ObsHandle) -> Option<Self> {
+        let progress_every = if obs.has_sink() {
+            telemetry.progress_every.filter(|&n| n > 0)
+        } else {
+            None
+        };
+        let watches_stalls =
+            telemetry.watches_stalls() && (obs.has_sink() || telemetry.stall_abort);
+        if progress_every.is_none() && !watches_stalls {
+            return None;
+        }
+        Some(WatchState {
+            progress_every,
+            stall_window_steps: telemetry.stall_window_steps.filter(|_| watches_stalls),
+            stall_window_secs: telemetry.stall_window_secs.filter(|_| watches_stalls),
+            stall_abort: telemetry.stall_abort,
+            instance_bytes: if progress_every.is_some() {
+                instance.memory_bytes()
+            } else {
+                0
+            },
+            last_improvement_step: 0,
+            last_improvement_time: Instant::now(),
+            stalled: false,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_bytes: 0,
+        })
+    }
+}
 
 /// Owns the run-wide state of one search invocation: budget clock, counter
 /// block, incumbent (best solution + trace + top list) and the
@@ -44,6 +111,8 @@ pub(crate) struct SearchDriver {
     /// Whether this driver owns the run's `run_end` event (standalone
     /// top-level runs only; see the module docs).
     emit_end: bool,
+    /// Live-telemetry state; `None` keeps the hot path at one check.
+    watch: Option<WatchState>,
 }
 
 impl SearchDriver {
@@ -51,12 +120,14 @@ impl SearchDriver {
     pub(crate) fn new(instance: &Instance, ctx: &SearchContext) -> Self {
         let clock = BudgetClock::from_context(ctx);
         let emit_end = !ctx.is_nested() && ctx.obs().restart().is_none() && ctx.obs().has_sink();
+        let watch = WatchState::new(ctx.telemetry(), instance, ctx.obs());
         SearchDriver {
             clock,
             stats: RunStats::default(),
             incumbent: None,
             edges: instance.graph().edge_count(),
             emit_end,
+            watch,
         }
     }
 
@@ -64,6 +135,141 @@ impl SearchDriver {
     #[inline]
     pub(crate) fn step(&mut self) {
         self.clock.step();
+        if self.watch.is_some() {
+            self.watch_step();
+        }
+    }
+
+    /// Per-step live-telemetry work, outlined so the telemetry-off path
+    /// costs only the `is_some` check above.
+    fn watch_step(&mut self) {
+        let step = self.clock.steps();
+        let (do_progress, stall) = {
+            let watch = self
+                .watch
+                .as_mut()
+                .expect("watch_step requires watch state");
+            let do_progress = watch
+                .progress_every
+                .is_some_and(|every| step.is_multiple_of(every));
+            let mut stall = None;
+            if !watch.stalled
+                && (watch.stall_window_steps.is_some() || watch.stall_window_secs.is_some())
+            {
+                let steps_since = step - watch.last_improvement_step;
+                let step_stall = watch.stall_window_steps.is_some_and(|w| steps_since >= w);
+                // Only pay an Instant::now() per step when a wall window
+                // was explicitly configured.
+                let secs_since = watch
+                    .stall_window_secs
+                    .map(|_| watch.last_improvement_time.elapsed().as_secs_f64());
+                let wall_stall = watch
+                    .stall_window_secs
+                    .zip(secs_since)
+                    .is_some_and(|(w, s)| s >= w);
+                if step_stall || wall_stall {
+                    watch.stalled = true;
+                    stall = Some((steps_since, secs_since, watch.stall_abort));
+                }
+            }
+            (do_progress, stall)
+        };
+        if do_progress {
+            self.emit_progress(step);
+        }
+        if let Some((steps_since, secs_since, abort)) = stall {
+            let obs = self.clock.obs();
+            if obs.has_sink() {
+                let secs_since = secs_since.unwrap_or_else(|| {
+                    self.watch
+                        .as_ref()
+                        .expect("watch state")
+                        .last_improvement_time
+                        .elapsed()
+                        .as_secs_f64()
+                });
+                obs.emit(RunEvent::StallDetected {
+                    restart: obs.restart(),
+                    step,
+                    steps_since_improvement: steps_since,
+                    secs_since_improvement: secs_since,
+                    elapsed_secs: self.clock.elapsed().as_secs_f64(),
+                });
+            }
+            if abort {
+                self.clock.trip_stall();
+            }
+        }
+    }
+
+    /// Emits one `progress` heartbeat. Every counter-valued field is a
+    /// pure function of algorithmic state (the cadence is step-indexed and
+    /// the cache sample points are algorithm-chosen), so heartbeats are
+    /// deterministic under step budgets; the two wall fields are measured.
+    fn emit_progress(&self, step: u64) {
+        let watch = self.watch.as_ref().expect("progress requires watch state");
+        let obs = self.clock.obs();
+        let elapsed = self.clock.elapsed().as_secs_f64();
+        let steps_per_sec = if elapsed > 0.0 {
+            step as f64 / elapsed
+        } else {
+            0.0
+        };
+        obs.emit(RunEvent::Progress {
+            restart: obs.restart(),
+            step,
+            steps_per_sec,
+            elapsed_secs: elapsed,
+            best_violations: self.best_violations().map(|v| v as u64),
+            best_similarity: self
+                .best_violations()
+                .map(|v| 1.0 - v as f64 / self.edges as f64),
+            node_accesses: self.stats.node_accesses,
+            cache_hits: watch.cache_hits,
+            cache_misses: watch.cache_misses,
+            resident_bytes: watch.instance_bytes + watch.cache_bytes,
+        });
+    }
+
+    /// Notes an incumbent improvement for the stall watchdog: re-arms the
+    /// stall episode and resets both windows.
+    fn note_improvement(&mut self) {
+        if let Some(watch) = &mut self.watch {
+            watch.last_improvement_step = self.clock.steps();
+            watch.last_improvement_time = Instant::now();
+            watch.stalled = false;
+        }
+    }
+
+    /// Records a deterministic window-cache sample for subsequent
+    /// `progress` heartbeats. Drives call this at algorithm-chosen
+    /// boundaries (ILS restarts/local maxima, GILS punishment rounds, SEA
+    /// generations), so the sampled values are themselves deterministic
+    /// and reading them never perturbs the search. No-op unless progress
+    /// heartbeats are active.
+    pub(crate) fn sample_cache(&mut self, cache: &WindowCache) {
+        if let Some(watch) = &mut self.watch {
+            if watch.progress_every.is_some() {
+                let (hits, misses, bytes) = cache.sample_totals();
+                watch.cache_hits = hits;
+                watch.cache_misses = misses;
+                watch.cache_bytes = bytes;
+            }
+        }
+    }
+
+    /// Emits GILS's `stagnation_reseed` trace event (no-op without a sink).
+    pub(crate) fn emit_stagnation_reseed(&self, rounds: u64) {
+        let obs = self.clock.obs();
+        if !obs.has_sink() {
+            return;
+        }
+        obs.emit(RunEvent::StagnationReseed {
+            restart: obs.restart(),
+            step: self.clock.steps(),
+            rounds,
+            elapsed_secs: self.clock.elapsed().as_secs_f64(),
+        });
     }
 
     /// `true` once the budget (or a cooperating cutoff) stops the run.
@@ -130,7 +336,7 @@ impl SearchDriver {
     /// top list, publish the portfolio bound and emit an improvement
     /// event. Returns `true` when the incumbent was created or improved.
     pub(crate) fn offer(&mut self, sol: &Solution, violations: usize) -> bool {
-        match &mut self.incumbent {
+        let improved = match &mut self.incumbent {
             None => {
                 self.incumbent = Some(Incumbent::new(
                     sol.clone(),
@@ -159,7 +365,11 @@ impl SearchDriver {
                     false
                 }
             }
+        };
+        if improved {
+            self.note_improvement();
         }
+        improved
     }
 
     /// [`SearchDriver::offer`] without publishing the portfolio bound —
@@ -182,6 +392,7 @@ impl SearchDriver {
         ) {
             self.stats.improvements += 1;
             crate::observe::emit_improvement(&self.clock, inc.best_violations, self.edges);
+            self.note_improvement();
         }
     }
 
@@ -231,6 +442,7 @@ impl SearchDriver {
             }
         }
         crate::observe::emit_improvement(&self.clock, violations, self.edges);
+        self.note_improvement();
     }
 
     /// Finishes an anytime run: falls back to a random solution when the

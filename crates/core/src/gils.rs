@@ -181,12 +181,16 @@ impl DriveSearch for Gils {
                 // dominate at sparse hard-region densities (e.g. d ≈ 0.025
                 // for 5-cliques at N = 10⁵) where a random assignment's
                 // windows usually intersect nothing.
+                if stagnated {
+                    driver.emit_stagnation_reseed(rounds_since_improvement);
+                }
                 driver.stats_mut().restarts += 1;
                 rounds_since_improvement = 0;
                 sol = instance.random_solution(rng);
                 cs = instance.evaluate(&sol);
                 driver.offer(&sol, cs.total_violations());
             }
+            driver.sample_cache(&cache);
         }
         driver.stats_mut().cache.absorb(&cache.stats());
     }

@@ -97,6 +97,7 @@ impl DriveSearch for Ils {
                     break 'restarts;
                 }
             }
+            driver.sample_cache(&cache);
         }
         driver.stats_mut().cache.absorb(&cache.stats());
     }

@@ -51,7 +51,7 @@ mod two_step;
 mod window_cache;
 mod wr;
 
-pub use budget::{SearchBudget, SearchContext, SharedSearchState};
+pub use budget::{SearchBudget, SearchContext, SharedSearchState, TelemetryConfig};
 pub use find_best_value::{find_best_value, BestValue};
 pub use gils::{Gils, GilsConfig};
 pub use ibb::{Ibb, IbbConfig};
@@ -76,7 +76,7 @@ pub use wr::{ExactJoinOutcome, WindowReduction};
 // search runs to sinks without depending on `mwsj-obs` directly.
 pub use mwsj_obs as obs;
 pub use mwsj_obs::{
-    merge_phase_snapshots, EventSink, FanoutSink, FlightRecorder, JsonlSink, MemoryFootprint,
-    MetricsRegistry, MetricsSnapshot, ObsHandle, PhaseSnapshot, PhaseTimer, ResourceReport,
-    RunEvent, VecSink, DEFAULT_FLIGHT_RECORDER_BYTES,
+    merge_phase_snapshots, EventSink, FanoutSink, FlightRecorder, FlushPolicy, JsonlSink,
+    MemoryFootprint, MetricsRegistry, MetricsSnapshot, ObsHandle, PhaseSnapshot, PhaseTimer,
+    ResourceReport, RunEvent, VecSink, DEFAULT_FLIGHT_RECORDER_BYTES,
 };

@@ -117,6 +117,9 @@ pub(crate) fn emit_resource_report(obs: &ObsHandle, instance: &Instance, outcome
         "top_solutions",
         crate::result::solutions_bytes(&outcome.top_solutions),
     );
+    // The observability layer accounts for itself: a retaining sink (the
+    // flight recorder) reports its ring bytes here.
+    obs.fill_sink_resources(&mut report);
     obs.emit(RunEvent::ResourceReport { report });
 }
 

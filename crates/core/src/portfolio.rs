@@ -36,7 +36,7 @@
 //! Wall-clock fields ([`RunStats::elapsed`], [`TracePoint::elapsed`]) are
 //! measured and therefore exempt from the guarantee.
 
-use crate::budget::{SearchBudget, SearchContext, SharedSearchState};
+use crate::budget::{SearchBudget, SearchContext, SharedSearchState, TelemetryConfig};
 use crate::instance::Instance;
 use crate::result::{RunOutcome, RunStats, TopSolutions, TracePoint};
 use mwsj_obs::{merge_phase_snapshots, MetricsSnapshot, ObsHandle, PhaseSnapshot, RunEvent};
@@ -100,6 +100,11 @@ pub struct PortfolioConfig {
     pub top_k: usize,
     /// Cross-restart cutoff policy.
     pub cutoff: CutoffPolicy,
+    /// Live-telemetry configuration applied to every restart: each
+    /// restart emits its own restart-tagged `progress` / `stall_detected`
+    /// events through the shared sink, and the stall watchdog (with
+    /// `stall_abort`) stops restarts individually.
+    pub telemetry: TelemetryConfig,
 }
 
 impl PortfolioConfig {
@@ -120,6 +125,7 @@ impl Default for PortfolioConfig {
             threads: 0,
             top_k: crate::result::DEFAULT_TOP_K,
             cutoff: CutoffPolicy::Auto,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -337,7 +343,8 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         });
         let mut ctx = SearchContext::local(*share)
             .with_shared(shared.clone(), cutoff)
-            .with_obs(robs.clone());
+            .with_obs(robs.clone())
+            .with_telemetry(self.config.telemetry);
         if let Some(deadline) = deadline {
             ctx = ctx.with_deadline(deadline);
         }

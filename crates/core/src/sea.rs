@@ -217,6 +217,7 @@ impl DriveSearch for Sea {
             driver.step();
             generation += 1;
             driver.stats_mut().restarts = generation; // generations telemetry
+            driver.sample_cache(&cache);
 
             // Stagnation restart: re-diversify a converged population.
             if self.config.stagnation_restart > 0

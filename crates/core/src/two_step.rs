@@ -8,7 +8,7 @@
 //! of magnitude, and that for small queries the heuristic alone often
 //! already finds the exact solution, skipping systematic search entirely.
 
-use crate::budget::{SearchBudget, SearchContext};
+use crate::budget::{SearchBudget, SearchContext, TelemetryConfig};
 use crate::ibb::{Ibb, IbbConfig};
 use crate::ils::Ils;
 use crate::instance::Instance;
@@ -69,12 +69,23 @@ impl TwoStepOutcome {
 #[derive(Debug, Clone)]
 pub struct TwoStep {
     config: TwoStepConfig,
+    telemetry: TelemetryConfig,
 }
 
 impl TwoStep {
     /// Creates a two-step pipeline with the given step-one heuristic.
     pub fn new(config: TwoStepConfig) -> Self {
-        TwoStep { config }
+        TwoStep {
+            config,
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+
+    /// Attaches a live-telemetry configuration applied to both stages
+    /// (progress heartbeats and the stall watchdog run per stage).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The paper's Fig. 11 settings: SEA for `10·n` seconds, then IBB.
@@ -119,18 +130,21 @@ impl TwoStep {
     ) -> TwoStepOutcome {
         let heuristic = {
             let _phase = obs.timer.span("heuristic");
+            let stage_ctx = |budget: &SearchBudget| {
+                SearchContext::local(*budget)
+                    .with_obs(obs.clone())
+                    .with_telemetry(self.telemetry)
+                    .nested()
+            };
             match &self.config {
                 TwoStepConfig::Ils(cfg, budget) => {
-                    let ctx = SearchContext::local(*budget).with_obs(obs.clone()).nested();
-                    Ils::new(cfg.clone()).search(instance, &ctx, rng)
+                    Ils::new(cfg.clone()).search(instance, &stage_ctx(budget), rng)
                 }
                 TwoStepConfig::Gils(cfg, budget) => {
-                    let ctx = SearchContext::local(*budget).with_obs(obs.clone()).nested();
-                    crate::Gils::new(cfg.clone()).search(instance, &ctx, rng)
+                    crate::Gils::new(cfg.clone()).search(instance, &stage_ctx(budget), rng)
                 }
                 TwoStepConfig::Sea(cfg, budget) => {
-                    let ctx = SearchContext::local(*budget).with_obs(obs.clone()).nested();
-                    Sea::new(cfg.clone()).search(instance, &ctx, rng)
+                    Sea::new(cfg.clone()).search(instance, &stage_ctx(budget), rng)
                 }
             }
         };
@@ -155,6 +169,7 @@ impl TwoStep {
             let _phase = obs.timer.span("systematic");
             let ctx = SearchContext::local(*ibb_budget)
                 .with_obs(obs.clone())
+                .with_telemetry(self.telemetry)
                 .nested();
             ibb.search(instance, &ctx)
         };

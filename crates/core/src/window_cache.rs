@@ -186,6 +186,16 @@ impl WindowCache {
         }
     }
 
+    /// Cheap totals for live-telemetry sampling — `(hits, misses,
+    /// resident bytes)` without cloning the per-variable table. Pure
+    /// reads of deterministic counters, so sampling never perturbs the
+    /// search.
+    pub fn sample_totals(&self) -> (u64, u64, u64) {
+        let hits = self.stats.iter().map(|v| v.hits).sum();
+        let misses = self.stats.iter().map(|v| v.misses).sum();
+        (hits, misses, self.memory_bytes())
+    }
+
     /// Cached equivalent of [`find_best_value`](crate::find_best_value):
     /// same arguments, bit-identical result, fewer node accesses.
     ///

@@ -99,6 +99,71 @@ pub enum RunEvent {
         /// Seconds since the run started.
         elapsed_secs: f64,
     },
+    /// Periodic live-telemetry heartbeat, emitted by the search driver
+    /// every `progress_every` steps. The cadence is **step-indexed**, so
+    /// every counter-valued field (step, best violations/similarity,
+    /// node accesses, cache counters, resident bytes) is deterministic
+    /// under a step budget; `steps_per_sec` and `elapsed_secs` are
+    /// measured wall-clock and exempt, like bench-snapshot wall fields.
+    Progress {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed at this heartbeat.
+        step: u64,
+        /// Measured step throughput since the run started.
+        steps_per_sec: f64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+        /// Violations of the incumbent, once one exists.
+        best_violations: Option<u64>,
+        /// Similarity of the incumbent, once one exists.
+        best_similarity: Option<f64>,
+        /// R*-tree node accesses so far.
+        node_accesses: u64,
+        /// Window-cache hits at the last deterministic sample point.
+        cache_hits: u64,
+        /// Window-cache misses at the last deterministic sample point.
+        cache_misses: u64,
+        /// Resident bytes (instance index structures + window cache).
+        resident_bytes: u64,
+    },
+    /// The stall watchdog observed no incumbent improvement for the
+    /// configured step and/or wall window. Emitted once per stall episode
+    /// (re-armed by the next improvement).
+    StallDetected {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed when the stall was detected.
+        step: u64,
+        /// Steps since the last incumbent improvement (or run start).
+        steps_since_improvement: u64,
+        /// Seconds since the last incumbent improvement (measured).
+        secs_since_improvement: f64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
+    /// The stall watchdog aborted the run (`--stall-abort`): a distinct
+    /// stop reason riding the same cutoff machinery as `cutoff_fired`.
+    StallAborted {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed when the abort fired.
+        steps: u64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
+    /// GILS reseeded from a fresh random solution after
+    /// `stagnation_reseed` punishment rounds without improvement.
+    StagnationReseed {
+        /// Restart index, when inside a portfolio.
+        restart: Option<u64>,
+        /// Steps consumed when the reseed fired.
+        step: u64,
+        /// Punishment rounds without improvement that triggered it.
+        rounds: u64,
+        /// Seconds since the run started.
+        elapsed_secs: f64,
+    },
     /// Frozen metrics of the run (or the merged portfolio metrics).
     Metrics {
         /// The snapshot.
@@ -150,6 +215,10 @@ impl RunEvent {
             RunEvent::BudgetExhausted { .. } => "budget_exhausted",
             RunEvent::CutoffFired { .. } => "cutoff_fired",
             RunEvent::TracePoint { .. } => "trace_point",
+            RunEvent::Progress { .. } => "progress",
+            RunEvent::StallDetected { .. } => "stall_detected",
+            RunEvent::StallAborted { .. } => "stall_aborted",
+            RunEvent::StagnationReseed { .. } => "stagnation_reseed",
             RunEvent::Metrics { .. } => "metrics",
             RunEvent::Phases { .. } => "phases",
             RunEvent::ResourceReport { .. } => "resource_report",
@@ -237,6 +306,74 @@ impl RunEvent {
             } => {
                 obj.u64("step", *step);
                 obj.f64("similarity", *similarity);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::Progress {
+                restart,
+                step,
+                steps_per_sec,
+                elapsed_secs,
+                best_violations,
+                best_similarity,
+                node_accesses,
+                cache_hits,
+                cache_misses,
+                resident_bytes,
+            } => {
+                if let Some(r) = restart {
+                    obj.u64("restart", *r);
+                }
+                obj.u64("step", *step);
+                obj.f64("steps_per_sec", *steps_per_sec);
+                obj.f64("elapsed_secs", *elapsed_secs);
+                if let Some(v) = best_violations {
+                    obj.u64("best_violations", *v);
+                }
+                if let Some(s) = best_similarity {
+                    obj.f64("best_similarity", *s);
+                }
+                obj.u64("node_accesses", *node_accesses);
+                obj.u64("cache_hits", *cache_hits);
+                obj.u64("cache_misses", *cache_misses);
+                obj.u64("resident_bytes", *resident_bytes);
+            }
+            RunEvent::StallDetected {
+                restart,
+                step,
+                steps_since_improvement,
+                secs_since_improvement,
+                elapsed_secs,
+            } => {
+                if let Some(r) = restart {
+                    obj.u64("restart", *r);
+                }
+                obj.u64("step", *step);
+                obj.u64("steps_since_improvement", *steps_since_improvement);
+                obj.f64("secs_since_improvement", *secs_since_improvement);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::StallAborted {
+                restart,
+                steps,
+                elapsed_secs,
+            } => {
+                if let Some(r) = restart {
+                    obj.u64("restart", *r);
+                }
+                obj.u64("steps", *steps);
+                obj.f64("elapsed_secs", *elapsed_secs);
+            }
+            RunEvent::StagnationReseed {
+                restart,
+                step,
+                rounds,
+                elapsed_secs,
+            } => {
+                if let Some(r) = restart {
+                    obj.u64("restart", *r);
+                }
+                obj.u64("step", *step);
+                obj.u64("rounds", *rounds);
                 obj.f64("elapsed_secs", *elapsed_secs);
             }
             RunEvent::Metrics { snapshot } => {
@@ -379,12 +516,37 @@ fn phases_json(phases: &[PhaseSnapshot]) -> String {
 pub trait EventSink: Send + Sync {
     /// Handles one event.
     fn emit(&self, event: &RunEvent);
+
+    /// Records this sink's own resident bytes into `report`, so
+    /// `resource_report` accounts for the observability layer itself. Only
+    /// sinks that retain events (the flight recorder) have anything to
+    /// report; the default is a no-op.
+    fn fill_resource_report(&self, report: &mut crate::resource::ResourceReport) {
+        let _ = report;
+    }
+}
+
+/// When a [`JsonlSink`] pushes bytes to its underlying writer.
+///
+/// `Buffered` is the post-hoc default: lines accumulate in the
+/// `BufWriter` and reach the file on drop — cheapest, but a concurrent
+/// tail sees nothing until the run ends. `PerEvent` flushes after every
+/// line so a live reader (`mwsj watch`) sees each event promptly; used by
+/// `solve --follow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Buffer lines; flush on [`JsonlSink::flush`] or drop.
+    #[default]
+    Buffered,
+    /// Flush the writer after every emitted line.
+    PerEvent,
 }
 
 /// Streams events to a writer as JSON Lines. I/O errors are swallowed
 /// (observability must never fail the search).
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
+    policy: FlushPolicy,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -394,17 +556,38 @@ impl std::fmt::Debug for JsonlSink {
 }
 
 impl JsonlSink {
-    /// Creates a sink writing to `writer`.
+    /// Creates a [`FlushPolicy::Buffered`] sink writing to `writer`.
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink::with_policy(writer, FlushPolicy::Buffered)
+    }
+
+    /// Creates a sink writing to `writer` under the given flush policy.
+    pub fn with_policy(writer: Box<dyn Write + Send>, policy: FlushPolicy) -> Self {
         JsonlSink {
             out: Mutex::new(writer),
+            policy,
         }
     }
 
-    /// Creates (truncating) the file at `path` and streams events to it.
+    /// Creates (truncating) the file at `path` and streams events to it
+    /// under [`FlushPolicy::Buffered`].
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        JsonlSink::create_with(path, FlushPolicy::Buffered)
+    }
+
+    /// Creates (truncating) the file at `path` and streams events to it
+    /// under the given flush policy.
+    pub fn create_with<P: AsRef<Path>>(path: P, policy: FlushPolicy) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(JsonlSink::new(Box::new(io::BufWriter::new(file))))
+        Ok(JsonlSink::with_policy(
+            Box::new(io::BufWriter::new(file)),
+            policy,
+        ))
+    }
+
+    /// The sink's flush policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
     }
 
     /// Flushes the underlying writer.
@@ -418,6 +601,9 @@ impl EventSink for JsonlSink {
         let line = event.to_json();
         let mut out = self.out.lock().expect("sink mutex");
         let _ = writeln!(out, "{line}");
+        if self.policy == FlushPolicy::PerEvent {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -456,6 +642,12 @@ impl EventSink for FanoutSink {
     fn emit(&self, event: &RunEvent) {
         for sink in &self.sinks {
             sink.emit(event);
+        }
+    }
+
+    fn fill_resource_report(&self, report: &mut crate::resource::ResourceReport) {
+        for sink in &self.sinks {
+            sink.fill_resource_report(report);
         }
     }
 }
@@ -545,6 +737,48 @@ mod tests {
                 similarity: 0.75,
                 elapsed_secs: 0.01,
             },
+            RunEvent::Progress {
+                restart: Some(1),
+                step: 200,
+                steps_per_sec: 15000.0,
+                elapsed_secs: 0.013,
+                best_violations: Some(1),
+                best_similarity: Some(0.75),
+                node_accesses: 512,
+                cache_hits: 40,
+                cache_misses: 12,
+                resident_bytes: 65536,
+            },
+            RunEvent::Progress {
+                restart: None,
+                step: 50,
+                steps_per_sec: 0.0,
+                elapsed_secs: 0.0,
+                best_violations: None,
+                best_similarity: None,
+                node_accesses: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                resident_bytes: 1024,
+            },
+            RunEvent::StallDetected {
+                restart: Some(0),
+                step: 900,
+                steps_since_improvement: 500,
+                secs_since_improvement: 0.2,
+                elapsed_secs: 0.3,
+            },
+            RunEvent::StallAborted {
+                restart: None,
+                steps: 950,
+                elapsed_secs: 0.31,
+            },
+            RunEvent::StagnationReseed {
+                restart: None,
+                step: 430,
+                rounds: 1000,
+                elapsed_secs: 0.1,
+            },
             RunEvent::Metrics {
                 snapshot: reg.snapshot(),
             },
@@ -631,6 +865,72 @@ mod tests {
         for line in text.lines() {
             Json::parse(line).unwrap();
         }
+    }
+
+    #[test]
+    fn per_event_flush_is_visible_to_a_concurrent_reader() {
+        let dir = std::env::temp_dir().join("mwsj-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = |step| RunEvent::TracePoint {
+            step,
+            similarity: 0.5,
+            elapsed_secs: 0.0,
+        };
+
+        // Buffered: a reader tailing the live file sees nothing until the
+        // sink is dropped (this is the behaviour --follow exists to fix).
+        let buffered = dir.join(format!("buffered-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&buffered).unwrap();
+        sink.emit(&trace(1));
+        assert_eq!(
+            std::fs::read_to_string(&buffered).unwrap(),
+            "",
+            "buffered sink must not reach the file before flush/drop"
+        );
+        drop(sink);
+        assert_eq!(
+            std::fs::read_to_string(&buffered).unwrap().lines().count(),
+            1
+        );
+        std::fs::remove_file(&buffered).ok();
+
+        // Per-event: every line is readable immediately after emit, while
+        // the sink is still live.
+        let live = dir.join(format!("live-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create_with(&live, FlushPolicy::PerEvent).unwrap();
+        for step in 1..=3 {
+            sink.emit(&trace(step));
+            let text = std::fs::read_to_string(&live).unwrap();
+            assert_eq!(
+                text.lines().count(),
+                step as usize,
+                "line {step} must be visible promptly"
+            );
+            assert!(text.ends_with('\n'), "only complete lines on disk");
+            for line in text.lines() {
+                Json::parse(line).unwrap();
+            }
+        }
+        drop(sink);
+        std::fs::remove_file(&live).ok();
+    }
+
+    #[test]
+    fn fanout_collects_sink_resources() {
+        let recorder = std::sync::Arc::new(crate::FlightRecorder::new());
+        recorder.emit(&RunEvent::TracePoint {
+            step: 1,
+            similarity: 0.5,
+            elapsed_secs: 0.0,
+        });
+        let fanout = FanoutSink::new(vec![std::sync::Arc::new(VecSink::new()), recorder.clone()]);
+        let mut report = crate::resource::ResourceReport::new();
+        fanout.fill_resource_report(&mut report);
+        assert_eq!(
+            report.component("flight_recorder"),
+            Some(recorder.byte_len() as u64)
+        );
+        assert!(report.component("flight_recorder").unwrap() > 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use compare::{
     compare, CompareConfig, CompareReport, Verdict, DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 pub use curve::{AnytimeCurve, CurvePoint};
-pub use events::{EventSink, FanoutSink, JsonlSink, RunEvent, VecSink};
+pub use events::{EventSink, FanoutSink, FlushPolicy, JsonlSink, RunEvent, VecSink};
 pub use handle::ObsHandle;
 pub use json::Json;
 pub use profile::{folded_root_totals, parse_folded, to_folded};

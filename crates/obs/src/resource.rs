@@ -201,6 +201,10 @@ impl EventSink for FlightRecorder {
         ring.bytes += line.len();
         ring.lines.push_back(line);
     }
+
+    fn fill_resource_report(&self, report: &mut ResourceReport) {
+        report.record("flight_recorder", self.byte_len() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,39 @@ const REQUIRED: &[(&str, &[(&str, FieldType)])] = &[
         ],
     ),
     (
+        "progress",
+        &[
+            ("step", FieldType::U64),
+            ("steps_per_sec", FieldType::F64),
+            ("elapsed_secs", FieldType::F64),
+            ("node_accesses", FieldType::U64),
+            ("cache_hits", FieldType::U64),
+            ("cache_misses", FieldType::U64),
+            ("resident_bytes", FieldType::U64),
+        ],
+    ),
+    (
+        "stall_detected",
+        &[
+            ("step", FieldType::U64),
+            ("steps_since_improvement", FieldType::U64),
+            ("secs_since_improvement", FieldType::F64),
+            ("elapsed_secs", FieldType::F64),
+        ],
+    ),
+    (
+        "stall_aborted",
+        &[("steps", FieldType::U64), ("elapsed_secs", FieldType::F64)],
+    ),
+    (
+        "stagnation_reseed",
+        &[
+            ("step", FieldType::U64),
+            ("rounds", FieldType::U64),
+            ("elapsed_secs", FieldType::F64),
+        ],
+    ),
+    (
         "metrics",
         &[
             ("counters", FieldType::Obj),
@@ -141,6 +174,17 @@ const OPTIONAL: &[(&str, &[(&str, FieldType)])] = &[
     ("improvement", &[("restart", FieldType::U64)]),
     ("budget_exhausted", &[("restart", FieldType::U64)]),
     ("cutoff_fired", &[("restart", FieldType::U64)]),
+    (
+        "progress",
+        &[
+            ("restart", FieldType::U64),
+            ("best_violations", FieldType::U64),
+            ("best_similarity", FieldType::F64),
+        ],
+    ),
+    ("stall_detected", &[("restart", FieldType::U64)]),
+    ("stall_aborted", &[("restart", FieldType::U64)]),
+    ("stagnation_reseed", &[("restart", FieldType::U64)]),
 ];
 
 /// A schema violation.
@@ -282,6 +326,48 @@ mod tests {
                 violations: 1,
                 similarity: 0.66,
                 elapsed_secs: 0.01,
+            },
+            RunEvent::Progress {
+                restart: Some(2),
+                step: 100,
+                steps_per_sec: 9000.0,
+                elapsed_secs: 0.011,
+                best_violations: Some(0),
+                best_similarity: Some(1.0),
+                node_accesses: 77,
+                cache_hits: 5,
+                cache_misses: 2,
+                resident_bytes: 4096,
+            },
+            RunEvent::Progress {
+                restart: None,
+                step: 100,
+                steps_per_sec: 0.0,
+                elapsed_secs: 0.0,
+                best_violations: None,
+                best_similarity: None,
+                node_accesses: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                resident_bytes: 0,
+            },
+            RunEvent::StallDetected {
+                restart: None,
+                step: 700,
+                steps_since_improvement: 600,
+                secs_since_improvement: 0.4,
+                elapsed_secs: 0.5,
+            },
+            RunEvent::StallAborted {
+                restart: Some(1),
+                steps: 710,
+                elapsed_secs: 0.51,
+            },
+            RunEvent::StagnationReseed {
+                restart: Some(0),
+                step: 340,
+                rounds: 64,
+                elapsed_secs: 0.2,
             },
             RunEvent::Metrics {
                 snapshot: MetricsRegistry::new().snapshot(),

@@ -51,8 +51,8 @@ pub mod prelude {
         NaiveGa, NaiveGaConfig, NaiveLocalSearch, PairwiseJoin, ParallelPortfolio, Pjm, PjmOrder,
         PortfolioConfig, PortfolioOutcome, RestartOutcome, RunOutcome, RunStats, SaConfig, Sea,
         SeaConfig, SearchBudget, SearchContext, SharedSearchState, SimulatedAnnealing,
-        SynchronousTraversal, TopSolutions, TracePoint, TwoStep, TwoStepConfig, TwoStepOutcome,
-        WindowReduction,
+        SynchronousTraversal, TelemetryConfig, TopSolutions, TracePoint, TwoStep, TwoStepConfig,
+        TwoStepOutcome, WindowReduction,
     };
     pub use mwsj_datagen::{
         hard_region_density, Dataset, DatasetSpec, Distribution, QueryShape, Workload, WorkloadSpec,

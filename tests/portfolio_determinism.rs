@@ -75,6 +75,78 @@ fn four_threads_match_one_thread_bit_for_bit() {
     }
 }
 
+/// Deterministic fields of every restart-tagged `progress` heartbeat are
+/// bit-identical at 1 vs 4 threads under a step budget. Wall-clock fields
+/// (`steps_per_sec`, `elapsed_secs`) are measured and exempt; everything
+/// else — including the f64 `best_similarity`, compared bit-for-bit — is
+/// part of the determinism contract.
+#[test]
+fn progress_events_are_bit_identical_across_thread_counts() {
+    use mwsj::core::{ObsHandle, RunEvent, VecSink};
+    use std::sync::Arc;
+
+    /// One heartbeat's deterministic fields: (restart, step, best
+    /// violations, best-similarity bits, node accesses, cache hits, cache
+    /// misses, resident bytes).
+    type ProgressRow = (u64, u64, Option<u64>, Option<u64>, u64, u64, u64, u64);
+
+    let inst = hard_instance(702, QueryShape::Chain, 4, 400);
+    let telemetered_run = |threads: usize| {
+        let sink = Arc::new(VecSink::new());
+        let obs = ObsHandle::enabled().with_sink(sink.clone());
+        let mut config = PortfolioConfig::new(4, threads);
+        config.telemetry = TelemetryConfig {
+            progress_every: Some(100),
+            ..TelemetryConfig::default()
+        };
+        ParallelPortfolio::new(Ils::new(IlsConfig::default()), config).run_with_obs(
+            &inst,
+            &SearchBudget::iterations(3_000),
+            4242,
+            &obs,
+        );
+        // Canonical order: threads interleave arbitrarily in the sink, so
+        // sort by (restart, step); within a restart steps are unique.
+        let mut rows: Vec<ProgressRow> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::Progress {
+                    restart,
+                    step,
+                    best_violations,
+                    best_similarity,
+                    node_accesses,
+                    cache_hits,
+                    cache_misses,
+                    resident_bytes,
+                    ..
+                } => Some((
+                    restart.expect("portfolio progress is restart-tagged"),
+                    *step,
+                    *best_violations,
+                    best_similarity.map(f64::to_bits),
+                    *node_accesses,
+                    *cache_hits,
+                    *cache_misses,
+                    *resident_bytes,
+                )),
+                _ => None,
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    };
+
+    let sequential = telemetered_run(1);
+    let parallel = telemetered_run(4);
+    assert!(
+        !sequential.is_empty(),
+        "a 3000-step portfolio at cadence 100 must emit heartbeats"
+    );
+    assert_eq!(sequential, parallel);
+}
+
 #[test]
 fn repeat_runs_are_bit_identical() {
     let inst = hard_instance(701, QueryShape::Clique, 4, 300);
