@@ -21,8 +21,8 @@ use mwsj_core::{
 use mwsj_datagen::{QueryShape, WorkloadSpec};
 use mwsj_obs::snapshot::AlgoRecord;
 use mwsj_obs::{
-    AnytimeCurve, BenchSnapshot, CacheRecord, InstanceRecord, MemoryRecord, ObsHandle,
-    PhaseSnapshot, ResourceReport,
+    AnytimeCurve, BenchSnapshot, CacheRecord, ExplainRecord, InstanceRecord, MemoryRecord,
+    ObsHandle, PhaseSnapshot, ResourceReport,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -418,6 +418,7 @@ pub fn run_suite(
     let mut instances = Vec::new();
     let mut memory = Vec::new();
     let mut cache = Vec::new();
+    let mut explain = Vec::new();
     for case in tier.suite() {
         let workload = case.spec.generate();
         let instance =
@@ -431,6 +432,14 @@ pub fn run_suite(
             instance: case.name.to_string(),
             components: report.components().to_vec(),
             total_bytes: report.total_bytes(),
+        });
+        // The explain table is likewise a pure function of the pinned
+        // instance: the pre-run estimate side only (selectivity models,
+        // tree quality, predicted accesses), so `bench compare` can gate
+        // it exactly across machines.
+        explain.push(ExplainRecord {
+            instance: case.name.to_string(),
+            report: mwsj_core::build_explain_report(&instance),
         });
         let mut algos = Vec::new();
         for algo in tier.algos() {
@@ -462,6 +471,7 @@ pub fn run_suite(
         instances,
         memory,
         cache,
+        explain,
     })
 }
 
@@ -570,6 +580,21 @@ mod tests {
             assert!(rec.misses > 0, "{}/ILS no cache misses", rec.instance);
             assert!(rec.bytes > 0, "{}/ILS no cache bytes", rec.instance);
         }
+        // Explain section: one estimate-only report per instance, with
+        // every base-tier edge observed (N=200 is under the pair budget).
+        assert_eq!(snap.explain.len(), 4);
+        for rec in &snap.explain {
+            assert!(!rec.report.has_observed(), "{}", rec.instance);
+            assert!(rec.report.expected_solutions > 0.0, "{}", rec.instance);
+            assert!(
+                rec.report
+                    .edges
+                    .iter()
+                    .all(|e| e.observed_selectivity.is_some()),
+                "{}",
+                rec.instance
+            );
+        }
 
         let text = snap.to_string_pretty();
         let parsed = BenchSnapshot::parse(&text).expect("snapshot validates");
@@ -587,5 +612,6 @@ mod tests {
         }
         assert_eq!(snap.memory, again.memory);
         assert_eq!(snap.cache, again.cache);
+        assert_eq!(snap.explain, again.explain);
     }
 }

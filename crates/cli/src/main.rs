@@ -7,6 +7,7 @@
 //!               [--algo ils|gils|sea|sea-hybrid|ibb|two-step] [--seconds 2] [--iterations N]
 //!               [--seed 42] [--top 5] [--restarts K] [--threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
+//! mwsj explain  --data a.csv --data b.csv --query chain [--metrics-out est.jsonl]
 //! mwsj report   run.jsonl|BENCH_label.json
 //! mwsj watch    run.jsonl [--poll-ms 50] [--timeout-secs 600] [--no-tty]
 //! mwsj bench    snapshot [--tier base|large] [--label ci] [--reps 3] [--out FILE]
@@ -33,7 +34,7 @@ mod watch;
 
 use args::Args;
 use mwsj_core::obs::{
-    compare, schema, to_folded, BenchSnapshot, CompareConfig, Json, PhaseSnapshot,
+    compare, schema, to_folded, BenchSnapshot, CompareConfig, ExplainReport, Json, PhaseSnapshot,
     DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 use mwsj_core::{
@@ -60,6 +61,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args),
         Some("info") => cmd_info(&args),
         Some("solve") => cmd_solve(&args),
+        Some("explain") => cmd_explain(&args),
         Some("join") => cmd_join(&args),
         Some("report") => cmd_report(&args),
         Some("watch") => watch::cmd_watch(&args),
@@ -108,6 +110,16 @@ USAGE:
                                             metrics file can be tailed live
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
             [--metrics-out FILE]
+  mwsj explain --data FILE... --query SPEC [--metrics-out FILE]
+                                            pre-run cost & selectivity report, no solving:
+                                            per-edge selectivity estimates (with exact
+                                            observed selectivities when the pair count is
+                                            affordable), per-variable window hit rates,
+                                            predicted node accesses per window query, and
+                                            R*-tree structural quality per level; output is
+                                            byte-stable for a fixed dataset. --metrics-out
+                                            writes the same report as one schema-validated
+                                            'explain_report' JSONL event
   mwsj report FILE                          validate + summarise a metrics JSONL file
                                             (or a BENCH_*.json bench snapshot)
   mwsj watch FILE [--poll-ms MS] [--timeout-secs S] [--no-tty]
@@ -535,6 +547,110 @@ fn run_portfolio<A: AnytimeSearch>(
     (outcome.merged, outcome.phases)
 }
 
+/// `mwsj explain` — the pre-run side of the cost & selectivity audit:
+/// builds the instance, prints the estimate report, and never solves.
+/// Deterministic: repeated invocations on the same inputs are
+/// byte-identical (the report is a pure function of the datasets).
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let datasets = load_datasets(args)?;
+    let n_vars = datasets.len();
+    let query = args.required("query").map_err(|e| e.to_string())?;
+    let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
+    let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
+    let report = mwsj_core::build_explain_report(&instance);
+    print_explain(&report);
+    if let Some(path) = args.value("metrics-out") {
+        let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+        sink.emit(&RunEvent::ExplainReport {
+            report: report.clone(),
+        });
+        println!("wrote explain report to {path} (inspect with 'mwsj report {path}')");
+    }
+    Ok(())
+}
+
+/// Renders an [`ExplainReport`] — shared by `mwsj explain` (estimates
+/// only) and `mwsj report` (estimate vs actual when the run attached the
+/// observed side).
+fn print_explain(report: &ExplainReport) {
+    println!(
+        "explain: {} model, E[solutions] = {:.4}",
+        report.model, report.expected_solutions
+    );
+    println!("edges (estimated vs observed selectivity):");
+    println!(
+        "  {:<6} {:<12} {:>13} {:>13} {:>10} {:>8}",
+        "edge", "predicate", "estimated", "observed", "pairs", "error"
+    );
+    for e in &report.edges {
+        let (obs, pairs, err) = match (e.observed_selectivity, e.observed_pairs) {
+            (Some(sel), Some(pairs)) => (
+                format!("{sel:.6e}"),
+                pairs.to_string(),
+                e.error_factor().map_or("-".into(), |f| format!("{f:.2}x")),
+            ),
+            _ => ("-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "  {:<6} {:<12} {:>13} {:>13} {:>10} {:>8}",
+            format!("{}-{}", e.a, e.b),
+            e.predicate,
+            format!("{:.6e}", e.estimated_selectivity),
+            obs,
+            pairs,
+            err
+        );
+    }
+    println!("variables (window cost model and R*-tree quality):");
+    for v in &report.vars {
+        println!(
+            "  var{}: N={}, avg extent {:.6}, E[window hits] {:.4}, \
+             predicted accesses/query {:.2}",
+            v.var,
+            v.cardinality,
+            v.avg_extent,
+            v.expected_window_hits,
+            v.predicted_accesses_per_query
+        );
+        let t = &v.tree;
+        println!(
+            "    tree: height {}, {} nodes, avg fill {:.3}",
+            t.height, t.nodes, t.avg_fill
+        );
+        let fmt3 = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| format!("{x:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "    per level (leaf->root): fill [{}], overlap [{}], dead space [{}], perimeter [{}]",
+            fmt3(&t.fill_per_level),
+            fmt3(&t.overlap_factor_per_level),
+            fmt3(&t.dead_space_per_level),
+            fmt3(&t.perimeter_per_level)
+        );
+    }
+    if let Some(total) = report.observed_node_accesses {
+        println!(
+            "observed node accesses: {total} total, {} attributed per variable",
+            report.attributed_accesses()
+        );
+        for v in &report.vars {
+            let levels = v
+                .accesses_per_level
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "  var{}: {} accesses (per level, leaf->root: {levels})",
+                v.var, v.observed_accesses
+            );
+        }
+    }
+}
+
 fn cmd_join(args: &Args) -> Result<(), String> {
     let datasets = load_datasets(args)?;
     let n_vars = datasets.len();
@@ -711,6 +827,11 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                     }
                 }
             }
+            Some("explain_report") => {
+                if let Some(report) = ExplainReport::from_json(&ev) {
+                    print_explain(&report);
+                }
+            }
             Some("resource_report") => {
                 let total = ev.get("total_bytes").and_then(Json::as_u64).unwrap_or(0);
                 if let Some(components) = ev.get("components").and_then(Json::as_object) {
@@ -850,6 +971,20 @@ fn report_snapshot(path: &str, snapshot: &BenchSnapshot) -> Result<(), String> {
                 cache.invalidations_reassign,
                 cache.invalidations_penalty,
                 cache.bytes
+            );
+        }
+        for rec in snapshot.explain.iter().filter(|e| e.instance == inst.name) {
+            let worst = rec
+                .report
+                .edges
+                .iter()
+                .filter_map(|e| e.error_factor())
+                .fold(None::<f64>, |acc, f| Some(acc.map_or(f, |a| a.max(f))));
+            println!(
+                "    explain: {} model, E[solutions] {:.4}, worst edge estimate error {}",
+                rec.report.model,
+                rec.report.expected_solutions,
+                worst.map_or("-".into(), |f| format!("{f:.2}x"))
             );
         }
     }

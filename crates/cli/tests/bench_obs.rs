@@ -433,3 +433,195 @@ fn bench_rejects_unknown_subcommand_and_bad_arity() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+/// A sparse dataset (density 0.002): joins over these have no exact
+/// solution in a clique, so heuristic runs exhaust their full step budget.
+fn generate_sparse(dir: &Path, name: &str, seed: u64) -> PathBuf {
+    let path = dir.join(name);
+    let out = mwsj()
+        .args([
+            "generate",
+            "--out",
+            path.to_str().unwrap(),
+            "--n",
+            "400",
+            "--density",
+            "0.002",
+            "--seed",
+            &seed.to_string(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+/// Runs `mwsj explain` over the three-dataset chain and returns stdout.
+fn explain(dir: &Path, extra: &[&str]) -> String {
+    let a = generate(dir, "ea.csv", 200, 11);
+    let b = generate(dir, "eb.csv", 200, 12);
+    let c = generate(dir, "ec.csv", 200, 13);
+    let mut cmd = mwsj();
+    cmd.args([
+        "explain",
+        "--data",
+        a.to_str().unwrap(),
+        "--data",
+        b.to_str().unwrap(),
+        "--data",
+        c.to_str().unwrap(),
+        "--query",
+        "chain",
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn explain_is_byte_stable_and_estimate_only() {
+    let dir = temp_dir("explain_stable");
+    let first = explain(&dir, &[]);
+    let second = explain(&dir, &[]);
+    assert_eq!(first, second, "explain output must be byte-stable");
+    assert!(first.contains("explain: acyclic model"), "{first}");
+    assert!(
+        first.contains("estimated vs observed selectivity"),
+        "{first}"
+    );
+    // N=200 per dataset is far under the pair budget: both chain edges
+    // carry exact observed selectivities and an error factor column.
+    assert!(first.contains("intersects"), "{first}");
+    assert!(first.contains('x'), "error factor column:\n{first}");
+    assert!(first.contains("predicted accesses/query"), "{first}");
+    assert!(first.contains("per level (leaf->root): fill"), "{first}");
+    // No run happened: the observed-traversal block must be absent.
+    assert!(!first.contains("observed node accesses"), "{first}");
+}
+
+#[test]
+fn explain_metrics_out_is_schema_valid_and_report_renders_it() {
+    let dir = temp_dir("explain_metrics");
+    let est = dir.join("est.jsonl");
+    let stdout = explain(&dir, &["--metrics-out", est.to_str().unwrap()]);
+    assert!(stdout.contains("wrote explain report"), "{stdout}");
+
+    let line = std::fs::read_to_string(&est).unwrap();
+    assert!(line.contains("\"event\":\"explain_report\""), "{line}");
+
+    let out = report(&est);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 events, schema OK"), "{text}");
+    assert!(text.contains("explain: acyclic model"), "{text}");
+    assert!(text.contains("estimated vs observed selectivity"), "{text}");
+}
+
+#[test]
+fn solve_metrics_carry_explain_report_with_actuals() {
+    let dir = temp_dir("explain_actuals");
+    // Sparse datasets admit no exact solution, so the solver runs its
+    // whole step budget: the stream is progress-heavy, with heartbeats
+    // interleaving the explain and resource reports, and the report must
+    // summarise all of them.
+    let a = generate_sparse(&dir, "sa.csv", 21);
+    let b = generate_sparse(&dir, "sb.csv", 22);
+    let c = generate_sparse(&dir, "sc.csv", 23);
+    let metrics = dir.join("hard.jsonl");
+    let out = mwsj()
+        .args([
+            "solve",
+            "--data",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+            "--data",
+            c.to_str().unwrap(),
+            "--query",
+            "clique",
+            "--algo",
+            "ils",
+            "--iterations",
+            "600",
+            "--seed",
+            "9",
+            "--progress-every",
+            "100",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("\"event\":\"progress\""), "{text}");
+    assert!(text.contains("\"event\":\"explain_report\""), "{text}");
+
+    let out = report(&metrics);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("schema OK"), "{summary}");
+    assert!(summary.contains("explain: clique model"), "{summary}");
+    // The run attached the observed side: the per-variable attribution of
+    // the shared node-access counter renders under the estimate table.
+    assert!(summary.contains("observed node accesses"), "{summary}");
+    assert!(summary.contains("per level, leaf->root:"), "{summary}");
+    assert!(summary.contains("progress heartbeats"), "{summary}");
+}
+
+#[test]
+fn report_renders_snapshot_explain_summary() {
+    let dir = temp_dir("snapshot_explain");
+    let snap = dir.join("BENCH_e.json");
+    let out = mwsj()
+        .args([
+            "bench",
+            "snapshot",
+            "--label",
+            "e",
+            "--reps",
+            "1",
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&snap).unwrap();
+    assert!(body.contains("\"explain\""), "{body}");
+
+    let out = report(&snap);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("explain:"), "{text}");
+    assert!(text.contains("worst edge estimate error"), "{text}");
+}

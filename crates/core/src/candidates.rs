@@ -13,11 +13,17 @@ use mwsj_rtree::{NodeRef, RTree};
 
 /// Enumerates `(object, satisfied_count)` for all objects satisfying at
 /// least `min_count` of the `windows`. `min_count` must be ≥ 1.
+///
+/// Each visited node bumps `node_accesses` and, when the slice is long
+/// enough, `level_accesses[node.level()]` (`[0]` = leaf) — the same
+/// attribution contract as the leveled multiwindow kernels; pass `&mut []`
+/// to skip attribution.
 pub(crate) fn candidates_with_counts(
     tree: &RTree<u32>,
     windows: &[(Predicate, Rect)],
     min_count: u32,
     node_accesses: &mut u64,
+    level_accesses: &mut [u64],
 ) -> Vec<(usize, u32)> {
     debug_assert!(min_count >= 1);
     let mut out = Vec::new();
@@ -30,6 +36,7 @@ pub(crate) fn candidates_with_counts(
         min_count,
         &mut out,
         node_accesses,
+        level_accesses,
     );
     out
 }
@@ -40,8 +47,12 @@ fn collect(
     min_count: u32,
     out: &mut Vec<(usize, u32)>,
     node_accesses: &mut u64,
+    level_accesses: &mut [u64],
 ) {
     *node_accesses += 1;
+    if let Some(slot) = level_accesses.get_mut(node.level() as usize) {
+        *slot += 1;
+    }
     if node.is_leaf() {
         for entry in node.entries() {
             let mbr = entry.mbr();
@@ -64,6 +75,7 @@ fn collect(
                     min_count,
                     out,
                     node_accesses,
+                    level_accesses,
                 );
             }
         }
@@ -106,7 +118,7 @@ mod tests {
         let (tree, rects, windows) = setup();
         for min in 1..=3 {
             let mut acc = 0;
-            let mut got = candidates_with_counts(&tree, &windows, min, &mut acc);
+            let mut got = candidates_with_counts(&tree, &windows, min, &mut acc, &mut []);
             got.sort_unstable();
             let mut expected = brute(&rects, &windows, min);
             expected.sort_unstable();
@@ -118,7 +130,7 @@ mod tests {
     fn empty_windows_yield_nothing() {
         let (tree, _, _) = setup();
         let mut acc = 0;
-        assert!(candidates_with_counts(&tree, &[], 1, &mut acc).is_empty());
+        assert!(candidates_with_counts(&tree, &[], 1, &mut acc, &mut []).is_empty());
     }
 
     #[test]
@@ -126,8 +138,8 @@ mod tests {
         let (tree, _, windows) = setup();
         let mut acc1 = 0;
         let mut acc3 = 0;
-        let _ = candidates_with_counts(&tree, &windows, 1, &mut acc1);
-        let _ = candidates_with_counts(&tree, &windows, 3, &mut acc3);
+        let _ = candidates_with_counts(&tree, &windows, 1, &mut acc1, &mut []);
+        let _ = candidates_with_counts(&tree, &windows, 3, &mut acc3, &mut []);
         assert!(acc3 <= acc1, "conjunctive query should visit fewer nodes");
     }
 }

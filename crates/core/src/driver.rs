@@ -121,9 +121,13 @@ impl SearchDriver {
         let clock = BudgetClock::from_context(ctx);
         let emit_end = !ctx.is_nested() && ctx.obs().restart().is_none() && ctx.obs().has_sink();
         let watch = WatchState::new(ctx.telemetry(), instance, ctx.obs());
+        let stats = RunStats {
+            access_profile: crate::result::AccessProfile::for_instance(instance),
+            ..RunStats::default()
+        };
         SearchDriver {
             clock,
-            stats: RunStats::default(),
+            stats,
             incumbent: None,
             edges: instance.graph().edge_count(),
             emit_end,
@@ -311,11 +315,27 @@ impl SearchDriver {
         &mut self.stats
     }
 
-    /// The node-access counter, in the `&mut u64` shape the traversal
-    /// kernels increment.
+    /// Split borrow of the node-access counter and the per-level
+    /// attribution row of `var`, in the shape the leveled traversal
+    /// kernels increment. The two live in disjoint `RunStats` fields, so
+    /// both can be handed out mutably at once.
     #[inline]
-    pub(crate) fn node_accesses_mut(&mut self) -> &mut u64 {
-        &mut self.stats.node_accesses
+    pub(crate) fn tally(&mut self, var: mwsj_query::VarId) -> (&mut u64, &mut [u64]) {
+        (
+            &mut self.stats.node_accesses,
+            self.stats.access_profile.levels_mut(var),
+        )
+    }
+
+    /// Split borrow of the node-access counter and the whole attribution
+    /// profile, for helpers that attribute across several variables
+    /// (ILS-seeded SEA initialisation).
+    #[inline]
+    pub(crate) fn access_mut(&mut self) -> (&mut u64, &mut crate::result::AccessProfile) {
+        (
+            &mut self.stats.node_accesses,
+            &mut self.stats.access_profile,
+        )
     }
 
     /// Violations of the incumbent, if one exists yet.
@@ -527,6 +547,7 @@ impl SearchDriver {
             top_solutions: incumbent.top.into_vec(),
         };
         if emit_end {
+            crate::observe::emit_explain_report(clock.obs(), instance, &outcome);
             crate::observe::emit_resource_report(clock.obs(), instance, &outcome);
             crate::observe::emit_run_end(clock.obs(), &outcome);
         }

@@ -61,7 +61,7 @@ pub fn find_best_value(
         .iter()
         .map(|&(u, pred)| (pred, instance.rect(u, sol.get(u))))
         .collect();
-    best_value_in_windows(instance, var, &windows, penalties, node_accesses)
+    best_value_in_windows(instance, var, &windows, penalties, node_accesses, &mut [])
 }
 
 /// Runs the traversal kernel over `var`'s tree with pre-built windows.
@@ -71,12 +71,17 @@ pub fn find_best_value(
 /// by its satisfied count; penalty mode subtracts `λ·penalty` — both as
 /// `f64`, which reproduces the paper's raw strict-count comparison exactly
 /// because `u32 → f64` is lossless.
+///
+/// `level_accesses[lvl]` (`[0]` = leaf) is bumped per visited node when the
+/// slice covers the tree height; pass `&mut []` to skip attribution. The
+/// leveled and plain kernels are bit-identical in results and counts.
 pub(crate) fn best_value_in_windows(
     instance: &Instance,
     var: VarId,
     windows: &[(Predicate, Rect)],
     penalties: Option<(&PenaltyTable, f64)>,
     node_accesses: &mut u64,
+    level_accesses: &mut [u64],
 ) -> Option<BestValue> {
     let best = match penalties {
         Some((table, lambda)) => run_kernel(
@@ -85,6 +90,7 @@ pub(crate) fn best_value_in_windows(
             windows,
             |&object, count| count as f64 - lambda * table.get(var, object as usize) as f64,
             node_accesses,
+            level_accesses,
         ),
         None => run_kernel(
             instance,
@@ -92,6 +98,7 @@ pub(crate) fn best_value_in_windows(
             windows,
             |_, count| count as f64,
             node_accesses,
+            level_accesses,
         ),
     }?;
     Some(BestValue {
@@ -111,17 +118,21 @@ fn run_kernel(
     windows: &[(Predicate, Rect)],
     score: impl FnMut(&u32, u32) -> f64,
     node_accesses: &mut u64,
+    level_accesses: &mut [u64],
 ) -> Option<multiwindow::BestLeaf<u32>> {
     let root = instance.tree(var).root_node();
     match instance.leaf_layout() {
-        LeafLayout::Flat => multiwindow::find_best_leaf_flat(
+        LeafLayout::Flat => multiwindow::find_best_leaf_flat_leveled(
             root,
             instance.flat_leaves(var),
             windows,
             score,
             node_accesses,
+            level_accesses,
         ),
-        LeafLayout::Entry => multiwindow::find_best_leaf(root, windows, score, node_accesses),
+        LeafLayout::Entry => {
+            multiwindow::find_best_leaf_leveled(root, windows, score, node_accesses, level_accesses)
+        }
     }
 }
 

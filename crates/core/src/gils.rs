@@ -135,13 +135,17 @@ impl DriveSearch for Gils {
                     let cur_obj = sol.get(v);
                     let cur_eff = cs.satisfied_of(graph, v) as f64
                         - lambda * penalties.get(v, cur_obj) as f64;
-                    if let Some(best) = cache.find_best_value(
-                        instance,
-                        &sol,
-                        v,
-                        Some((&penalties, lambda)),
-                        driver.node_accesses_mut(),
-                    ) {
+                    if let Some(best) = {
+                        let (acc, levels) = driver.tally(v);
+                        cache.find_best_value_leveled(
+                            instance,
+                            &sol,
+                            v,
+                            Some((&penalties, lambda)),
+                            acc,
+                            levels,
+                        )
+                    } {
                         any_candidate = true;
                         if best.object != cur_obj && best.effective > cur_eff {
                             cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());

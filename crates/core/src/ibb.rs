@@ -176,12 +176,10 @@ fn descend(
     let mut candidates = if windows.is_empty() {
         Vec::new()
     } else {
-        candidates_with_counts(
-            instance.tree(var),
-            &windows,
-            1,
-            state.driver.node_accesses_mut(),
-        )
+        {
+            let (node_accesses, levels) = state.driver.tally(var);
+            candidates_with_counts(instance.tree(var), &windows, 1, node_accesses, levels)
+        }
     };
     candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 

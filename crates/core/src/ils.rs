@@ -76,9 +76,10 @@ impl DriveSearch for Ils {
                     }
                     driver.step();
                     let current_satisfied = cs.satisfied_of(graph, v);
-                    if let Some(best) =
-                        cache.find_best_value(instance, &sol, v, None, driver.node_accesses_mut())
-                    {
+                    if let Some(best) = {
+                        let (acc, levels) = driver.tally(v);
+                        cache.find_best_value_leveled(instance, &sol, v, None, acc, levels)
+                    } {
                         if best.satisfied > current_satisfied {
                             cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
                             driver.offer(&sol, cs.total_violations());
@@ -114,6 +115,7 @@ pub(crate) fn collect_local_maxima(
     step_cap: u64,
     rng: &mut StdRng,
     node_accesses: &mut u64,
+    profile: &mut crate::result::AccessProfile,
     cache_stats: &mut crate::window_cache::CacheStats,
 ) -> Vec<mwsj_query::Solution> {
     let graph = instance.graph();
@@ -130,7 +132,14 @@ pub(crate) fn collect_local_maxima(
             for v in cs.vars_by_badness(graph) {
                 steps += 1;
                 let current = cs.satisfied_of(graph, v);
-                if let Some(best) = cache.find_best_value(instance, &sol, v, None, node_accesses) {
+                if let Some(best) = cache.find_best_value_leveled(
+                    instance,
+                    &sol,
+                    v,
+                    None,
+                    node_accesses,
+                    profile.levels_mut(v),
+                ) {
                     if best.satisfied > current {
                         cs.reassign(graph, &mut sol, v, best.object, instance.rect_of());
                         if cs.total_violations() == 0 {

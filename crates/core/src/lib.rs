@@ -33,6 +33,7 @@
 mod budget;
 mod candidates;
 mod driver;
+pub mod explain;
 mod find_best_value;
 mod gils;
 mod ibb;
@@ -52,6 +53,7 @@ mod window_cache;
 mod wr;
 
 pub use budget::{SearchBudget, SearchContext, SharedSearchState, TelemetryConfig};
+pub use explain::{build_explain_report, explain_report_for_run, observed_edge_selectivity};
 pub use find_best_value::{find_best_value, BestValue};
 pub use gils::{Gils, GilsConfig};
 pub use ibb::{Ibb, IbbConfig};
@@ -65,7 +67,7 @@ pub use portfolio::{
     derive_seed, AnytimeSearch, CutoffPolicy, ParallelPortfolio, PortfolioConfig, PortfolioOutcome,
     RestartOutcome,
 };
-pub use result::{RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
+pub use result::{AccessProfile, RunOutcome, RunStats, TopSolutions, TracePoint, DEFAULT_TOP_K};
 pub use sea::{Sea, SeaConfig};
 pub use st::SynchronousTraversal;
 pub use two_step::{TwoStep, TwoStepConfig, TwoStepOutcome};

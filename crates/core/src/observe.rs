@@ -104,6 +104,17 @@ pub(crate) fn emit_improvement(clock: &BudgetClock, violations: usize, edges: us
 /// top-level run, emitted just before its `run_end`. Components: the
 /// instance's index structures (unique datasets only — self-joins share
 /// one), the window cache(s) and the retained top solutions.
+/// Emits the `explain_report` estimate-vs-actual audit for a finished run
+/// (no-op without a sink). Follows the `run_end` ownership rule: one
+/// report per top-level run, emitted just before its `resource_report`.
+pub(crate) fn emit_explain_report(obs: &ObsHandle, instance: &Instance, outcome: &RunOutcome) {
+    if !obs.has_sink() {
+        return;
+    }
+    let report = crate::explain::explain_report_for_run(instance, &outcome.stats);
+    obs.emit(RunEvent::ExplainReport { report });
+}
+
 pub(crate) fn emit_resource_report(obs: &ObsHandle, instance: &Instance, outcome: &RunOutcome) {
     if !obs.has_sink() {
         return;

@@ -184,6 +184,7 @@ impl Pjm {
                     &windows,
                     required,
                     &mut stats.node_accesses,
+                    &mut [],
                 ) {
                     if next.len() >= self.max_intermediate {
                         truncated = true;

@@ -301,6 +301,7 @@ impl<A: AnytimeSearch> ParallelPortfolio<A> {
         // One `resource_report` + `run_end` for the whole portfolio: the
         // restarts themselves run under restart-scoped handles, which
         // suppresses their own emission.
+        crate::observe::emit_explain_report(obs, instance, &merged);
         crate::observe::emit_resource_report(obs, instance, &merged);
         crate::observe::emit_run_end(obs, &merged);
 
@@ -429,6 +430,7 @@ fn merge_outcomes(outcomes: &[RestartOutcome], edges: usize, top_k: usize) -> Ru
         stats.node_accesses += s.node_accesses;
         stats.improvements += s.improvements;
         stats.cache.absorb(&s.cache);
+        stats.access_profile.absorb(&s.access_profile);
     }
 
     RunOutcome {

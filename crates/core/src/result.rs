@@ -23,6 +23,78 @@ pub struct RunStats {
     /// [`WindowCache`](crate::WindowCache) efficiency telemetry (empty for
     /// algorithms that run without the cache).
     pub cache: CacheStats,
+    /// Per-variable × per-tree-level attribution of
+    /// [`RunStats::node_accesses`] (empty for algorithms that predate the
+    /// attribution plumbing). See [`AccessProfile`] for the invariant.
+    pub access_profile: AccessProfile,
+}
+
+/// Per-variable, per-tree-level attribution of R*-tree node accesses.
+///
+/// `per_var[v][l]` counts the nodes of variable `v`'s tree visited at
+/// level `l` (`[0]` = leaf level, matching
+/// [`NodeRef::level`](mwsj_rtree::NodeRef::level)). For runs whose
+/// traversals all flow through the attributed kernels (ILS, GILS, SEA,
+/// IBB), the profile total equals [`RunStats::node_accesses`] **exactly**
+/// — the invariant the attribution property tests pin. Algorithms with
+/// unattributed traversals leave the difference as implicit unattributed
+/// work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessProfile {
+    /// `per_var[v][l]` = node accesses on variable `v`'s tree at level `l`.
+    pub per_var: Vec<Vec<u64>>,
+}
+
+impl AccessProfile {
+    /// Creates a zeroed profile: one row per variable, sized to that
+    /// variable's tree height.
+    pub fn for_instance(instance: &crate::Instance) -> Self {
+        AccessProfile {
+            per_var: (0..instance.n_vars())
+                .map(|v| vec![0u64; instance.tree(v).height() as usize])
+                .collect(),
+        }
+    }
+
+    /// `true` when no attribution rows exist (pre-attribution algorithms).
+    pub fn is_empty(&self) -> bool {
+        self.per_var.is_empty()
+    }
+
+    /// Mutable level row of variable `v` (empty when unattributed).
+    pub(crate) fn levels_mut(&mut self, var: usize) -> &mut [u64] {
+        match self.per_var.get_mut(var) {
+            Some(row) => row.as_mut_slice(),
+            None => &mut [],
+        }
+    }
+
+    /// Total attributed accesses of variable `v`.
+    pub fn var_total(&self, var: usize) -> u64 {
+        self.per_var.get(var).map_or(0, |row| row.iter().sum())
+    }
+
+    /// Total attributed accesses across all variables and levels.
+    pub fn total(&self) -> u64 {
+        self.per_var.iter().map(|row| row.iter().sum::<u64>()).sum()
+    }
+
+    /// Pointwise merge of another profile (used by the portfolio's
+    /// seed-ordered reduction and the two-step pipeline). Rows and levels
+    /// grow to cover the larger operand.
+    pub fn absorb(&mut self, other: &AccessProfile) {
+        if self.per_var.len() < other.per_var.len() {
+            self.per_var.resize(other.per_var.len(), Vec::new());
+        }
+        for (mine, theirs) in self.per_var.iter_mut().zip(&other.per_var) {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
 }
 
 /// One point of the convergence trace: the best similarity known at a given

@@ -179,14 +179,18 @@ impl DriveSearch for Sea {
             let _seed_phase = driver.obs().timer.span("seed");
             let mut pop: Vec<Individual> = if self.config.seed_with_ils {
                 let mut seed_cache = crate::window_cache::CacheStats::default();
-                let maxima = crate::ils::collect_local_maxima(
-                    instance,
-                    p,
-                    20 * p as u64,
-                    rng,
-                    driver.node_accesses_mut(),
-                    &mut seed_cache,
-                );
+                let maxima = {
+                    let (acc, profile) = driver.access_mut();
+                    crate::ils::collect_local_maxima(
+                        instance,
+                        p,
+                        20 * p as u64,
+                        rng,
+                        acc,
+                        profile,
+                        &mut seed_cache,
+                    )
+                };
                 driver.stats_mut().cache.absorb(&seed_cache);
                 maxima
                     .into_iter()
@@ -227,14 +231,18 @@ impl DriveSearch for Sea {
                 // otherwise fresh random solutions.
                 let seeds = if self.config.seed_with_ils {
                     let mut seed_cache = crate::window_cache::CacheStats::default();
-                    let maxima = crate::ils::collect_local_maxima(
-                        instance,
-                        p,
-                        20 * p as u64,
-                        rng,
-                        driver.node_accesses_mut(),
-                        &mut seed_cache,
-                    );
+                    let maxima = {
+                        let (acc, profile) = driver.access_mut();
+                        crate::ils::collect_local_maxima(
+                            instance,
+                            p,
+                            20 * p as u64,
+                            rng,
+                            acc,
+                            profile,
+                            &mut seed_cache,
+                        )
+                    };
                     driver.stats_mut().cache.absorb(&seed_cache);
                     maxima
                 } else {
@@ -329,13 +337,10 @@ impl DriveSearch for Sea {
                     .count();
                 let worst = order[rng.random_range(0..tied)];
                 let current_satisfied = ind.cs.satisfied_of(graph, worst);
-                if let Some(best) = cache.find_best_value(
-                    instance,
-                    &ind.sol,
-                    worst,
-                    None,
-                    driver.node_accesses_mut(),
-                ) {
+                if let Some(best) = {
+                    let (acc, levels) = driver.tally(worst);
+                    cache.find_best_value_leveled(instance, &ind.sol, worst, None, acc, levels)
+                } {
                     if best.satisfied > current_satisfied {
                         ind.cs.reassign(
                             graph,

@@ -60,6 +60,7 @@ impl TwoStepOutcome {
             total.node_accesses += sys.stats.node_accesses;
             total.improvements += sys.stats.improvements;
             total.cache.absorb(&sys.stats.cache);
+            total.access_profile.absorb(&sys.stats.access_profile);
         }
         total
     }
@@ -198,6 +199,7 @@ fn emit_combined_run_end(obs: &ObsHandle, instance: &Instance, outcome: &TwoStep
     }
     let mut combined = outcome.best.clone();
     combined.stats = outcome.total_stats();
+    crate::observe::emit_explain_report(obs, instance, &combined);
     crate::observe::emit_resource_report(obs, instance, &combined);
     crate::observe::emit_run_end(obs, &combined);
 }

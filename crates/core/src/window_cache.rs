@@ -211,6 +211,22 @@ impl WindowCache {
         penalties: Option<(&PenaltyTable, f64)>,
         node_accesses: &mut u64,
     ) -> Option<BestValue> {
+        self.find_best_value_leveled(instance, sol, var, penalties, node_accesses, &mut [])
+    }
+
+    /// [`WindowCache::find_best_value`] with per-level node-access
+    /// attribution: misses bump `level_accesses[lvl]` (`[0]` = leaf) per
+    /// visited node alongside `node_accesses`, hits touch neither — so the
+    /// attributed counts sum exactly to the shared access counter.
+    pub fn find_best_value_leveled(
+        &mut self,
+        instance: &Instance,
+        sol: &Solution,
+        var: VarId,
+        penalties: Option<(&PenaltyTable, f64)>,
+        node_accesses: &mut u64,
+        level_accesses: &mut [u64],
+    ) -> Option<BestValue> {
         let neighbors = instance.graph().neighbors(var);
         let entry = &mut self.vars[var];
 
@@ -256,7 +272,14 @@ impl WindowCache {
             // (neither: the memoised result was dropped by `clear`)
         }
 
-        let result = best_value_in_windows(instance, var, &entry.windows, penalties, node_accesses);
+        let result = best_value_in_windows(
+            instance,
+            var,
+            &entry.windows,
+            penalties,
+            node_accesses,
+            level_accesses,
+        );
         let entry = &mut self.vars[var];
         entry.result = Some(result);
         entry.penalty_version = penalty_version;

@@ -142,6 +142,7 @@ fn descend(state: &mut WrState<'_>, depth: usize, assignment: &mut [usize]) -> b
             &windows,
             required,
             &mut state.stats.node_accesses,
+            &mut [],
         );
         for (obj, _) in candidates {
             if state.clock.exhausted() {

@@ -3,8 +3,9 @@
 //! instances.
 
 use mwsj_core::{
-    find_best_value, Ibb, IbbConfig, Ils, IlsConfig, Instance, ParallelPortfolio, Pjm,
-    PortfolioConfig, SearchBudget, SynchronousTraversal, WindowCache, WindowReduction,
+    find_best_value, Gils, GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, LeafLayout,
+    ParallelPortfolio, Pjm, PortfolioConfig, RunOutcome, Sea, SeaConfig, SearchBudget,
+    SynchronousTraversal, WindowCache, WindowReduction,
 };
 use mwsj_geom::Rect;
 use mwsj_query::{PenaltyTable, QueryGraph, Solution};
@@ -300,5 +301,58 @@ proptest! {
         prop_assert_eq!(&a.merged.top_solutions, &b.merged.top_solutions);
         prop_assert_eq!(a.merged.stats.steps, b.merged.stats.steps);
         prop_assert_eq!(inst.violations(&a.merged.best), a.merged.best_violations);
+    }
+
+    /// Satellite invariant (DESIGN.md §5i): the per-variable × per-level
+    /// node-access attribution of every window-query algorithm sums
+    /// **bit-exactly** to the shared access counter — with penalties
+    /// (GILS) and without (ILS/SEA/IBB), on both leaf layouts — and the
+    /// two layouts attribute identically.
+    #[test]
+    fn access_attribution_sums_to_counter_on_both_layouts((inst, seed) in arb_instance()) {
+        let check = |outcome: &RunOutcome, algo: &str| {
+            let profile = &outcome.stats.access_profile;
+            prop_assert_eq!(
+                profile.total(),
+                outcome.stats.node_accesses,
+                "{}: attributed {:?} vs counter {}",
+                algo,
+                &profile.per_var,
+                outcome.stats.node_accesses
+            );
+            Ok(())
+        };
+        let mut per_layout: Vec<Vec<Vec<Vec<u64>>>> = Vec::new();
+        for layout in [LeafLayout::Flat, LeafLayout::Entry] {
+            let inst = inst.clone().with_leaf_layout(layout);
+            let budget = SearchBudget::iterations(150);
+            let mut profiles = Vec::new();
+            let ils = Ils::new(IlsConfig::default())
+                .run(&inst, &budget, &mut StdRng::seed_from_u64(seed ^ 0xA11));
+            check(&ils, "ILS")?;
+            profiles.push(ils.stats.access_profile.per_var.clone());
+            let gils = Gils::new(GilsConfig::default())
+                .run(&inst, &budget, &mut StdRng::seed_from_u64(seed ^ 0xA12));
+            check(&gils, "GILS")?;
+            profiles.push(gils.stats.access_profile.per_var.clone());
+            let sea = Sea::new(SeaConfig::default())
+                .run(&inst, &budget, &mut StdRng::seed_from_u64(seed ^ 0xA13));
+            check(&sea, "SEA")?;
+            profiles.push(sea.stats.access_profile.per_var.clone());
+            let ibb = Ibb::new(IbbConfig { initial: None, stop_at_exact: false })
+                .run(&inst, &SearchBudget::seconds(120.0));
+            check(&ibb, "IBB")?;
+            profiles.push(ibb.stats.access_profile.per_var.clone());
+            // Row shape: one row per variable, one slot per tree level.
+            for profile in &profiles {
+                prop_assert_eq!(profile.len(), inst.n_vars());
+                for (var, levels) in profile.iter().enumerate() {
+                    prop_assert_eq!(levels.len(), inst.tree(var).height() as usize);
+                }
+            }
+            per_layout.push(profiles);
+        }
+        // Layout parity: flat and entry kernels attribute identically.
+        prop_assert_eq!(&per_layout[0], &per_layout[1]);
     }
 }

@@ -1,0 +1,219 @@
+//! Workload-level cost estimator: the public face of the \[TSS98\] /
+//! \[PMT99\] selectivity formulas in [`crate::selectivity`].
+//!
+//! The [`selectivity`](crate::selectivity) module exposes the raw
+//! closed-form output-size formulas; this module packages them into one
+//! per-workload estimate ([`WorkloadEstimate`]) that names the model it
+//! used, lists the per-edge selectivities and the per-variable expected
+//! window hit counts — exactly the numbers the `mwsj explain` cost/audit
+//! layer reports and the estimate-vs-actual gate checks.
+//!
+//! All quantities assume the paper's setting: rectangles with average
+//! per-axis extent `|rᵥ|` uniformly placed on a unit workspace. Inputs are
+//! per-variable, so heterogeneous cardinalities and extents are supported.
+
+use crate::selectivity::{
+    acyclic_solutions, clique_solutions, decomposed_solutions, pairwise_selectivity,
+};
+use mwsj_query::QueryGraph;
+
+/// Which closed-form model produced a [`WorkloadEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateModel {
+    /// Tree query: `Π Nᵢ · Π (|rᵢ|+|rⱼ|)²` \[TSS98\].
+    Acyclic,
+    /// Clique query: `Π Nᵢ · (Σᵢ Πⱼ≠ᵢ |rⱼ|)²` \[PMT99\].
+    Clique,
+    /// Biconnected-block decomposition into bridges and clique blocks.
+    Decomposed,
+    /// Independence approximation `Π Nᵢ · Π_edges (|rᵢ|+|rⱼ|)²`; an
+    /// overestimate for cyclic constraints, which are positively
+    /// correlated.
+    Independence,
+}
+
+impl EstimateModel {
+    /// Stable lower-case name, used in reports and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimateModel::Acyclic => "acyclic",
+            EstimateModel::Clique => "clique",
+            EstimateModel::Decomposed => "decomposed",
+            EstimateModel::Independence => "independence",
+        }
+    }
+}
+
+/// The analytic cost estimate of one query workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEstimate {
+    /// Pairwise selectivity `(|rᵢ|+|rⱼ|)²` of each edge, in
+    /// [`QueryGraph::edges`] order.
+    pub edge_selectivities: Vec<f64>,
+    /// Per variable `v`: the expected number of objects of `v` satisfying
+    /// all neighbour windows at once, `Nᵥ · Π_{u ∈ nbr(v)} (|rᵤ|+|rᵥ|)²`
+    /// (independence across the conjunctive windows). This is the expected
+    /// candidate count of one `find best value` query on `v`.
+    pub window_hit_rates: Vec<f64>,
+    /// Expected number of exact solutions of the whole query.
+    pub expected_solutions: f64,
+    /// The model that produced [`WorkloadEstimate::expected_solutions`].
+    pub model: EstimateModel,
+}
+
+/// Estimates the cost profile of `graph` over datasets with the given
+/// cardinalities and average per-axis extents.
+///
+/// Picks the strongest applicable model: the exact \[TSS98\] acyclic or
+/// \[PMT99\] clique formula, else their block-decomposition composition,
+/// else the independence approximation over edges.
+///
+/// # Panics
+/// Panics when `cards` or `extents` do not have one entry per variable.
+pub fn estimate_workload(graph: &QueryGraph, cards: &[usize], extents: &[f64]) -> WorkloadEstimate {
+    assert_eq!(cards.len(), graph.n_vars(), "one cardinality per variable");
+    assert_eq!(extents.len(), graph.n_vars(), "one extent per variable");
+    let edge_selectivities: Vec<f64> = graph
+        .edges()
+        .iter()
+        .map(|e| pairwise_selectivity(extents[e.a], extents[e.b]))
+        .collect();
+    let window_hit_rates: Vec<f64> = (0..graph.n_vars())
+        .map(|v| {
+            cards[v] as f64
+                * graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&(u, _)| pairwise_selectivity(extents[u], extents[v]))
+                    .product::<f64>()
+        })
+        .collect();
+    let (expected_solutions, model) = if graph.is_acyclic() {
+        (
+            acyclic_solutions(graph, cards, extents),
+            EstimateModel::Acyclic,
+        )
+    } else if graph.is_clique() {
+        (
+            clique_solutions(graph, cards, extents),
+            EstimateModel::Clique,
+        )
+    } else if let Some(sol) = decomposed_solutions(graph, cards, extents) {
+        (sol, EstimateModel::Decomposed)
+    } else {
+        let tuples: f64 = cards.iter().map(|&c| c as f64).product();
+        (
+            tuples * edge_selectivities.iter().product::<f64>(),
+            EstimateModel::Independence,
+        )
+    };
+    WorkloadEstimate {
+        edge_selectivities,
+        window_hit_rates,
+        expected_solutions,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extent_for_density, hard_region_density, QueryShape};
+
+    /// Paper setting: n = 4, N = 200, density solved for E[solutions] = 1.
+    fn paper_case(shape: QueryShape, n: usize, cardinality: usize) -> (QueryGraph, Vec<f64>) {
+        let d = hard_region_density(shape, n, cardinality, 1.0);
+        let r = extent_for_density(cardinality, d);
+        (shape.graph(n), vec![r; n])
+    }
+
+    #[test]
+    fn chain_estimate_pins_closed_form() {
+        let (graph, extents) = paper_case(QueryShape::Chain, 4, 200);
+        let est = estimate_workload(&graph, &[200; 4], &extents);
+        assert_eq!(est.model, EstimateModel::Acyclic);
+        assert_eq!(est.edge_selectivities.len(), 3);
+        // Every edge has the same selectivity s = (2|r|)²; N⁴·s³ = 1 by
+        // construction of the hard-region density.
+        let s = (2.0 * extents[0]).powi(2);
+        for &e in &est.edge_selectivities {
+            assert!((e / s - 1.0).abs() < 1e-12);
+        }
+        assert!(
+            (est.expected_solutions - 1.0).abs() < 1e-6,
+            "hard-region density must pin E[solutions] = 1, got {}",
+            est.expected_solutions
+        );
+        // Ends of the chain have one window, the middle two have two.
+        let one = 200.0 * s;
+        let two = 200.0 * s * s;
+        assert!((est.window_hit_rates[0] / one - 1.0).abs() < 1e-12);
+        assert!((est.window_hit_rates[1] / two - 1.0).abs() < 1e-12);
+        assert!((est.window_hit_rates[2] / two - 1.0).abs() < 1e-12);
+        assert!((est.window_hit_rates[3] / one - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_estimate_pins_closed_form() {
+        let (graph, extents) = paper_case(QueryShape::Star, 5, 300);
+        let est = estimate_workload(&graph, &[300; 5], &extents);
+        assert_eq!(est.model, EstimateModel::Acyclic);
+        assert_eq!(est.edge_selectivities.len(), 4);
+        assert!((est.expected_solutions - 1.0).abs() < 1e-6);
+        // The hub (variable 0) sees all four windows, the leaves one each.
+        let s = (2.0 * extents[0]).powi(2);
+        assert!((est.window_hit_rates[0] / (300.0 * s.powi(4)) - 1.0).abs() < 1e-9);
+        for v in 1..5 {
+            assert!((est.window_hit_rates[v] / (300.0 * s) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clique_estimate_pins_closed_form() {
+        let (graph, extents) = paper_case(QueryShape::Clique, 4, 200);
+        let est = estimate_workload(&graph, &[200; 4], &extents);
+        assert_eq!(est.model, EstimateModel::Clique);
+        assert_eq!(est.edge_selectivities.len(), 6);
+        // [PMT99]: N⁴ · (Σᵢ Πⱼ≠ᵢ |rⱼ|)² = N⁴ · (4|r|³)² = 1 at the
+        // hard-region density.
+        let r = extents[0];
+        let manual = 200f64.powi(4) * (4.0 * r.powi(3)).powi(2);
+        assert!((est.expected_solutions / manual - 1.0).abs() < 1e-12);
+        assert!((est.expected_solutions - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_falls_back_to_independence() {
+        let graph = QueryGraph::cycle(4);
+        let est = estimate_workload(&graph, &[10; 4], &[0.1; 4]);
+        assert_eq!(est.model, EstimateModel::Independence);
+        let expected = 1e4 * pairwise_selectivity(0.1, 0.1).powi(4);
+        assert!((est.expected_solutions - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_graph_uses_decomposition() {
+        // Triangle 0-1-2 plus pendant edge 2-3.
+        let graph = mwsj_query::QueryGraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .edge(2, 3)
+            .build()
+            .unwrap();
+        let est = estimate_workload(&graph, &[100; 4], &[0.1; 4]);
+        assert_eq!(est.model, EstimateModel::Decomposed);
+        let manual = 100f64.powi(4) * (3.0 * 0.01f64).powi(2) * (0.2f64).powi(2);
+        assert!((est.expected_solutions / manual - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_inputs_are_supported() {
+        let graph = QueryGraph::chain(3);
+        let est = estimate_workload(&graph, &[100, 200, 300], &[0.1, 0.2, 0.3]);
+        assert!((est.edge_selectivities[0] - 0.09).abs() < 1e-12);
+        assert!((est.edge_selectivities[1] - 0.25).abs() < 1e-12);
+        // Middle variable: both windows apply.
+        assert!((est.window_hit_rates[1] - 200.0 * 0.09 * 0.25).abs() < 1e-9);
+    }
+}

@@ -23,6 +23,7 @@
 
 mod dataset;
 mod density;
+pub mod estimator;
 mod io;
 mod planted;
 pub mod selectivity;
@@ -33,6 +34,7 @@ pub use density::{
     expected_solutions, extent_for_density, hard_region_density, hard_region_density_graph,
     QueryShape,
 };
+pub use estimator::{estimate_workload, EstimateModel, WorkloadEstimate};
 pub use io::CsvError;
 pub use planted::{count_exact_solutions, plant_solution};
 pub use workload::{Workload, WorkloadSpec};

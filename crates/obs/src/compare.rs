@@ -20,6 +20,7 @@
 //! Missing or extra (instance, algorithm) pairs fail the gate: a
 //! disappearing benchmark is a regression of coverage, not noise.
 
+use crate::explain::ExplainReport;
 use crate::snapshot::{AlgoRecord, BenchSnapshot};
 use std::fmt::Write as _;
 
@@ -243,6 +244,7 @@ pub fn compare(
     }
     compare_memory(&mut report, baseline, candidate);
     compare_cache(&mut report, baseline, candidate);
+    compare_explain(&mut report, baseline, candidate);
     report
 }
 
@@ -380,6 +382,205 @@ fn compare_cache(report: &mut CompareReport, baseline: &BenchSnapshot, candidate
             );
         }
     }
+}
+
+/// Gates the `explain` section: the snapshot stores the *estimate side*
+/// only — selectivity models, tree quality, predicted accesses — which is
+/// a pure function of the pinned instance, so every field must match
+/// exactly (integers) or to floating-point round-off (derived floats).
+/// Records present on one side only fail, like missing algorithm records.
+fn compare_explain(
+    report: &mut CompareReport,
+    baseline: &BenchSnapshot,
+    candidate: &BenchSnapshot,
+) {
+    for base in &baseline.explain {
+        let scope = format!("{}/explain", base.instance);
+        let Some(cand) = candidate
+            .explain
+            .iter()
+            .find(|e| e.instance == base.instance)
+        else {
+            report.push(
+                &scope,
+                Verdict::Fail,
+                "explain record missing from candidate snapshot".into(),
+            );
+            continue;
+        };
+        let drift = explain_drift(&base.report, &cand.report);
+        if drift.is_empty() {
+            report.push(
+                &scope,
+                Verdict::Ok,
+                format!(
+                    "explain identical ({} model, {} edges, {} vars)",
+                    base.report.model,
+                    base.report.edges.len(),
+                    base.report.vars.len()
+                ),
+            );
+        } else {
+            report.push(
+                &scope,
+                Verdict::Fail,
+                format!("explain drift: {}", drift.join(", ")),
+            );
+        }
+    }
+    for cand in &candidate.explain {
+        if !baseline.explain.iter().any(|e| e.instance == cand.instance) {
+            report.push(
+                &format!("{}/explain", cand.instance),
+                Verdict::Fail,
+                "explain record not present in baseline (re-snapshot the baseline)".into(),
+            );
+        }
+    }
+}
+
+/// Field-by-field drift between two explain reports: integers exact,
+/// floats to [`FLOAT_EPS`]. Returns one message per drifted field.
+fn explain_drift(base: &ExplainReport, cand: &ExplainReport) -> Vec<String> {
+    let mut drift = Vec::new();
+    let f = |drift: &mut Vec<String>, name: &str, b: f64, c: f64| {
+        if (b - c).abs() > FLOAT_EPS {
+            drift.push(format!("{name} {b} -> {c}"));
+        }
+    };
+    let fo = |drift: &mut Vec<String>, name: &str, b: Option<f64>, c: Option<f64>| match (b, c) {
+        (Some(b), Some(c)) if (b - c).abs() <= FLOAT_EPS => {}
+        (None, None) => {}
+        _ => drift.push(format!("{name} {b:?} -> {c:?}")),
+    };
+    let fv = |drift: &mut Vec<String>, name: &str, b: &[f64], c: &[f64]| {
+        if b.len() != c.len() || b.iter().zip(c).any(|(x, y)| (x - y).abs() > FLOAT_EPS) {
+            drift.push(format!("{name} {b:?} -> {c:?}"));
+        }
+    };
+    if base.model != cand.model {
+        drift.push(format!("model {:?} -> {:?}", base.model, cand.model));
+    }
+    f(
+        &mut drift,
+        "expected_solutions",
+        base.expected_solutions,
+        cand.expected_solutions,
+    );
+    if base.edges.len() != cand.edges.len() {
+        drift.push(format!(
+            "edge count {} -> {}",
+            base.edges.len(),
+            cand.edges.len()
+        ));
+    } else {
+        for (b, c) in base.edges.iter().zip(&cand.edges) {
+            let tag = format!("edge({},{})", b.a, b.b);
+            if (b.a, b.b, &b.predicate) != (c.a, c.b, &c.predicate) {
+                drift.push(format!(
+                    "{tag} identity {:?} -> ({},{}) {:?}",
+                    b.predicate, c.a, c.b, c.predicate
+                ));
+                continue;
+            }
+            f(
+                &mut drift,
+                &format!("{tag}.estimated_selectivity"),
+                b.estimated_selectivity,
+                c.estimated_selectivity,
+            );
+            fo(
+                &mut drift,
+                &format!("{tag}.observed_selectivity"),
+                b.observed_selectivity,
+                c.observed_selectivity,
+            );
+            if b.observed_pairs != c.observed_pairs {
+                drift.push(format!(
+                    "{tag}.observed_pairs {:?} -> {:?}",
+                    b.observed_pairs, c.observed_pairs
+                ));
+            }
+        }
+    }
+    if base.vars.len() != cand.vars.len() {
+        drift.push(format!(
+            "var count {} -> {}",
+            base.vars.len(),
+            cand.vars.len()
+        ));
+    } else {
+        for (b, c) in base.vars.iter().zip(&cand.vars) {
+            let tag = format!("var{}", b.var);
+            if (b.var, b.cardinality, b.observed_accesses)
+                != (c.var, c.cardinality, c.observed_accesses)
+                || b.accesses_per_level != c.accesses_per_level
+            {
+                drift.push(format!("{tag} integer fields drifted"));
+            }
+            f(
+                &mut drift,
+                &format!("{tag}.avg_extent"),
+                b.avg_extent,
+                c.avg_extent,
+            );
+            f(
+                &mut drift,
+                &format!("{tag}.expected_window_hits"),
+                b.expected_window_hits,
+                c.expected_window_hits,
+            );
+            f(
+                &mut drift,
+                &format!("{tag}.predicted_accesses_per_query"),
+                b.predicted_accesses_per_query,
+                c.predicted_accesses_per_query,
+            );
+            if (b.tree.height, b.tree.nodes) != (c.tree.height, c.tree.nodes) {
+                drift.push(format!(
+                    "{tag}.tree {}l/{}n -> {}l/{}n",
+                    b.tree.height, b.tree.nodes, c.tree.height, c.tree.nodes
+                ));
+            }
+            f(
+                &mut drift,
+                &format!("{tag}.tree.avg_fill"),
+                b.tree.avg_fill,
+                c.tree.avg_fill,
+            );
+            fv(
+                &mut drift,
+                &format!("{tag}.tree.fill_per_level"),
+                &b.tree.fill_per_level,
+                &c.tree.fill_per_level,
+            );
+            fv(
+                &mut drift,
+                &format!("{tag}.tree.overlap_factor_per_level"),
+                &b.tree.overlap_factor_per_level,
+                &c.tree.overlap_factor_per_level,
+            );
+            fv(
+                &mut drift,
+                &format!("{tag}.tree.dead_space_per_level"),
+                &b.tree.dead_space_per_level,
+                &c.tree.dead_space_per_level,
+            );
+            fv(
+                &mut drift,
+                &format!("{tag}.tree.perimeter_per_level"),
+                &b.tree.perimeter_per_level,
+                &c.tree.perimeter_per_level,
+            );
+        }
+    }
+    if base.observed_node_accesses != cand.observed_node_accesses {
+        drift.push(format!(
+            "observed_node_accesses {:?} -> {:?}",
+            base.observed_node_accesses, cand.observed_node_accesses
+        ));
+    }
+    drift
 }
 
 fn compare_algo(
@@ -528,6 +729,7 @@ mod tests {
             }],
             memory: vec![],
             cache: vec![],
+            explain: vec![],
         }
     }
 
@@ -666,6 +868,7 @@ mod tests {
             instances: vec![],
             memory: vec![],
             cache: vec![],
+            explain: vec![],
         };
         let report = compare(&a, &empty, CompareConfig::default());
         assert!(!report.passed());
@@ -701,6 +904,7 @@ mod tests {
             }],
             memory: vec![],
             cache: vec![],
+            explain: vec![],
         }
     }
 
@@ -747,6 +951,10 @@ mod tests {
             invalidations_penalty: 0,
             bytes: 512,
         }];
+        snap.explain = vec![crate::snapshot::ExplainRecord {
+            instance: "chain-4".into(),
+            report: crate::explain::tests::sample_report(false),
+        }];
         snap
     }
 
@@ -759,6 +967,45 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("memory identical"), "{rendered}");
         assert!(rendered.contains("cache counters identical"), "{rendered}");
+        assert!(rendered.contains("explain identical"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_estimate_drift_fails_exactly() {
+        let a = with_sections(snapshot("a", vec![record("ILS", 100, 10.0)]));
+        let mut b = with_sections(snapshot("b", vec![record("ILS", 100, 10.0)]));
+        b.explain[0].report.edges[0].estimated_selectivity += 0.001;
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report
+                .render()
+                .contains("explain drift: edge(0,1).estimated_selectivity"),
+            "{}",
+            report.render()
+        );
+
+        // Round-off-scale float differences stay inside the gate.
+        let mut b = with_sections(snapshot("b", vec![record("ILS", 100, 10.0)]));
+        b.explain[0].report.vars[0].avg_extent += 1e-12;
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn explain_tree_quality_drift_fails() {
+        let a = with_sections(snapshot("a", vec![record("ILS", 100, 10.0)]));
+        let mut b = with_sections(snapshot("b", vec![record("ILS", 100, 10.0)]));
+        b.explain[0].report.vars[1].tree.overlap_factor_per_level[0] += 0.1;
+        let report = compare(&a, &b, CompareConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report
+                .render()
+                .contains("var1.tree.overlap_factor_per_level"),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]
@@ -798,11 +1045,11 @@ mod tests {
         let without = snapshot("b", vec![record("ILS", 100, 10.0)]);
         // Baseline has the sections, candidate lost them: regression.
         let report = compare(&with, &without, CompareConfig::default());
-        assert_eq!(report.failures(), 2, "{}", report.render());
+        assert_eq!(report.failures(), 3, "{}", report.render());
         assert!(report.render().contains("missing from candidate"));
         // Candidate grew sections the baseline lacks: re-snapshot.
         let report = compare(&without, &with, CompareConfig::default());
-        assert_eq!(report.failures(), 2, "{}", report.render());
+        assert_eq!(report.failures(), 3, "{}", report.render());
         assert!(report.render().contains("not present in baseline"));
     }
 

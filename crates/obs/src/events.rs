@@ -174,6 +174,14 @@ pub enum RunEvent {
         /// Per-phase aggregates, sorted by path.
         phases: Vec<PhaseSnapshot>,
     },
+    /// Estimated-vs-observed cost audit of the run (see
+    /// [`crate::explain::ExplainReport`]). Emitted once per top-level run
+    /// just before `resource_report`; `mwsj explain` emits the pre-run
+    /// estimate-only form.
+    ExplainReport {
+        /// The report.
+        report: crate::explain::ExplainReport,
+    },
     /// Deterministic memory footprint of the run's resident structures
     /// (see [`crate::resource::MemoryFootprint`]).
     ResourceReport {
@@ -221,6 +229,7 @@ impl RunEvent {
             RunEvent::StagnationReseed { .. } => "stagnation_reseed",
             RunEvent::Metrics { .. } => "metrics",
             RunEvent::Phases { .. } => "phases",
+            RunEvent::ExplainReport { .. } => "explain_report",
             RunEvent::ResourceReport { .. } => "resource_report",
             RunEvent::RunEnd { .. } => "run_end",
         }
@@ -383,6 +392,10 @@ impl RunEvent {
             }
             RunEvent::Phases { phases } => {
                 obj.raw("phases", &phases_json(phases));
+            }
+            RunEvent::ExplainReport { report } => {
+                obj.out.push(',');
+                obj.out.push_str(&report.to_json_fields());
             }
             RunEvent::ResourceReport { report } => {
                 obj.u64("total_bytes", report.total_bytes());

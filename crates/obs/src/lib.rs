@@ -44,6 +44,7 @@
 pub mod compare;
 pub mod curve;
 pub mod events;
+pub mod explain;
 pub mod handle;
 pub mod json;
 pub mod profile;
@@ -59,6 +60,7 @@ pub use compare::{
 };
 pub use curve::{AnytimeCurve, CurvePoint};
 pub use events::{EventSink, FanoutSink, FlushPolicy, JsonlSink, RunEvent, VecSink};
+pub use explain::{EdgeExplain, ExplainReport, TreeQuality, VarExplain};
 pub use handle::ObsHandle;
 pub use json::Json;
 pub use profile::{folded_root_totals, parse_folded, to_folded};
@@ -69,8 +71,8 @@ pub use resource::{
     FlightRecorder, MemoryFootprint, ResourceReport, DEFAULT_FLIGHT_RECORDER_BYTES,
 };
 pub use snapshot::{
-    AlgoRecord, BenchSnapshot, CacheRecord, InstanceRecord, MemoryRecord, SnapshotError,
-    SNAPSHOT_FORMAT, SNAPSHOT_SECTIONS, SNAPSHOT_VERSION,
+    AlgoRecord, BenchSnapshot, CacheRecord, ExplainRecord, InstanceRecord, MemoryRecord,
+    SnapshotError, SNAPSHOT_FORMAT, SNAPSHOT_SECTIONS, SNAPSHOT_VERSION,
 };
 pub use suite_key::SuiteKey;
 pub use timer::{merge_phase_snapshots, PhaseSnapshot, PhaseSpan, PhaseTimer};

@@ -140,6 +140,15 @@ const REQUIRED: &[(&str, &[(&str, FieldType)])] = &[
     ),
     ("phases", &[("phases", FieldType::Arr)]),
     (
+        "explain_report",
+        &[
+            ("model", FieldType::Str),
+            ("expected_solutions", FieldType::F64),
+            ("edges", FieldType::Arr),
+            ("vars", FieldType::Arr),
+        ],
+    ),
+    (
         "resource_report",
         &[
             ("total_bytes", FieldType::U64),
@@ -183,6 +192,10 @@ const OPTIONAL: &[(&str, &[(&str, FieldType)])] = &[
         ],
     ),
     ("stall_detected", &[("restart", FieldType::U64)]),
+    (
+        "explain_report",
+        &[("observed_node_accesses", FieldType::U64)],
+    ),
     ("stall_aborted", &[("restart", FieldType::U64)]),
     ("stagnation_reseed", &[("restart", FieldType::U64)]),
 ];
@@ -373,6 +386,31 @@ mod tests {
                 snapshot: MetricsRegistry::new().snapshot(),
             },
             RunEvent::Phases { phases: vec![] },
+            RunEvent::ExplainReport {
+                report: crate::explain::ExplainReport {
+                    model: "acyclic".into(),
+                    expected_solutions: 1.0,
+                    edges: vec![crate::explain::EdgeExplain {
+                        a: 0,
+                        b: 1,
+                        predicate: "intersects".into(),
+                        estimated_selectivity: 0.04,
+                        observed_selectivity: Some(0.05),
+                        observed_pairs: Some(2_000),
+                    }],
+                    vars: vec![crate::explain::VarExplain {
+                        var: 0,
+                        cardinality: 200,
+                        avg_extent: 0.05,
+                        expected_window_hits: 8.0,
+                        predicted_accesses_per_query: 3.5,
+                        observed_accesses: 42,
+                        accesses_per_level: vec![32, 10],
+                        tree: crate::explain::TreeQuality::default(),
+                    }],
+                    observed_node_accesses: Some(42),
+                },
+            },
             RunEvent::ResourceReport {
                 report: {
                     let mut r = crate::resource::ResourceReport::new();

@@ -14,6 +14,7 @@
 //! in `DESIGN.md` ("Benchmark snapshots").
 
 use crate::curve::{AnytimeCurve, CurvePoint};
+use crate::explain::ExplainReport;
 use crate::json::{Json, JsonError};
 use crate::timer::PhaseSnapshot;
 use std::fmt;
@@ -36,8 +37,8 @@ pub fn tau_key(tau: f64) -> String {
 /// The top-level sections a snapshot document may contain; anything else
 /// is rejected by [`BenchSnapshot::parse`] with an error naming the
 /// offending section.
-pub const SNAPSHOT_SECTIONS: [&str; 7] = [
-    "format", "version", "label", "reps", "suite", "memory", "cache",
+pub const SNAPSHOT_SECTIONS: [&str; 8] = [
+    "format", "version", "label", "reps", "suite", "memory", "cache", "explain",
 ];
 
 /// One suite snapshot: the pinned instances and their per-algorithm
@@ -58,6 +59,21 @@ pub struct BenchSnapshot {
     /// section; empty for snapshots written before it existed). Compared
     /// with exact equality by `mwsj bench compare`.
     pub cache: Vec<CacheRecord>,
+    /// Deterministic per-instance workload explain reports (the `explain`
+    /// section; empty for snapshots written before it existed): the
+    /// pre-run estimate side only — selectivities, hit rates, predicted
+    /// accesses, tree quality — a pure function of the pinned instance.
+    /// Compared with exact equality by `mwsj bench compare`.
+    pub explain: Vec<ExplainRecord>,
+}
+
+/// Deterministic pre-run explain report of one suite instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRecord {
+    /// The suite instance this report describes.
+    pub instance: String,
+    /// The estimate-side [`ExplainReport`] of the pinned instance.
+    pub report: ExplainReport,
 }
 
 /// Deterministic memory footprint of one suite instance's resident
@@ -276,6 +292,10 @@ impl BenchSnapshot {
                 "cache".into(),
                 Json::Arr(self.cache.iter().map(cache_json).collect()),
             ),
+            (
+                "explain".into(),
+                Json::Arr(self.explain.iter().map(explain_json).collect()),
+            ),
         ])
     }
 
@@ -347,12 +367,22 @@ impl BenchSnapshot {
                 .map(parse_cache)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let explain = match doc.get("explain") {
+            None => Vec::new(),
+            Some(section) => section
+                .as_array()
+                .ok_or_else(|| SnapshotError::Schema("\"explain\" must be an array".into()))?
+                .iter()
+                .map(parse_explain)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(BenchSnapshot {
             label,
             reps,
             instances,
             memory,
             cache,
+            explain,
         })
     }
 
@@ -495,6 +525,26 @@ fn cache_json(rec: &CacheRecord) -> Json {
         ),
         ("bytes".into(), Json::Num(rec.bytes as f64)),
     ])
+}
+
+fn explain_json(rec: &ExplainRecord) -> Json {
+    let report = Json::parse(&format!("{{{}}}", rec.report.to_json_fields()))
+        .expect("explain report serialisation is valid JSON");
+    let mut fields = vec![("instance".into(), Json::Str(rec.instance.clone()))];
+    if let Json::Obj(entries) = report {
+        fields.extend(entries);
+    }
+    Json::Obj(fields)
+}
+
+fn parse_explain(doc: &Json) -> Result<ExplainRecord, SnapshotError> {
+    let instance = req_str(doc, "instance", "explain record")?.to_string();
+    let report = ExplainReport::from_json(doc).ok_or_else(|| {
+        SnapshotError::Schema(format!(
+            "explain record {instance:?} is missing a required report field"
+        ))
+    })?;
+    Ok(ExplainRecord { instance, report })
 }
 
 fn parse_memory(doc: &Json) -> Result<MemoryRecord, SnapshotError> {
@@ -736,6 +786,10 @@ mod tests {
                 invalidations_penalty: 0,
                 bytes: 2048,
             }],
+            explain: vec![ExplainRecord {
+                instance: "chain-4x300-sol1".into(),
+                report: crate::explain::tests::sample_report(false),
+            }],
         }
     }
 
@@ -828,28 +882,46 @@ mod tests {
     }
 
     #[test]
-    fn missing_memory_and_cache_sections_parse_as_empty() {
-        // Pre-section snapshots (no memory/cache keys) stay readable.
+    fn missing_memory_cache_explain_sections_parse_as_empty() {
+        // Pre-section snapshots (no memory/cache/explain keys) stay readable.
         let mut snap = sample_snapshot("old");
         snap.memory.clear();
         snap.cache.clear();
-        let text = snap
-            .to_string_pretty()
-            .replace("  \"memory\": [],\n", "")
-            .replace("  \"cache\": [],\n", "");
-        assert!(!text.contains("\"memory\""), "{text}");
+        snap.explain.clear();
+        // `explain` is the last section, so it carries no trailing comma.
+        let text = snap.to_string_pretty().replace(
+            ",\n  \"memory\": [],\n  \"cache\": [],\n  \"explain\": []",
+            "",
+        );
+        assert!(
+            !text.contains("\"memory\"") && !text.contains("\"explain\""),
+            "{text}"
+        );
         let parsed = BenchSnapshot::parse(&text).unwrap();
-        assert!(parsed.memory.is_empty() && parsed.cache.is_empty());
+        assert!(parsed.memory.is_empty() && parsed.cache.is_empty() && parsed.explain.is_empty());
     }
 
     #[test]
-    fn memory_and_cache_sections_round_trip() {
+    fn memory_cache_explain_sections_round_trip() {
         let snap = sample_snapshot("m");
         let parsed = BenchSnapshot::parse(&snap.to_string_pretty()).unwrap();
         assert_eq!(parsed.memory, snap.memory);
         assert_eq!(parsed.cache, snap.cache);
+        assert_eq!(parsed.explain, snap.explain);
         assert_eq!(parsed.memory[0].total_bytes, 12_288);
         assert_eq!(parsed.cache[0].hits, 37);
+        assert_eq!(parsed.explain[0].report.model, "acyclic");
+        assert!(!parsed.explain[0].report.has_observed());
+    }
+
+    #[test]
+    fn explain_record_missing_report_field_fails_parse() {
+        let text = sample_snapshot("x")
+            .to_string_pretty()
+            .replace("\"expected_solutions\"", "\"renamed_solutions\"");
+        let err = BenchSnapshot::parse(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("explain record"), "{msg}");
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod visit;
 pub use access::AccessCounter;
 pub use flat::FlatLeaves;
 pub use knn::Neighbor;
-pub use multiwindow::{find_best_leaf, find_best_leaf_flat, BestLeaf};
+pub use multiwindow::{
+    find_best_leaf, find_best_leaf_flat, find_best_leaf_flat_leveled, find_best_leaf_leveled,
+    BestLeaf,
+};
 pub use params::RTreeParams;
 pub use stats::TreeStats;
 pub use tree::RTree;

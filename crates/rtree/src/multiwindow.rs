@@ -65,7 +65,36 @@ pub fn find_best_leaf<T: Copy>(
         return None;
     }
     let mut best: Option<BestLeaf<T>> = None;
-    descend(root, None, windows, &mut score, &mut best, node_accesses);
+    descend(root, None, windows, &mut score, &mut best, &mut |_| {
+        *node_accesses += 1
+    });
+    best
+}
+
+/// [`find_best_leaf`] with **per-level access attribution**: identical
+/// traversal and result, but each visited node additionally increments
+/// `level_accesses[node.level()]` (`[0]` = leaf level). Levels beyond the
+/// slice length are counted only in `node_accesses`, so callers sizing the
+/// slice from [`crate::RTree::height`] lose nothing. The attribution
+/// invariant — `level_accesses` deltas summing exactly to the
+/// `node_accesses` delta — is locked by property tests.
+pub fn find_best_leaf_leveled<T: Copy>(
+    root: NodeRef<'_, T>,
+    windows: &[(Predicate, Rect)],
+    mut score: impl FnMut(&T, u32) -> f64,
+    node_accesses: &mut u64,
+    level_accesses: &mut [u64],
+) -> Option<BestLeaf<T>> {
+    if windows.is_empty() {
+        return None;
+    }
+    let mut best: Option<BestLeaf<T>> = None;
+    descend(root, None, windows, &mut score, &mut best, &mut |lvl| {
+        *node_accesses += 1;
+        if let Some(slot) = level_accesses.get_mut(lvl as usize) {
+            *slot += 1;
+        }
+    });
     best
 }
 
@@ -96,20 +125,55 @@ pub fn find_best_leaf_flat<T: Copy>(
         windows,
         &mut score,
         &mut best,
-        node_accesses,
+        &mut |_| *node_accesses += 1,
     );
     best
 }
 
+/// [`find_best_leaf_flat`] with per-level access attribution; see
+/// [`find_best_leaf_leveled`] for the attribution contract.
+pub fn find_best_leaf_flat_leveled<T: Copy>(
+    root: NodeRef<'_, T>,
+    flat: &FlatLeaves<T>,
+    windows: &[(Predicate, Rect)],
+    mut score: impl FnMut(&T, u32) -> f64,
+    node_accesses: &mut u64,
+    level_accesses: &mut [u64],
+) -> Option<BestLeaf<T>> {
+    if windows.is_empty() {
+        return None;
+    }
+    let mut best: Option<BestLeaf<T>> = None;
+    descend(
+        root,
+        Some(flat),
+        windows,
+        &mut score,
+        &mut best,
+        &mut |lvl| {
+            *node_accesses += 1;
+            if let Some(slot) = level_accesses.get_mut(lvl as usize) {
+                *slot += 1;
+            }
+        },
+    );
+    best
+}
+
+/// Recursive worker shared by every entry point. `tally` is invoked once
+/// per node whose entries are read, with the node's level (0 = leaf) —
+/// the entry points reduce it to a plain counter bump or a counter bump
+/// plus per-level attribution, so the traversal itself stays single-copy
+/// and the non-attributing paths monomorphise to the pre-attribution code.
 fn descend<T: Copy>(
     node: NodeRef<'_, T>,
     flat: Option<&FlatLeaves<T>>,
     windows: &[(Predicate, Rect)],
     score: &mut impl FnMut(&T, u32) -> f64,
     best: &mut Option<BestLeaf<T>>,
-    node_accesses: &mut u64,
+    tally: &mut impl FnMut(u32),
 ) {
-    *node_accesses += 1;
+    tally(node.level());
 
     if node.is_leaf() {
         match flat {
@@ -144,7 +208,7 @@ fn descend<T: Copy>(
             }
         }
         let child = node.entry(i).child().expect("internal entry");
-        descend(child, flat, windows, score, best, node_accesses);
+        descend(child, flat, windows, score, best, tally);
     }
 }
 
@@ -322,6 +386,44 @@ mod tests {
             None
         );
         assert_eq!(acc, 0);
+    }
+
+    #[test]
+    fn leveled_kernel_matches_plain_kernel_and_attributes_every_access() {
+        let (tree, _) = sample_tree(15, 2_000);
+        let flat = tree.flat_leaves();
+        let mut rng = StdRng::seed_from_u64(16);
+        for _ in 0..30 {
+            let windows: Vec<(Predicate, Rect)> = (0..3)
+                .map(|_| (Predicate::Intersects, random_rect(&mut rng, 0.25)))
+                .collect();
+            let mut plain_acc = 0u64;
+            let plain = find_best_leaf(tree.root_node(), &windows, |_, c| c as f64, &mut plain_acc);
+            let mut acc = 0u64;
+            let mut levels = vec![0u64; tree.height() as usize];
+            let leveled = find_best_leaf_leveled(
+                tree.root_node(),
+                &windows,
+                |_, c| c as f64,
+                &mut acc,
+                &mut levels,
+            );
+            assert_eq!(plain, leveled);
+            assert_eq!(plain_acc, acc);
+            assert_eq!(levels.iter().sum::<u64>(), acc, "levels {levels:?}");
+            let mut flat_acc = 0u64;
+            let mut flat_levels = vec![0u64; tree.height() as usize];
+            let flat_best = find_best_leaf_flat_leveled(
+                tree.root_node(),
+                &flat,
+                &windows,
+                |_, c| c as f64,
+                &mut flat_acc,
+                &mut flat_levels,
+            );
+            assert_eq!(plain, flat_best);
+            assert_eq!(flat_levels, levels);
+        }
     }
 
     #[test]

@@ -27,6 +27,25 @@ pub struct TreeStats {
     /// Number of entries per level, `[0] = leaf level` (data entries at
     /// level 0, child pointers above).
     pub entries_per_level: Vec<usize>,
+    /// Mean node occupancy per level as a fraction of capacity (0..=1),
+    /// `[0] = leaf level`.
+    pub fill_per_level: Vec<f64>,
+    /// Sibling overlap factor per level: the summed pairwise sibling
+    /// overlap area divided by the summed node MBR area of the level
+    /// (`0.0` when the level covers no area). Lower is better; high values
+    /// mean window queries must descend several subtrees.
+    pub overlap_factor_per_level: Vec<f64>,
+    /// Dead-space fraction per level: the share of node MBR area not
+    /// covered by the node's entries, estimated per node by two-term
+    /// inclusion–exclusion (`area − Σ entry areas + Σ pairwise entry
+    /// overlaps`, clamped to ≥ 0) and normalised by the level's node area.
+    /// In (0..=1); high values mean queries visit nodes whose interior
+    /// cannot contain matches.
+    pub dead_space_per_level: Vec<f64>,
+    /// Sum of node MBR margins (width + height, the BKSS90 half-perimeter)
+    /// per level, `[0] = leaf level`. Lower margins mean squarer, better
+    /// clustered nodes.
+    pub perimeter_per_level: Vec<f64>,
 }
 
 impl<T> RTree<T> {
@@ -41,6 +60,9 @@ impl<T> RTree<T> {
         let mut overlap_per_level = vec![0.0; height];
         let mut nodes_per_level = vec![0usize; height];
         let mut entries_per_level = vec![0usize; height];
+        let mut fill_per_level = vec![0.0f64; height];
+        let mut dead_area_per_level = vec![0.0f64; height];
+        let mut perimeter_per_level = vec![0.0f64; height];
 
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
@@ -53,16 +75,37 @@ impl<T> RTree<T> {
             let lvl = node.level as usize;
             nodes_per_level[lvl] += 1;
             entries_per_level[lvl] += node.entries.len();
-            area_per_level[lvl] += node.mbr().area();
+            let node_area = node.mbr().area();
+            area_per_level[lvl] += node_area;
+            perimeter_per_level[lvl] += node.mbr().margin();
+            let mut entry_area = 0.0f64;
+            let mut entry_overlap = 0.0f64;
             for (i, a) in node.entries.iter().enumerate() {
+                entry_area += a.mbr.area();
                 for b in node.entries.iter().skip(i + 1) {
-                    overlap_per_level[lvl] += a.mbr.overlap_area(&b.mbr);
+                    entry_overlap += a.mbr.overlap_area(&b.mbr);
                 }
                 if let Payload::Child(c) = a.payload {
                     stack.push(c);
                 }
             }
+            overlap_per_level[lvl] += entry_overlap;
+            // Two-term inclusion–exclusion estimate of the covered area;
+            // clamp per node since triple-overlaps can overshoot it.
+            dead_area_per_level[lvl] += (node_area - (entry_area - entry_overlap)).max(0.0);
         }
+
+        for lvl in 0..height {
+            fill_per_level[lvl] = entries_per_level[lvl] as f64
+                / (nodes_per_level[lvl] as f64 * self.params.max_entries as f64);
+        }
+        let ratio_or_zero = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let overlap_factor_per_level: Vec<f64> = (0..height)
+            .map(|l| ratio_or_zero(overlap_per_level[l], area_per_level[l]))
+            .collect();
+        let dead_space_per_level: Vec<f64> = (0..height)
+            .map(|l| ratio_or_zero(dead_area_per_level[l], area_per_level[l]).min(1.0))
+            .collect();
 
         TreeStats {
             len: self.len,
@@ -74,6 +117,10 @@ impl<T> RTree<T> {
             overlap_per_level,
             nodes_per_level,
             entries_per_level,
+            fill_per_level,
+            overlap_factor_per_level,
+            dead_space_per_level,
+            perimeter_per_level,
         }
     }
 }
@@ -137,6 +184,87 @@ mod tests {
             tree.stats().avg_fill >= 0.5,
             "fill {}",
             tree.stats().avg_fill
+        );
+    }
+
+    /// The quality metrics must be finite and sane for both bulk loaders
+    /// at paper scale, and the structural invariants must be unaffected by
+    /// the new per-level columns.
+    #[test]
+    fn str_and_hilbert_quality_metrics_are_sane_at_100k() {
+        let items = random_items(100_000, 35);
+        let loaded = [
+            (
+                "str",
+                RTree::bulk_load_with_params(RTreeParams::new(16), items.clone()),
+            ),
+            (
+                "hilbert",
+                RTree::bulk_load_hilbert_with_params(RTreeParams::new(16), items),
+            ),
+        ];
+        for (name, tree) in &loaded {
+            let s = tree.stats();
+            let h = tree.height() as usize;
+            assert_eq!(s.len, 100_000, "{name}");
+            assert_eq!(s.fill_per_level.len(), h, "{name}");
+            assert_eq!(s.overlap_factor_per_level.len(), h, "{name}");
+            assert_eq!(s.dead_space_per_level.len(), h, "{name}");
+            assert_eq!(s.perimeter_per_level.len(), h, "{name}");
+            for lvl in 0..h {
+                let fill = s.fill_per_level[lvl];
+                assert!(
+                    fill.is_finite() && fill > 0.0 && fill <= 1.0,
+                    "{name} level {lvl} fill {fill}"
+                );
+                let ov = s.overlap_factor_per_level[lvl];
+                assert!(
+                    ov.is_finite() && ov >= 0.0,
+                    "{name} level {lvl} overlap {ov}"
+                );
+                let dead = s.dead_space_per_level[lvl];
+                assert!(
+                    dead.is_finite() && (0.0..=1.0).contains(&dead),
+                    "{name} level {lvl} dead space {dead}"
+                );
+                let per = s.perimeter_per_level[lvl];
+                assert!(
+                    per.is_finite() && per > 0.0,
+                    "{name} level {lvl} perimeter {per}"
+                );
+            }
+            // The whole-tree fill is the node-weighted mean of the
+            // per-level fills.
+            let weighted: f64 = (0..h)
+                .map(|l| s.fill_per_level[l] * s.nodes_per_level[l] as f64)
+                .sum::<f64>()
+                / s.nodes as f64;
+            assert!((weighted - s.avg_fill).abs() < 1e-9, "{name}");
+            // Invariants unchanged by the new columns.
+            assert_eq!(s.nodes_per_level.iter().sum::<usize>(), s.nodes, "{name}");
+            assert_eq!(s.entries_per_level[0], s.len, "{name}");
+            // Loose packing bound: at this density data rects overlap
+            // heavily by construction, but a bulk-loaded tree must not
+            // degenerate into near-total sibling overlap.
+            for lvl in 0..h {
+                assert!(
+                    s.overlap_factor_per_level[lvl] < 50.0,
+                    "{name} level {lvl} overlap factor {}",
+                    s.overlap_factor_per_level[lvl]
+                );
+            }
+        }
+        // The two loaders land in the same quality regime on uniform data:
+        // neither should beat the other by an order of magnitude on
+        // sibling overlap at the level above the leaves.
+        let (str_s, hil_s) = (loaded[0].1.stats(), loaded[1].1.stats());
+        let (a, b) = (
+            str_s.overlap_factor_per_level[1],
+            hil_s.overlap_factor_per_level[1],
+        );
+        assert!(
+            a < 10.0 * b && b < 10.0 * a,
+            "STR vs Hilbert overlap factors diverge: {a} vs {b}"
         );
     }
 
