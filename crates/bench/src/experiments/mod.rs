@@ -28,6 +28,7 @@ pub(crate) fn build_instance(
         cardinality,
         target_solutions: target,
         plant,
+        distribution: mwsj_datagen::Distribution::Uniform,
         seed,
     };
     let w = spec.generate();

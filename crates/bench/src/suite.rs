@@ -15,10 +15,10 @@
 
 use crate::Algo;
 use mwsj_core::{
-    CacheStats, IlsConfig, Instance, LeafLayout, RunStats, SearchBudget, SearchContext, TracePoint,
-    TwoStep, TwoStepConfig,
+    BackendKind, CacheStats, IlsConfig, Instance, LeafLayout, RunStats, SearchBudget,
+    SearchContext, TracePoint, TwoStep, TwoStepConfig,
 };
-use mwsj_datagen::{QueryShape, WorkloadSpec};
+use mwsj_datagen::{Distribution, QueryShape, WorkloadSpec};
 use mwsj_obs::snapshot::AlgoRecord;
 use mwsj_obs::{
     AnytimeCurve, BenchSnapshot, CacheRecord, ExplainRecord, InstanceRecord, MemoryRecord,
@@ -111,6 +111,7 @@ impl BenchTier {
             BenchTier::Large => vec![
                 SuiteAlgo::Ils,
                 SuiteAlgo::IlsEntryLayout,
+                SuiteAlgo::IlsGrid,
                 SuiteAlgo::Gils,
                 SuiteAlgo::Sea,
                 SuiteAlgo::TwoStep,
@@ -158,6 +159,7 @@ pub fn pinned_suite() -> Vec<SuiteCase> {
             cardinality: 200,
             target_solutions,
             plant,
+            distribution: Distribution::Uniform,
             seed,
         },
     };
@@ -182,10 +184,11 @@ pub fn pinned_suite_large() -> Vec<SuiteCase> {
             cardinality,
             target_solutions: 1.0,
             plant: true,
+            distribution: Distribution::Uniform,
             seed,
         },
     };
-    vec![
+    let mut cases = vec![
         case("chain-n8-hard", QueryShape::Chain, 8, 10_000, 201),
         case("chain-n10-hard", QueryShape::Chain, 10, 10_000, 202),
         case("star-n8-hard", QueryShape::Star, 8, 10_000, 203),
@@ -193,7 +196,26 @@ pub fn pinned_suite_large() -> Vec<SuiteCase> {
         case("clique-n6-hard", QueryShape::Clique, 6, 10_000, 205),
         case("random-n10-hard", QueryShape::Random, 10, 10_000, 206),
         case("chain-n6-100k", QueryShape::Chain, 6, 100_000, 207),
-    ]
+    ];
+    // Zipf-clustered skew case: a few dense hot-spots stress the uniform
+    // grid's occupancy balance in the grid-vs-R*-tree A/B record.
+    cases.push(SuiteCase {
+        name: "chain-n6-zipf",
+        spec: WorkloadSpec {
+            shape: QueryShape::Chain,
+            n_vars: 6,
+            cardinality: 10_000,
+            target_solutions: 1.0,
+            plant: true,
+            distribution: Distribution::ZipfClustered {
+                clusters: 16,
+                sigma: 0.02,
+                exponent: 1.1,
+            },
+            seed: 208,
+        },
+    });
+    cases
 }
 
 /// The algorithms the suite measures, in snapshot order.
@@ -207,6 +229,13 @@ pub enum SuiteAlgo {
     /// (node-access parity), while its wall time shows what the flat
     /// layout buys.
     IlsEntryLayout,
+    /// ILS on the uniform-grid backend ([`BackendKind::Grid`]) — the
+    /// large tier's backend A/B record: its solution quality
+    /// (`best_violations`, `best_similarity`) must equal the `ILS`
+    /// record's exactly (backend equivalence, gated in CI). Trajectory
+    /// counters may differ: the backends break score ties differently,
+    /// and `node_accesses` counts candidate cells, not R*-tree nodes.
+    IlsGrid,
     /// Guided indexed local search under the tier's local-search budget.
     Gils,
     /// Spatial evolutionary algorithm under the tier's generation budget.
@@ -229,6 +258,7 @@ impl SuiteAlgo {
         match self {
             SuiteAlgo::Ils => "ILS",
             SuiteAlgo::IlsEntryLayout => "ILS-entry-layout",
+            SuiteAlgo::IlsGrid => "ILS-grid",
             SuiteAlgo::Gils => "GILS",
             SuiteAlgo::Sea => "SEA",
             SuiteAlgo::TwoStep => "two-step",
@@ -249,21 +279,32 @@ fn run_once(algo: SuiteAlgo, instance: &Instance, budgets: TierBudgets) -> Suite
     let mut rng = StdRng::seed_from_u64(RUN_SEED);
     let obs = ObsHandle::timer_only();
     match algo {
-        SuiteAlgo::Ils | SuiteAlgo::IlsEntryLayout | SuiteAlgo::Gils | SuiteAlgo::Sea => {
+        SuiteAlgo::Ils
+        | SuiteAlgo::IlsEntryLayout
+        | SuiteAlgo::IlsGrid
+        | SuiteAlgo::Gils
+        | SuiteAlgo::Sea => {
             let (runner, steps) = match algo {
-                SuiteAlgo::Ils | SuiteAlgo::IlsEntryLayout => (Algo::Ils, budgets.local_search),
+                SuiteAlgo::Ils | SuiteAlgo::IlsEntryLayout | SuiteAlgo::IlsGrid => {
+                    (Algo::Ils, budgets.local_search)
+                }
                 SuiteAlgo::Gils => (Algo::Gils, budgets.local_search),
                 _ => (Algo::Sea, budgets.sea),
             };
-            // The A/B record runs the same search over the reference
-            // entry layout; a shallow clone retargets the kernel (the
-            // Arc'd datasets are shared, not copied).
-            let entry_instance;
-            let instance = if algo == SuiteAlgo::IlsEntryLayout {
-                entry_instance = instance.clone().with_leaf_layout(LeafLayout::Entry);
-                &entry_instance
-            } else {
-                instance
+            // The A/B records run the same search over the reference
+            // entry layout / the grid backend; a shallow clone retargets
+            // the kernel (the Arc'd datasets are shared, not copied).
+            let ab_instance;
+            let instance = match algo {
+                SuiteAlgo::IlsEntryLayout => {
+                    ab_instance = instance.clone().with_leaf_layout(LeafLayout::Entry);
+                    &ab_instance
+                }
+                SuiteAlgo::IlsGrid => {
+                    ab_instance = instance.clone().with_backend(BackendKind::Grid);
+                    &ab_instance
+                }
+                _ => instance,
             };
             let ctx = SearchContext::local(SearchBudget::iterations(steps)).with_obs(obs.clone());
             let outcome = runner.search(instance, &ctx, &mut rng);

@@ -64,6 +64,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "data",
     "query",
     "algo",
+    "backend",
+    "grid-threads",
     "seconds",
     "iterations",
     "top",

@@ -1,13 +1,15 @@
 //! `mwsj` — command-line multiway spatial join processing.
 //!
 //! ```text
-//! mwsj generate --out rivers.csv --n 10000 --density 0.05 [--distribution uniform|clustered|skewed] [--seed 1]
+//! mwsj generate --out rivers.csv --n 10000 --density 0.05 [--distribution uniform|clustered|skewed|zipf] [--seed 1]
 //! mwsj info     --data rivers.csv
 //! mwsj solve    --data a.csv --data b.csv --data c.csv --query chain
 //!               [--algo ils|gils|sea|sea-hybrid|ibb|two-step] [--seconds 2] [--iterations N]
 //!               [--seed 42] [--top 5] [--restarts K] [--threads T]
+//!               [--backend rtree|grid] [--grid-threads T]
 //! mwsj join     --data a.csv --data b.csv --query 0-1 [--algo wr|st|pjm] [--limit 100]
-//! mwsj explain  --data a.csv --data b.csv --query chain [--metrics-out est.jsonl]
+//!               [--backend rtree|grid] [--grid-threads T]
+//! mwsj explain  --data a.csv --data b.csv --query chain [--backend rtree|grid] [--metrics-out est.jsonl]
 //! mwsj report   run.jsonl|BENCH_label.json
 //! mwsj watch    run.jsonl [--poll-ms 50] [--timeout-secs 600] [--no-tty]
 //! mwsj bench    snapshot [--tier base|large] [--label ci] [--reps 3] [--out FILE]
@@ -38,9 +40,9 @@ use mwsj_core::obs::{
     DEFAULT_WALL_SLACK_MS, DEFAULT_WALL_TOLERANCE,
 };
 use mwsj_core::{
-    AnytimeSearch, EventSink, FanoutSink, FlightRecorder, FlushPolicy, Gils, GilsConfig, Ibb,
-    IbbConfig, Ils, IlsConfig, Instance, JsonlSink, ObsHandle, ParallelPortfolio, Pjm,
-    PortfolioConfig, RunEvent, RunOutcome, Sea, SeaConfig, SearchBudget, SearchContext,
+    AnytimeSearch, BackendKind, EventSink, FanoutSink, FlightRecorder, FlushPolicy, Gils,
+    GilsConfig, Ibb, IbbConfig, Ils, IlsConfig, Instance, JsonlSink, ObsHandle, ParallelPortfolio,
+    Pjm, PortfolioConfig, RunEvent, RunOutcome, Sea, SeaConfig, SearchBudget, SearchContext,
     SynchronousTraversal, TelemetryConfig, TwoStep, TwoStepConfig, WindowReduction,
 };
 use mwsj_datagen::{Dataset, DatasetSpec, Distribution, QueryShape};
@@ -86,12 +88,17 @@ const HELP: &str = "\
 mwsj — approximate multiway spatial join processing (EDBT 2002)
 
 USAGE:
-  mwsj generate --out FILE --n N --density D [--distribution uniform|clustered|skewed] [--seed S]
+  mwsj generate --out FILE --n N --density D [--distribution uniform|clustered|skewed|zipf] [--seed S]
   mwsj info --data FILE
   mwsj solve --data FILE... --query SPEC [--algo ils|gils|sea|sea-hybrid|ibb|two-step]
              [--seconds S | --iterations I] [--seed S] [--top K]
              [--restarts K] [--threads T]   parallel portfolio of K seeded restarts
                                             (heuristics only; T=0 -> all cores)
+             [--backend rtree|grid]         spatial index backend: R*-trees (default) or a
+                                            PBSM-style uniform grid (identical results,
+                                            different cost profile; see mwsj explain)
+             [--grid-threads T]             fan grid queries over T threads (grid backend
+                                            only; results are bit-identical for any T)
              [--metrics-out FILE]           structured JSONL run events + metrics
              [--trace-out FILE]             convergence trace as JSONL trace points
              [--profile-out FILE]           per-phase wall-clock profile (folded stacks,
@@ -109,16 +116,18 @@ USAGE:
              [--follow]                     flush each event line immediately so the
                                             metrics file can be tailed live
   mwsj join --data FILE... --query SPEC [--algo wr|st|pjm] [--limit K] [--seconds S]
-            [--metrics-out FILE]
-  mwsj explain --data FILE... --query SPEC [--metrics-out FILE]
+            [--backend rtree|grid] [--grid-threads T] [--metrics-out FILE]
+  mwsj explain --data FILE... --query SPEC [--backend rtree|grid] [--metrics-out FILE]
                                             pre-run cost & selectivity report, no solving:
                                             per-edge selectivity estimates (with exact
                                             observed selectivities when the pair count is
                                             affordable), per-variable window hit rates,
                                             predicted node accesses per window query, and
-                                            R*-tree structural quality per level; output is
-                                            byte-stable for a fixed dataset. --metrics-out
-                                            writes the same report as one schema-validated
+                                            R*-tree structural quality per level (plus grid
+                                            cell-occupancy stats and predicted scan cost
+                                            with --backend grid); output is byte-stable
+                                            for a fixed dataset. --metrics-out writes the
+                                            same report as one schema-validated
                                             'explain_report' JSONL event
   mwsj report FILE                          validate + summarise a metrics JSONL file
                                             (or a BENCH_*.json bench snapshot)
@@ -174,6 +183,25 @@ fn budget_from(args: &Args) -> Result<SearchBudget, String> {
     })
 }
 
+/// Applies `--backend rtree|grid` and `--grid-threads N` to a freshly
+/// built instance — shared by `solve`, `join` and `explain`.
+fn apply_backend(args: &Args, instance: Instance) -> Result<Instance, String> {
+    let backend = match args.value("backend") {
+        None => BackendKind::RTree,
+        Some(name) => BackendKind::parse(name)
+            .ok_or_else(|| format!("unknown backend '{name}' (expected rtree|grid)"))?,
+    };
+    let grid_threads: usize = args
+        .parse_or("grid-threads", 1, "a thread count")
+        .map_err(|e| e.to_string())?;
+    if args.value("grid-threads").is_some() && backend != BackendKind::Grid {
+        return Err("--grid-threads needs --backend grid".into());
+    }
+    Ok(instance
+        .with_backend(backend)
+        .with_grid_threads(grid_threads))
+}
+
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let out = args.required("out").map_err(|e| e.to_string())?.to_string();
     let n: usize = args
@@ -192,6 +220,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
             sigma: 0.03,
         },
         "skewed" => Distribution::Skewed { exponent: 2.0 },
+        "zipf" => Distribution::ZipfClustered {
+            clusters: 16,
+            sigma: 0.02,
+            exponent: 1.1,
+        },
         other => return Err(format!("unknown distribution '{other}'")),
     };
     let mut rng = StdRng::seed_from_u64(seed);
@@ -232,7 +265,10 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let n_vars = datasets.len();
     let query = args.required("query").map_err(|e| e.to_string())?;
     let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
-    let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
+    let instance = apply_backend(
+        args,
+        Instance::new(graph, datasets).map_err(|e| e.to_string())?,
+    )?;
     let budget = budget_from(args)?;
     let seed: u64 = args
         .parse_or("seed", 42, "a seed")
@@ -556,7 +592,10 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let n_vars = datasets.len();
     let query = args.required("query").map_err(|e| e.to_string())?;
     let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
-    let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
+    let instance = apply_backend(
+        args,
+        Instance::new(graph, datasets).map_err(|e| e.to_string())?,
+    )?;
     let report = mwsj_core::build_explain_report(&instance);
     print_explain(&report);
     if let Some(path) = args.value("metrics-out") {
@@ -630,6 +669,19 @@ fn print_explain(report: &ExplainReport) {
             fmt3(&t.dead_space_per_level),
             fmt3(&t.perimeter_per_level)
         );
+        if let Some(g) = &v.grid {
+            println!(
+                "    grid: {} cells ({} occupied), replication {:.3}, occupancy avg {:.1} max {}, \
+                 predicted cells/query {:.2}, predicted cost/query {:.2}",
+                g.cells,
+                g.occupied_cells,
+                g.replication_factor,
+                g.avg_occupancy,
+                g.max_occupancy,
+                g.predicted_cells_per_query,
+                g.predicted_cost_per_query
+            );
+        }
     }
     if let Some(total) = report.observed_node_accesses {
         println!(
@@ -656,7 +708,10 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let n_vars = datasets.len();
     let query = args.required("query").map_err(|e| e.to_string())?;
     let graph = query_spec::parse_query(query, n_vars).map_err(|e| e.to_string())?;
-    let instance = Instance::new(graph, datasets).map_err(|e| e.to_string())?;
+    let instance = apply_backend(
+        args,
+        Instance::new(graph, datasets).map_err(|e| e.to_string())?,
+    )?;
     let budget = match budget_from(args)? {
         // Exact joins default to a generous budget.
         b if b == SearchBudget::seconds(2.0) => SearchBudget::seconds(60.0),

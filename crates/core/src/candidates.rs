@@ -8,17 +8,60 @@
 //! generation of IBB ("objects that satisfy the largest number of join
 //! conditions are tried first").
 
+use crate::instance::{BackendKind, Instance};
 use mwsj_geom::{Predicate, Rect};
-use mwsj_rtree::{NodeRef, RTree};
+use mwsj_query::VarId;
+use mwsj_rtree::{grid, NodeRef, RTree};
 
-/// Enumerates `(object, satisfied_count)` for all objects satisfying at
-/// least `min_count` of the `windows`. `min_count` must be ≥ 1.
+/// Enumerates `(object, satisfied_count)` for all objects of `var`'s
+/// dataset satisfying at least `min_count` of the `windows`, through the
+/// instance's selected backend. `min_count` must be ≥ 1.
 ///
-/// Each visited node bumps `node_accesses` and, when the slice is long
-/// enough, `level_accesses[node.level()]` (`[0]` = leaf) — the same
-/// attribution contract as the leveled multiwindow kernels; pass `&mut []`
-/// to skip attribution.
+/// Both backends return the identical result *set*; the order differs
+/// (R*-tree traversal order vs the grid's canonical `(cell, slot)`
+/// order), so callers needing a fixed order sort — IBB already sorts by
+/// `(count desc, object asc)`.
+///
+/// Each visited node (R*-tree) or scanned candidate cell (grid) bumps
+/// `node_accesses` and, when the slice is long enough, the matching
+/// `level_accesses` row (`[0]` = leaf; the grid charges everything to the
+/// leaf row). Pass `&mut []` to skip attribution.
 pub(crate) fn candidates_with_counts(
+    instance: &Instance,
+    var: VarId,
+    windows: &[(Predicate, Rect)],
+    min_count: u32,
+    node_accesses: &mut u64,
+    level_accesses: &mut [u64],
+) -> Vec<(usize, u32)> {
+    match instance.backend() {
+        BackendKind::RTree => candidates_in_tree(
+            instance.tree(var),
+            windows,
+            min_count,
+            node_accesses,
+            level_accesses,
+        ),
+        BackendKind::Grid => {
+            if windows.is_empty() {
+                return Vec::new();
+            }
+            grid::candidates_with_counts(
+                instance.grid(var),
+                windows,
+                min_count,
+                node_accesses,
+                level_accesses,
+            )
+            .into_iter()
+            .map(|(obj, count)| (obj as usize, count))
+            .collect()
+        }
+    }
+}
+
+/// The R*-tree arm: a best-effort pruned walk from the root.
+pub(crate) fn candidates_in_tree(
     tree: &RTree<u32>,
     windows: &[(Predicate, Rect)],
     min_count: u32,
@@ -118,7 +161,7 @@ mod tests {
         let (tree, rects, windows) = setup();
         for min in 1..=3 {
             let mut acc = 0;
-            let mut got = candidates_with_counts(&tree, &windows, min, &mut acc, &mut []);
+            let mut got = candidates_in_tree(&tree, &windows, min, &mut acc, &mut []);
             got.sort_unstable();
             let mut expected = brute(&rects, &windows, min);
             expected.sort_unstable();
@@ -130,7 +173,7 @@ mod tests {
     fn empty_windows_yield_nothing() {
         let (tree, _, _) = setup();
         let mut acc = 0;
-        assert!(candidates_with_counts(&tree, &[], 1, &mut acc, &mut []).is_empty());
+        assert!(candidates_in_tree(&tree, &[], 1, &mut acc, &mut []).is_empty());
     }
 
     #[test]
@@ -138,8 +181,8 @@ mod tests {
         let (tree, _, windows) = setup();
         let mut acc1 = 0;
         let mut acc3 = 0;
-        let _ = candidates_with_counts(&tree, &windows, 1, &mut acc1, &mut []);
-        let _ = candidates_with_counts(&tree, &windows, 3, &mut acc3, &mut []);
+        let _ = candidates_in_tree(&tree, &windows, 1, &mut acc1, &mut []);
+        let _ = candidates_in_tree(&tree, &windows, 3, &mut acc3, &mut []);
         assert!(acc3 <= acc1, "conjunctive query should visit fewer nodes");
     }
 }

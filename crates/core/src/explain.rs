@@ -21,10 +21,10 @@
 //!   cost model `Σ_levels area + w·perimeter + w²·nodes`, summed over
 //!   neighbour windows and clamped per level at the level's node count).
 
-use crate::instance::Instance;
+use crate::instance::{BackendKind, Instance};
 use crate::result::RunStats;
 use mwsj_datagen::estimate_workload;
-use mwsj_obs::{EdgeExplain, ExplainReport, TreeQuality, VarExplain};
+use mwsj_obs::{EdgeExplain, ExplainReport, GridQuality, TreeQuality, VarExplain};
 
 /// Upper bound on `Nᵢ·Nⱼ` for the exact observed-selectivity pair count.
 /// 4·10⁶ rectangle-pair evaluations take well under 100 ms and cover the
@@ -114,6 +114,32 @@ pub fn build_explain_report(instance: &Instance) -> ExplainReport {
                     per_window.min(stats.nodes_per_level[l] as f64)
                 })
                 .sum();
+            // Grid-backend cost: expected candidate cells of a window of
+            // extent w are `(1 + w/cell_w)·(1 + w/cell_h)` (a window spans
+            // one cell plus one boundary crossing per cell length), summed
+            // over the neighbour windows and clamped at the cell count;
+            // each candidate cell costs a full scan of its occupancy.
+            let grid = (instance.backend() == BackendKind::Grid).then(|| {
+                let g = instance.grid(v);
+                let gs = g.stats();
+                let cell_w = g.bbox().width() / gs.nx as f64;
+                let cell_h = g.bbox().height() / gs.ny as f64;
+                let cells = gs.cells as f64;
+                let predicted_cells = windows
+                    .iter()
+                    .map(|&w| ((1.0 + w / cell_w) * (1.0 + w / cell_h)).min(cells))
+                    .sum::<f64>()
+                    .min(cells);
+                GridQuality {
+                    cells: gs.cells,
+                    occupied_cells: gs.occupied_cells,
+                    replication_factor: gs.replication_factor,
+                    avg_occupancy: gs.avg_occupancy,
+                    max_occupancy: gs.max_occupancy,
+                    predicted_cells_per_query: predicted_cells,
+                    predicted_cost_per_query: predicted_cells * gs.avg_occupancy,
+                }
+            });
             VarExplain {
                 var: v as u64,
                 cardinality: cards[v] as u64,
@@ -131,6 +157,7 @@ pub fn build_explain_report(instance: &Instance) -> ExplainReport {
                     dead_space_per_level: stats.dead_space_per_level,
                     perimeter_per_level: stats.perimeter_per_level,
                 },
+                grid,
             }
         })
         .collect();
@@ -253,6 +280,7 @@ mod tests {
                 cardinality: 200,
                 target_solutions,
                 plant,
+                distribution: mwsj_datagen::Distribution::Uniform,
                 seed,
             }
             .generate();
@@ -273,6 +301,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn grid_backend_report_carries_grid_quality_and_round_trips() {
+        let inst = paper_instance(QueryShape::Chain, 3, 100, 12).with_backend(BackendKind::Grid);
+        let report = build_explain_report(&inst);
+        for var in &report.vars {
+            let g = var.grid.as_ref().expect("grid quality on grid backend");
+            assert!(g.cells >= g.occupied_cells);
+            assert!(g.occupied_cells > 0);
+            assert!(g.replication_factor >= 1.0);
+            assert!(g.predicted_cells_per_query > 0.0);
+            assert!(g.predicted_cells_per_query <= g.cells as f64);
+            let expected_cost = g.predicted_cells_per_query * g.avg_occupancy;
+            assert!((g.predicted_cost_per_query - expected_cost).abs() < 1e-9);
+        }
+        let json = format!("{{{}}}", report.to_json_fields());
+        let parsed = ExplainReport::from_json(&mwsj_obs::Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, report);
+
+        // R*-tree reports stay grid-free, keeping pinned snapshots
+        // byte-identical.
+        let plain = build_explain_report(&paper_instance(QueryShape::Chain, 3, 100, 12));
+        assert!(plain.vars.iter().all(|v| v.grid.is_none()));
     }
 
     #[test]

@@ -22,10 +22,10 @@
 //! which reuses the window vector across calls and skips the traversal
 //! entirely when nothing relevant changed.
 
-use crate::instance::{Instance, LeafLayout};
+use crate::instance::{BackendKind, Instance, LeafLayout};
 use mwsj_geom::{Predicate, Rect};
 use mwsj_query::{PenaltyTable, Solution, VarId};
-use mwsj_rtree::multiwindow;
+use mwsj_rtree::{grid, multiwindow};
 
 /// Result of a [`find_best_value`] search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,8 +83,11 @@ pub(crate) fn best_value_in_windows(
     node_accesses: &mut u64,
     level_accesses: &mut [u64],
 ) -> Option<BestValue> {
-    let best = match penalties {
-        Some((table, lambda)) => run_kernel(
+    // Backend is matched before the closures are built: the grid kernel
+    // fans cells across threads and therefore needs `Fn + Sync` scorers,
+    // while the R*-tree kernel keeps its original `FnMut` contract.
+    let best = match (instance.backend(), penalties) {
+        (BackendKind::RTree, Some((table, lambda))) => run_kernel(
             instance,
             var,
             windows,
@@ -92,11 +95,27 @@ pub(crate) fn best_value_in_windows(
             node_accesses,
             level_accesses,
         ),
-        None => run_kernel(
+        (BackendKind::RTree, None) => run_kernel(
             instance,
             var,
             windows,
             |_, count| count as f64,
+            node_accesses,
+            level_accesses,
+        ),
+        (BackendKind::Grid, Some((table, lambda))) => grid::find_best_in_windows(
+            instance.grid(var),
+            windows,
+            |&object, count| count as f64 - lambda * table.get(var, object as usize) as f64,
+            instance.grid_threads(),
+            node_accesses,
+            level_accesses,
+        ),
+        (BackendKind::Grid, None) => grid::find_best_in_windows(
+            instance.grid(var),
+            windows,
+            |_, count| count as f64,
+            instance.grid_threads(),
             node_accesses,
             level_accesses,
         ),

@@ -178,7 +178,7 @@ fn descend(
     } else {
         {
             let (node_accesses, levels) = state.driver.tally(var);
-            candidates_with_counts(instance.tree(var), &windows, 1, node_accesses, levels)
+            candidates_with_counts(instance, var, &windows, 1, node_accesses, levels)
         }
     };
     candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -3,11 +3,11 @@
 use mwsj_geom::Rect;
 use mwsj_obs::{MemoryFootprint, ResourceReport};
 use mwsj_query::{ConflictState, QueryGraph, Solution, VarId};
-use mwsj_rtree::{FlatLeaves, RTree, RTreeParams};
+use mwsj_rtree::{FlatLeaves, RTree, RTreeParams, UniformGrid};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Which leaf representation the multi-window kernel scans.
 ///
@@ -24,6 +24,43 @@ pub enum LeafLayout {
     Entry,
 }
 
+/// Which spatial index backend answers the window and multi-window
+/// queries of the search algorithms.
+///
+/// Dispatch is by enum, not generics: `Instance` stays a concrete type
+/// (every algorithm, cache, sink and CLI signature is untouched), the
+/// R*-tree arm compiles to exactly the code it was before the backend
+/// axis existed, and both indexes can coexist on one instance for A/B
+/// runs over the same `Arc`-shared data. See DESIGN.md §5j.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The R*-tree branch-and-bound traversals (the paper's setting).
+    #[default]
+    RTree,
+    /// The PBSM-style uniform grid with cell-replicated MBRs and
+    /// reference-point deduplication ([`mwsj_rtree::grid`]).
+    Grid,
+}
+
+impl BackendKind {
+    /// Parses a CLI backend name.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "rtree" => Some(BackendKind::RTree),
+            "grid" => Some(BackendKind::Grid),
+            _ => None,
+        }
+    }
+
+    /// Display name (`rtree` / `grid`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::RTree => "rtree",
+            BackendKind::Grid => "grid",
+        }
+    }
+}
+
 /// One dataset with its R*-tree index (payloads are object indices).
 #[derive(Debug)]
 pub(crate) struct IndexedDataset {
@@ -33,6 +70,11 @@ pub(crate) struct IndexedDataset {
     /// Valid for the instance's lifetime: instance trees are bulk-loaded
     /// once and never mutated.
     pub flat: FlatLeaves<u32>,
+    /// Uniform-grid index over the same rectangles, built on first use
+    /// (selecting [`BackendKind::Grid`] builds it eagerly). `OnceLock`
+    /// keeps the dataset shareable across `Arc` aliases without cloning
+    /// the non-cloneable tree.
+    pub grid: OnceLock<UniformGrid<u32>>,
 }
 
 impl IndexedDataset {
@@ -40,7 +82,21 @@ impl IndexedDataset {
         let items: Vec<(Rect, u32)> = rects.iter().copied().zip(0u32..).collect();
         let tree = RTree::bulk_load_with_params(params, items);
         let flat = tree.flat_leaves();
-        IndexedDataset { rects, tree, flat }
+        IndexedDataset {
+            rects,
+            tree,
+            flat,
+            grid: OnceLock::new(),
+        }
+    }
+
+    /// The grid index, built deterministically from the rectangles on
+    /// first access.
+    fn grid(&self) -> &UniformGrid<u32> {
+        self.grid.get_or_init(|| {
+            let items: Vec<(Rect, u32)> = self.rects.iter().copied().zip(0u32..).collect();
+            UniformGrid::build(&items)
+        })
     }
 }
 
@@ -82,6 +138,10 @@ pub struct Instance {
     graph: QueryGraph,
     data: Vec<Arc<IndexedDataset>>,
     leaf_layout: LeafLayout,
+    backend: BackendKind,
+    /// Worker threads for intra-query grid parallelism (1 = sequential;
+    /// results are bit-identical at any setting).
+    grid_threads: usize,
 }
 
 impl Instance {
@@ -124,6 +184,8 @@ impl Instance {
             graph,
             data,
             leaf_layout: LeafLayout::default(),
+            backend: BackendKind::default(),
+            grid_threads: 1,
         })
     }
 
@@ -146,6 +208,8 @@ impl Instance {
             graph,
             data: vec![shared; n],
             leaf_layout: LeafLayout::default(),
+            backend: BackendKind::default(),
+            grid_threads: 1,
         })
     }
 
@@ -161,6 +225,46 @@ impl Instance {
     #[inline]
     pub fn leaf_layout(&self) -> LeafLayout {
         self.leaf_layout
+    }
+
+    /// Selects the spatial backend answering the index queries (builder
+    /// style). Choosing [`BackendKind::Grid`] builds the grid index of
+    /// every unique dataset eagerly, so later queries (and the resource
+    /// report) see a fully materialised backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        if backend == BackendKind::Grid {
+            for (_, d) in self.unique_datasets() {
+                let _ = d.grid();
+            }
+        }
+        self
+    }
+
+    /// Sets the worker-thread count for intra-query grid parallelism
+    /// (builder style). Clamped to at least 1; query results and access
+    /// counters are bit-identical at any setting (DESIGN.md §5j).
+    pub fn with_grid_threads(mut self, threads: usize) -> Self {
+        self.grid_threads = threads.max(1);
+        self
+    }
+
+    /// The spatial backend answering the index queries.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Worker threads for intra-query grid parallelism.
+    #[inline]
+    pub fn grid_threads(&self) -> usize {
+        self.grid_threads
+    }
+
+    /// The uniform-grid index over variable `v`'s dataset (built on first
+    /// access; shared across `Arc`-aliased self-join variables).
+    pub fn grid(&self, v: VarId) -> &UniformGrid<u32> {
+        self.data[v].grid()
     }
 
     /// The query graph.
@@ -267,6 +371,12 @@ impl Instance {
                 &format!("flat_leaves.var{v:03}"),
                 MemoryFootprint::memory_bytes(&d.flat),
             );
+            // The grid component appears only once the grid backend has
+            // been materialised, keeping R*-tree-only reports (and the
+            // pinned bench snapshots) byte-identical.
+            if let Some(grid) = d.grid.get() {
+                report.record(&format!("grid.var{v:03}"), grid.memory_bytes());
+            }
         }
     }
 
@@ -297,6 +407,7 @@ impl MemoryFootprint for Instance {
                 d.rects.len() as u64 * std::mem::size_of::<Rect>() as u64
                     + d.tree.memory_bytes()
                     + MemoryFootprint::memory_bytes(&d.flat)
+                    + d.grid.get().map_or(0, MemoryFootprint::memory_bytes)
             })
             .sum()
     }
@@ -406,6 +517,43 @@ mod tests {
         distinct.fill_resource_report(&mut report);
         assert_eq!(report.components().len(), 9);
         assert_eq!(report.total_bytes(), distinct.memory_bytes());
+    }
+
+    #[test]
+    fn grid_backend_adds_components_and_shares_self_join_grids() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = Dataset::uniform(80, 0.2, &mut rng);
+        let inst = Instance::self_join(QueryGraph::clique(4), data.rects()).unwrap();
+        let rtree_bytes = inst.memory_bytes();
+        let inst = inst.with_backend(BackendKind::Grid);
+        assert_eq!(inst.backend(), BackendKind::Grid);
+        assert!(inst.memory_bytes() > rtree_bytes, "grid bytes must show up");
+
+        let mut report = ResourceReport::new();
+        inst.fill_resource_report(&mut report);
+        let names: Vec<&str> = report
+            .components()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "flat_leaves.var000",
+                "grid.var000",
+                "rects.var000",
+                "rtree.var000"
+            ]
+        );
+        assert_eq!(report.total_bytes(), inst.memory_bytes());
+        // Aliased variables share one grid.
+        assert!(std::ptr::eq(inst.grid(0), inst.grid(3)));
+        // Default stays R*-tree with no grid component.
+        let plain = tiny_instance();
+        assert_eq!(plain.backend(), BackendKind::RTree);
+        let mut report = ResourceReport::new();
+        plain.fill_resource_report(&mut report);
+        assert_eq!(report.components().len(), 9);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::budget::{BudgetClock, SearchBudget, SearchContext};
 use crate::candidates::candidates_with_counts;
-use crate::instance::Instance;
+use crate::instance::{BackendKind, Instance};
 use crate::order::connectivity_order;
 use crate::pairwise::PairwiseJoin;
 use crate::result::RunStats;
@@ -109,51 +109,52 @@ impl Pjm {
         // (connected by construction of the order on connected graphs;
         // fall back to a cross filter if not).
         let (v0, v1) = (order[0], order[1]);
-        let mut tuples: Vec<Vec<usize>> = match graph.predicate_between(v0, v1) {
-            Some(Predicate::Intersects) | None => {
-                let join = PairwiseJoin::join(instance.tree(v0), instance.tree(v1));
-                stats.node_accesses += join.node_accesses;
-                match graph.predicate_between(v0, v1) {
-                    Some(_) => join
-                        .pairs
+        let mut tuples: Vec<Vec<usize>> =
+            match (instance.backend(), graph.predicate_between(v0, v1)) {
+                // No edge between the first two: Cartesian product is required;
+                // guarded by the intermediate cap.
+                (_, None) => {
+                    let mut out = Vec::new();
+                    'outer: for a in 0..instance.cardinality(v0) {
+                        for b in 0..instance.cardinality(v1) {
+                            if out.len() >= self.max_intermediate {
+                                truncated = true;
+                                break 'outer;
+                            }
+                            out.push(vec![a, b]);
+                        }
+                    }
+                    out
+                }
+                (BackendKind::RTree, Some(Predicate::Intersects)) => {
+                    let join = PairwiseJoin::join(instance.tree(v0), instance.tree(v1));
+                    stats.node_accesses += join.node_accesses;
+                    join.pairs
                         .into_iter()
                         .map(|(a, b)| vec![a as usize, b as usize])
-                        .collect(),
-                    // No edge between the first two: Cartesian product is
-                    // required; guarded by the intermediate cap below.
-                    None => {
-                        let mut out = Vec::new();
-                        'outer: for a in 0..instance.cardinality(v0) {
-                            for b in 0..instance.cardinality(v1) {
-                                if out.len() >= self.max_intermediate {
-                                    truncated = true;
-                                    break 'outer;
-                                }
-                                out.push(vec![a, b]);
-                            }
+                        .collect()
+                }
+                (BackendKind::RTree, Some(pred)) => {
+                    // Generic predicate: index-nested-loop over v0.
+                    let counter = AccessCounter::new();
+                    let mut out = Vec::new();
+                    for a in 0..instance.cardinality(v0) {
+                        let w = instance.rect(v0, a);
+                        for (_, b) in instance
+                            .tree(v1)
+                            .query_predicate_counted(pred.transpose(), &w, &counter)
+                            .map(|(r, v)| (r, *v as usize))
+                        {
+                            out.push(vec![a, b]);
                         }
-                        out
                     }
+                    stats.node_accesses += counter.get();
+                    out
                 }
-            }
-            Some(pred) => {
-                // Generic predicate: index-nested-loop over v0.
-                let counter = AccessCounter::new();
-                let mut out = Vec::new();
-                for a in 0..instance.cardinality(v0) {
-                    let w = instance.rect(v0, a);
-                    for (_, b) in instance
-                        .tree(v1)
-                        .query_predicate_counted(pred.transpose(), &w, &counter)
-                        .map(|(r, v)| (r, *v as usize))
-                    {
-                        out.push(vec![a, b]);
-                    }
+                (BackendKind::Grid, Some(pred)) => {
+                    grid_pair_join(instance, v0, v1, pred, &mut stats.node_accesses)
                 }
-                stats.node_accesses += counter.get();
-                out
-            }
-        };
+            };
         clock.step();
 
         // Steps 2..n: attach one variable at a time.
@@ -180,7 +181,8 @@ impl Pjm {
                 debug_assert!(!windows.is_empty(), "connectivity order guarantees windows");
                 let required = windows.len() as u32;
                 for (obj, _) in candidates_with_counts(
-                    instance.tree(var),
+                    instance,
+                    var,
                     &windows,
                     required,
                     &mut stats.node_accesses,
@@ -293,6 +295,67 @@ fn cost_based_order(instance: &Instance) -> Vec<usize> {
         }
     }
     order
+}
+
+/// First-pair join on the grid backend: an index-nested-loop over `v0`'s
+/// objects, each probing `v1`'s grid with the transposed predicate. With
+/// `grid_threads() > 1` the probes fan out over scoped worker threads; the
+/// result is merged back in `v0`-object order and the per-probe cell-access
+/// counts are summed, so both the pair list and `node_accesses` are
+/// bit-identical to the sequential run (see DESIGN.md §5j).
+fn grid_pair_join(
+    instance: &Instance,
+    v0: usize,
+    v1: usize,
+    pred: Predicate,
+    node_accesses: &mut u64,
+) -> Vec<Vec<usize>> {
+    use mwsj_rtree::grid;
+
+    let g = instance.grid(v1);
+    let n = instance.cardinality(v0);
+    let probe = |a: usize, accesses: &mut u64| -> Vec<Vec<usize>> {
+        let w = instance.rect(v0, a);
+        grid::query_predicate(g, pred.transpose(), &w, 1, accesses)
+            .into_iter()
+            .map(|b| vec![a, b as usize])
+            .collect()
+    };
+    let threads = instance.grid_threads().min(n);
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for a in 0..n {
+            out.extend(probe(a, node_accesses));
+        }
+        return out;
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    // (probe object, its pair rows, its cell accesses) per finished probe.
+    type ProbeResult = (usize, Vec<Vec<usize>>, u64);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<ProbeResult>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let a = next.fetch_add(1, Ordering::Relaxed);
+                if a >= n {
+                    break;
+                }
+                let mut accesses = 0u64;
+                let rows = probe(a, &mut accesses);
+                done.lock().expect("probe mutex").push((a, rows, accesses));
+            });
+        }
+    });
+    let mut done = done.into_inner().expect("probe mutex");
+    done.sort_unstable_by_key(|&(a, _, _)| a);
+    let mut out = Vec::new();
+    for (_, rows, accesses) in done {
+        *node_accesses += accesses;
+        out.extend(rows);
+    }
+    out
 }
 
 #[cfg(test)]

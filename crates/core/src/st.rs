@@ -12,23 +12,32 @@
 //! MBRs is the correct (complete) filter for the intersect predicate.
 
 use crate::budget::{BudgetClock, SearchBudget, SearchContext};
-use crate::instance::Instance;
+use crate::instance::{BackendKind, Instance};
 use crate::result::RunStats;
 use crate::wr::ExactJoinOutcome;
 use mwsj_geom::{Predicate, Rect};
 use mwsj_obs::ObsHandle;
 use mwsj_query::Solution;
-use mwsj_rtree::NodeRef;
+use mwsj_rtree::{NodeRef, UniformGrid};
 
 /// Synchronous traversal.
 #[derive(Debug, Clone, Default)]
 pub struct SynchronousTraversal {}
 
-/// One variable's position during the descent: still inside a subtree, or
-/// already fixed to a data object (trees can have different heights).
+/// One variable's position during the descent: still inside a subtree (or,
+/// on the grid backend, at the grid root / inside one cell), or already
+/// fixed to a data object (trees can have different heights).
+///
+/// The grid is a two-level "tree": root → occupied cells → entries. Cell
+/// MBRs are unions of the *full* entry rectangles, so the MBR-consistency
+/// prune stays admissible, and entries are accepted only at their
+/// [`UniformGrid::home_cell`] so each object is enumerated exactly once
+/// despite boundary replication (DESIGN.md §5j).
 #[derive(Clone)]
 enum Cursor<'a> {
     Node(NodeRef<'a, u32>),
+    GridRoot(&'a UniformGrid<u32>),
+    GridCell(&'a UniformGrid<u32>, usize),
     Data(usize, Rect),
 }
 
@@ -36,6 +45,8 @@ impl Cursor<'_> {
     fn mbr(&self) -> Rect {
         match self {
             Cursor::Node(n) => n.mbr(),
+            Cursor::GridRoot(g) => g.bbox(),
+            Cursor::GridCell(g, c) => g.cell_mbr(*c),
             Cursor::Data(_, r) => *r,
         }
     }
@@ -97,7 +108,10 @@ impl SynchronousTraversal {
             truncated: false,
         };
         let roots: Vec<Cursor<'_>> = (0..instance.n_vars())
-            .map(|v| Cursor::Node(instance.tree(v).root_node()))
+            .map(|v| match instance.backend() {
+                BackendKind::RTree => Cursor::Node(instance.tree(v).root_node()),
+                BackendKind::Grid => Cursor::GridRoot(instance.grid(v)),
+            })
             .collect();
         state.stats.node_accesses += instance.n_vars() as u64;
         expand(&mut state, &roots);
@@ -140,7 +154,7 @@ fn expand(state: &mut StState<'_>, cursors: &[Cursor<'_>]) -> bool {
                 .iter()
                 .map(|c| match c {
                     Cursor::Data(o, _) => *o,
-                    Cursor::Node(_) => unreachable!(),
+                    _ => unreachable!(),
                 })
                 .collect(),
         );
@@ -195,6 +209,37 @@ fn choose<'a>(
                     None => Cursor::Data(*entry.value().expect("leaf") as usize, mbr),
                 };
                 chosen[var] = Some(cursor);
+                if choose(state, cursors, chosen, var + 1) {
+                    return true;
+                }
+                chosen[var] = None;
+            }
+        }
+        Cursor::GridRoot(g) => {
+            for c in 0..g.cells() {
+                if g.cell_len(c) == 0 {
+                    continue;
+                }
+                if !consistent(graph, chosen, var, &g.cell_mbr(c)) {
+                    continue;
+                }
+                state.stats.node_accesses += 1;
+                chosen[var] = Some(Cursor::GridCell(g, c));
+                if choose(state, cursors, chosen, var + 1) {
+                    return true;
+                }
+                chosen[var] = None;
+            }
+        }
+        Cursor::GridCell(g, c) => {
+            for (value, rect) in g.cell_entries(*c) {
+                if g.home_cell(&rect) != *c {
+                    continue; // replica; enumerated at its home cell
+                }
+                if !consistent(graph, chosen, var, &rect) {
+                    continue;
+                }
+                chosen[var] = Some(Cursor::Data(value as usize, rect));
                 if choose(state, cursors, chosen, var + 1) {
                     return true;
                 }

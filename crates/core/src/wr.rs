@@ -138,7 +138,8 @@ fn descend(state: &mut WrState<'_>, depth: usize, assignment: &mut [usize]) -> b
         // Conjunctive window query: every condition must hold.
         let required = windows.len() as u32;
         let candidates = candidates_with_counts(
-            instance.tree(var),
+            instance,
+            var,
             &windows,
             required,
             &mut state.stats.node_accesses,

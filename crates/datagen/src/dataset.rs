@@ -22,6 +22,19 @@ pub enum Distribution {
         /// Skew exponent (> 1 concentrates mass near the origin).
         exponent: f64,
     },
+    /// Centers drawn from `clusters` Gaussian blobs whose masses follow a
+    /// Zipf law — blob `k` receives weight `1/(k+1)^exponent` — a few
+    /// dense hot-spots plus a long tail. The worst case for uniform
+    /// space partitioning (most objects land in a handful of cells) and
+    /// the standard skewed-join stress distribution.
+    ZipfClustered {
+        /// Number of Gaussian blobs.
+        clusters: usize,
+        /// Standard deviation of each blob.
+        sigma: f64,
+        /// Zipf exponent (> 0; larger concentrates mass in the top blobs).
+        exponent: f64,
+    },
 }
 
 /// Declarative description of a dataset, used to make experiment configs
@@ -185,6 +198,36 @@ fn sample_center<R: Rng>(dist: &Distribution, rng: &mut R) -> (f64, f64) {
             let v: f64 = rng.random_range(0.0..1.0);
             (u.powf(exponent), v.powf(exponent))
         }
+        Distribution::ZipfClustered {
+            clusters,
+            sigma,
+            exponent,
+        } => {
+            debug_assert!(clusters > 0);
+            // Inverse-CDF pick of the blob under Zipf weights
+            // `1/(k+1)^exponent`; blob centers use the same deterministic
+            // coarse-grid layout as `Clustered`.
+            let total: f64 = (0..clusters)
+                .map(|k| ((k + 1) as f64).powf(-exponent))
+                .sum();
+            let mut u = rng.random_range(0.0..1.0) * total;
+            let mut c = clusters - 1;
+            for k in 0..clusters {
+                u -= ((k + 1) as f64).powf(-exponent);
+                if u <= 0.0 {
+                    c = k;
+                    break;
+                }
+            }
+            let side = (clusters as f64).sqrt().ceil() as usize;
+            let bx = (c % side) as f64 / side as f64 + 0.5 / side as f64;
+            let by = (c / side) as f64 / side as f64 + 0.5 / side as f64;
+            let (gx, gy) = gaussian_pair(rng);
+            (
+                (bx + sigma * gx).clamp(0.0, 1.0),
+                (by + sigma * gy).clamp(0.0, 1.0),
+            )
+        }
     }
 }
 
@@ -282,6 +325,42 @@ mod tests {
         let mean_x: f64 = d.rects().iter().map(|r| r.center().x).sum::<f64>() / d.len() as f64;
         // E[u³] = 0.25 for u ~ U(0,1).
         assert!((mean_x - 0.25).abs() < 0.05, "mean x {mean_x}");
+    }
+
+    #[test]
+    fn zipf_clustered_mass_is_top_heavy_and_deterministic() {
+        let spec = DatasetSpec {
+            cardinality: 8_000,
+            density: 0.01,
+            distribution: Distribution::ZipfClustered {
+                clusters: 8,
+                sigma: 0.01,
+                exponent: 1.2,
+            },
+            constant_extent: true,
+        };
+        let d = spec.generate(&mut StdRng::seed_from_u64(6));
+        // Blob 0 sits at the coarse-grid cell (0,0) center (side = 3 for 8
+        // blobs): count objects within 5σ of it and compare to the Zipf
+        // weight 1/1^1.2 over H(8, 1.2) ≈ 0.35 — far above uniform 1/8.
+        let (bx, by) = (0.5 / 3.0, 0.5 / 3.0);
+        let near = d
+            .rects()
+            .iter()
+            .filter(|r| {
+                let c = r.center();
+                ((c.x - bx).powi(2) + (c.y - by).powi(2)).sqrt() < 0.05
+            })
+            .count() as f64
+            / d.len() as f64;
+        let h: f64 = (1..=8).map(|k| (k as f64).powf(-1.2)).sum();
+        let expected = 1.0 / h;
+        assert!(
+            (near - expected).abs() < 0.05,
+            "top-blob share {near}, expected ≈ {expected}"
+        );
+        let again = spec.generate(&mut StdRng::seed_from_u64(6));
+        assert_eq!(d.rects(), again.rects());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Reproducible experiment workloads (query graph + datasets).
 
-use crate::{hard_region_density, plant_solution, Dataset, QueryShape};
+use crate::{hard_region_density, plant_solution, Dataset, DatasetSpec, Distribution, QueryShape};
 use mwsj_query::{QueryGraph, Solution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +21,10 @@ pub struct WorkloadSpec {
     /// If `true`, additionally plant one guaranteed exact solution
     /// (Fig. 11's "the actual number of exact solutions is 1" setup).
     pub plant: bool,
+    /// Spatial distribution of object centers. [`Distribution::Uniform`]
+    /// (the paper's setting) reproduces the exact RNG stream of earlier
+    /// releases, keeping pinned workloads byte-identical.
+    pub distribution: Distribution,
     /// RNG seed; a spec generates identical data on every call.
     pub seed: u64,
 }
@@ -35,6 +39,7 @@ impl WorkloadSpec {
             cardinality,
             target_solutions: 1.0,
             plant: false,
+            distribution: Distribution::Uniform,
             seed,
         }
     }
@@ -55,8 +60,14 @@ impl WorkloadSpec {
             self.target_solutions,
         );
         let graph = self.shape.graph_seeded(self.n_vars, self.seed);
+        let dataset_spec = DatasetSpec {
+            cardinality: self.cardinality,
+            density,
+            distribution: self.distribution,
+            constant_extent: true,
+        };
         let mut datasets: Vec<Dataset> = (0..self.n_vars)
-            .map(|_| Dataset::uniform(self.cardinality, density, &mut rng))
+            .map(|_| dataset_spec.generate(&mut rng))
             .collect();
         let planted = self
             .plant

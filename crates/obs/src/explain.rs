@@ -1,6 +1,6 @@
 //! Workload explain/audit reports: estimated vs observed cost.
 //!
-//! The paper's cost models ([TSS98]/[PMT99] selectivity formulas) predict a
+//! The paper's cost models (\[TSS98\]/\[PMT99\] selectivity formulas) predict a
 //! query's output size and traversal cost *before* a run; the search layer
 //! measures the actual traversal work. [`ExplainReport`] pairs the two —
 //! per-edge selectivity estimates against observed pair counts, per-variable
@@ -37,6 +37,30 @@ pub struct TreeQuality {
     pub dead_space_per_level: Vec<f64>,
     /// Summed node margins (width + height) per level.
     pub perimeter_per_level: Vec<f64>,
+}
+
+/// Structural quality and predicted query cost of one variable's uniform
+/// grid (present only when the run used the grid backend).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GridQuality {
+    /// Total number of cells (`nx · ny`).
+    pub cells: u64,
+    /// Cells holding at least one entry.
+    pub occupied_cells: u64,
+    /// Replicated entries / unique objects (`≥ 1`; boundary straddlers are
+    /// stored once per overlapped cell).
+    pub replication_factor: f64,
+    /// Mean entries per occupied cell.
+    pub avg_occupancy: f64,
+    /// Largest cell's entry count.
+    pub max_occupancy: u64,
+    /// Expected candidate cells touched by one *find best value* query on
+    /// this variable, summed over the neighbour windows and clamped at
+    /// `cells`.
+    pub predicted_cells_per_query: f64,
+    /// Predicted entry scans per query:
+    /// `predicted_cells_per_query · avg_occupancy`.
+    pub predicted_cost_per_query: f64,
 }
 
 /// Estimate-vs-actual record of one query-graph edge.
@@ -94,6 +118,9 @@ pub struct VarExplain {
     pub accesses_per_level: Vec<u64>,
     /// Structural quality of the variable's tree.
     pub tree: TreeQuality,
+    /// Grid-backend quality and predicted cost; `None` on R*-tree runs, so
+    /// existing reports and pinned snapshots serialise byte-identically.
+    pub grid: Option<GridQuality>,
 }
 
 /// One run's estimated-vs-observed cost report.
@@ -237,10 +264,10 @@ fn edge_from_json(value: &Json) -> Option<EdgeExplain> {
 }
 
 fn var_json(v: &VarExplain) -> String {
-    format!(
+    let mut out = format!(
         "{{\"var\":{},\"cardinality\":{},\"avg_extent\":{},\"expected_window_hits\":{},\
          \"predicted_accesses_per_query\":{},\"observed_accesses\":{},\
-         \"accesses_per_level\":{},\"tree\":{}}}",
+         \"accesses_per_level\":{},\"tree\":{}",
         v.var,
         v.cardinality,
         fmt_f64(v.avg_extent),
@@ -249,7 +276,12 @@ fn var_json(v: &VarExplain) -> String {
         v.observed_accesses,
         u64_list(&v.accesses_per_level),
         tree_json(&v.tree)
-    )
+    );
+    if let Some(grid) = &v.grid {
+        out.push_str(&format!(",\"grid\":{}", grid_json(grid)));
+    }
+    out.push('}');
+    out
 }
 
 fn var_from_json(value: &Json) -> Option<VarExplain> {
@@ -267,6 +299,37 @@ fn var_from_json(value: &Json) -> Option<VarExplain> {
             .map(Json::as_u64)
             .collect::<Option<Vec<_>>>()?,
         tree: tree_from_json(value.get("tree")?)?,
+        grid: match value.get("grid") {
+            Some(v) => Some(grid_from_json(v)?),
+            None => None,
+        },
+    })
+}
+
+fn grid_json(g: &GridQuality) -> String {
+    format!(
+        "{{\"cells\":{},\"occupied_cells\":{},\"replication_factor\":{},\
+         \"avg_occupancy\":{},\"max_occupancy\":{},\"predicted_cells_per_query\":{},\
+         \"predicted_cost_per_query\":{}}}",
+        g.cells,
+        g.occupied_cells,
+        fmt_f64(g.replication_factor),
+        fmt_f64(g.avg_occupancy),
+        g.max_occupancy,
+        fmt_f64(g.predicted_cells_per_query),
+        fmt_f64(g.predicted_cost_per_query)
+    )
+}
+
+fn grid_from_json(value: &Json) -> Option<GridQuality> {
+    Some(GridQuality {
+        cells: value.get("cells")?.as_u64()?,
+        occupied_cells: value.get("occupied_cells")?.as_u64()?,
+        replication_factor: value.get("replication_factor")?.as_f64()?,
+        avg_occupancy: value.get("avg_occupancy")?.as_f64()?,
+        max_occupancy: value.get("max_occupancy")?.as_u64()?,
+        predicted_cells_per_query: value.get("predicted_cells_per_query")?.as_f64()?,
+        predicted_cost_per_query: value.get("predicted_cost_per_query")?.as_f64()?,
     })
 }
 
@@ -349,6 +412,17 @@ pub(crate) mod tests {
                         dead_space_per_level: vec![0.3, 0.1],
                         perimeter_per_level: vec![5.2, 2.1],
                     },
+                    // Mix Some/None so the round-trip test covers both the
+                    // grid-backend and the R*-tree serialisations.
+                    grid: (v == 1).then_some(GridQuality {
+                        cells: 16,
+                        occupied_cells: 12,
+                        replication_factor: 1.4,
+                        avg_occupancy: 23.3,
+                        max_occupancy: 61,
+                        predicted_cells_per_query: 5.5,
+                        predicted_cost_per_query: 128.15,
+                    }),
                 })
                 .collect(),
             observed_node_accesses: observed.then_some(123),

@@ -60,7 +60,7 @@ pub use compare::{
 };
 pub use curve::{AnytimeCurve, CurvePoint};
 pub use events::{EventSink, FanoutSink, FlushPolicy, JsonlSink, RunEvent, VecSink};
-pub use explain::{EdgeExplain, ExplainReport, TreeQuality, VarExplain};
+pub use explain::{EdgeExplain, ExplainReport, GridQuality, TreeQuality, VarExplain};
 pub use handle::ObsHandle;
 pub use json::Json;
 pub use profile::{folded_root_totals, parse_folded, to_folded};

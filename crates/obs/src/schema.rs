@@ -407,6 +407,7 @@ mod tests {
                         observed_accesses: 42,
                         accesses_per_level: vec![32, 10],
                         tree: crate::explain::TreeQuality::default(),
+                        grid: Some(crate::explain::GridQuality::default()),
                     }],
                     observed_node_accesses: Some(42),
                 },

@@ -45,6 +45,7 @@ mod bulk_hilbert;
 mod delete;
 mod flat;
 mod footprint;
+pub mod grid;
 mod insert;
 mod knn;
 pub mod multiwindow;
@@ -59,6 +60,7 @@ mod visit;
 
 pub use access::AccessCounter;
 pub use flat::FlatLeaves;
+pub use grid::{GridStats, UniformGrid};
 pub use knn::Neighbor;
 pub use multiwindow::{
     find_best_leaf, find_best_leaf_flat, find_best_leaf_flat_leveled, find_best_leaf_leveled,
